@@ -1,0 +1,64 @@
+"""E9 — ablation: block size vs (makespan, C1, C2).
+
+Sweeps the block size from per-cell (1) to large blocks and prints the
+trade-off curve the paper's Section 5.1 describes: C1 falls with block
+size, makespan rises, C2 roughly flat.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_CELLS, BENCH_SEEDS, run_once
+from repro.analysis import summarize_schedule
+from repro.core import block_assignment, random_delay_priority_schedule
+from repro.experiments import format_table
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.runner import get_blocks, get_instance
+from repro.util.rng import spawn_rngs
+
+M = 16
+BLOCK_SIZES = (1, 4, 16, 64, 128)
+
+
+def _sweep():
+    cfg = ExperimentConfig(mesh="tetonly", target_cells=BENCH_CELLS, k=24)
+    inst = get_instance(cfg)
+    rows = []
+    for bs in BLOCK_SIZES:
+        summaries = []
+        for seed_rng in spawn_rngs(0, len(BENCH_SEEDS)):
+            if bs == 1:
+                sched = random_delay_priority_schedule(inst, M, seed=seed_rng)
+            else:
+                blocks = get_blocks(cfg, bs)
+                assignment = block_assignment(blocks, M, seed=seed_rng)
+                sched = random_delay_priority_schedule(
+                    inst, M, seed=seed_rng, assignment=assignment
+                )
+            summaries.append(summarize_schedule(sched))
+        rows.append(
+            {
+                "block_size": bs,
+                "makespan": float(np.mean([s.makespan for s in summaries])),
+                "ratio": float(np.mean([s.ratio for s in summaries])),
+                "c1": float(np.mean([s.c1 for s in summaries])),
+                "c1_fraction": float(np.mean([s.c1_fraction for s in summaries])),
+                "c2": float(np.mean([s.c2 for s in summaries])),
+            }
+        )
+    return rows
+
+
+def test_blocksize_ablation(benchmark, show):
+    rows = run_once(benchmark, _sweep)
+    show(
+        format_table(
+            rows,
+            ["block_size", "makespan", "ratio", "c1", "c1_fraction", "c2"],
+            title=f"E9 — block-size trade-off (tetonly-like, k=24, m={M})",
+        )
+    )
+    # C1 decreases monotonically with block size.
+    c1s = [r["c1"] for r in rows]
+    assert all(b < a for a, b in zip(c1s, c1s[1:]))
+    # Makespan does not collapse: per-cell is best or near-best.
+    assert rows[0]["makespan"] <= min(r["makespan"] for r in rows) * 1.05

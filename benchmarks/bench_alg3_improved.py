@@ -1,0 +1,54 @@
+"""E11 — Algorithm 3 (Improved Random Delay) vs Algorithms 1 and 2.
+
+The paper proves Algorithm 3's stronger O(log m log log log m) expected
+bound but does not evaluate it empirically; this bench fills that gap.
+Expected shape: the layer-sequential variants (Alg 1, Alg 3) trail the
+compacted list schedules; Alg 3's preprocessing narrows layers, which
+pays off at high m where Alg 1's wide layers straggle.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_CELLS, BENCH_SEEDS, run_once
+from repro.analysis import approx_ratio
+from repro.experiments import format_table
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.runner import get_instance
+from repro.heuristics import ALGORITHMS
+
+ALGOS = (
+    "random_delay",
+    "improved_random_delay",
+    "random_delay_priority",
+    "improved_random_delay_priority",
+)
+
+
+def _sweep():
+    cfg = ExperimentConfig(mesh="tetonly", target_cells=BENCH_CELLS, k=8)
+    inst = get_instance(cfg)
+    rows = []
+    for m in (8, 32, 128):
+        row = {"m": m}
+        for name in ALGOS:
+            ratios = [
+                approx_ratio(ALGORITHMS[name](inst, m, seed=s)) for s in BENCH_SEEDS
+            ]
+            row[name] = float(np.mean(ratios))
+        rows.append(row)
+    return rows
+
+
+def test_alg3_vs_others(benchmark, show):
+    rows = run_once(benchmark, _sweep)
+    show(
+        format_table(
+            rows,
+            ["m"] + list(ALGOS),
+            title="E11 — ratio to nk/m: Algorithms 1/3 and their compactions",
+        )
+    )
+    for row in rows:
+        # Compaction always helps, for both the plain and improved variant.
+        assert row["random_delay_priority"] <= row["random_delay"]
+        assert row["improved_random_delay_priority"] <= row["improved_random_delay"]

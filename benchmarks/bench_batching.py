@@ -1,0 +1,55 @@
+"""E23 — cost of direction batching (angle-set aggregation, extension).
+
+Memory-constrained transport codes sweep direction batches sequentially
+instead of pipelining all k at once.  Measures the makespan penalty as
+the batch count grows — the concurrency the paper's joint scheduling
+buys over batch-at-a-time execution.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_CELLS, BENCH_SEEDS, run_once
+from repro.analysis import approx_ratio
+from repro.experiments import format_table
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.runner import get_instance
+from repro.sweeps import batched_schedule
+
+M = 32
+BATCHES = (1, 2, 4, 8, 24)
+
+
+def _sweep():
+    cfg = ExperimentConfig(mesh="tetonly", target_cells=BENCH_CELLS, k=24)
+    inst = get_instance(cfg)
+    rows = []
+    for nb in BATCHES:
+        ratios = [
+            approx_ratio(batched_schedule(inst, M, n_batches=nb, seed=s))
+            for s in BENCH_SEEDS
+        ]
+        rows.append(
+            {
+                "n_batches": nb,
+                "dirs_per_batch": inst.k // nb,
+                "ratio_mean": float(np.mean(ratios)),
+            }
+        )
+    return rows
+
+
+def test_batching_cost(benchmark, show):
+    rows = run_once(benchmark, _sweep)
+    show(
+        format_table(
+            rows,
+            ["n_batches", "dirs_per_batch", "ratio_mean"],
+            title=f"E23 — makespan cost of direction batching (k=24, m={M})",
+        )
+    )
+    ratios = [r["ratio_mean"] for r in rows]
+    # Weak monotonicity: batching never helps (small noise allowance).
+    for a, b in zip(ratios, ratios[1:]):
+        assert b >= a * 0.97
+    # Fully serial batches (one direction at a time) cost real money.
+    assert ratios[-1] > 1.3 * ratios[0]

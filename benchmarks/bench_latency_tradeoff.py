@@ -1,0 +1,67 @@
+"""E16 — communication/processing trade-off under explicit latency.
+
+Paper Section 5.1 promises "schedules which trade-off communication and
+processing costs" via block partitioning; this bench realises it with
+the event-driven engine: makespan vs per-message latency ``c`` for the
+per-cell random assignment (best balance, worst cut) against block
+assignments (worse balance, far fewer cut edges).  Expected shape: the
+per-cell assignment wins at c=0 and loses past a crossover latency.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_CELLS, run_once
+from repro.core import block_assignment, latency_list_schedule
+from repro.core.random_delay import delayed_task_layers, draw_delays
+from repro.experiments import format_table
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.runner import get_blocks, get_instance
+from repro.util.rng import spawn_rngs
+
+M = 16
+LATENCIES = (0, 2, 8, 32)
+BLOCK_SIZE = 32
+
+
+def _sweep():
+    cfg = ExperimentConfig(mesh="tetonly", target_cells=BENCH_CELLS, k=8)
+    inst = get_instance(cfg)
+    rng_assign, rng_delay = spawn_rngs(0, 2)
+    per_cell = rng_assign.integers(0, M, size=inst.n_cells)
+    blocks = get_blocks(cfg, BLOCK_SIZE)
+    blocked = block_assignment(blocks, M, seed=rng_assign, balanced=True)
+    gamma = delayed_task_layers(inst, draw_delays(inst.k, rng_delay))
+
+    rows = []
+    for c in LATENCIES:
+        row = {"latency": c}
+        for label, assignment in (("per_cell", per_cell), ("blocks", blocked)):
+            s = latency_list_schedule(
+                inst, M, assignment, priority=gamma, comm_latency=c
+            )
+            row[label] = s.makespan
+        row["blocks_win"] = row["blocks"] < row["per_cell"]
+        rows.append(row)
+    return rows
+
+
+def test_latency_tradeoff(benchmark, show):
+    rows = run_once(benchmark, _sweep)
+    show(
+        format_table(
+            rows,
+            ["latency", "per_cell", "blocks", "blocks_win"],
+            title=(
+                f"E16 — makespan vs message latency (tetonly-like, k=8, m={M}, "
+                f"block {BLOCK_SIZE})"
+            ),
+        )
+    )
+    # c = 0: balance wins (or ties within 10%).
+    assert rows[0]["per_cell"] <= rows[0]["blocks"] * 1.1
+    # Large c: the low-cut assignment must win.
+    assert rows[-1]["blocks_win"]
+    # Both curves are monotone in latency.
+    for key in ("per_cell", "blocks"):
+        vals = [r[key] for r in rows]
+        assert vals == sorted(vals)

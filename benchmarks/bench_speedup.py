@@ -1,0 +1,59 @@
+"""E17 — speedup and efficiency curves (the paper's linear-speedup claim).
+
+"...this observation implies that we get linear speedup in performance
+for up to 128 processors (and in some instance even more)."  Speedup =
+serial work nk / makespan; efficiency = speedup / m.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_CELLS, BENCH_SEEDS, run_once
+from repro.analysis import efficiency, speedup
+from repro.experiments import format_table
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.runner import get_instance
+from repro.heuristics import ALGORITHMS
+
+M_VALUES = (2, 4, 8, 16, 32, 64, 128)
+
+
+def _sweep():
+    cfg = ExperimentConfig(mesh="tetonly", target_cells=BENCH_CELLS, k=24)
+    inst = get_instance(cfg)
+    rows = []
+    for m in M_VALUES:
+        sp, eff = [], []
+        for seed in BENCH_SEEDS:
+            s = ALGORITHMS["random_delay_priority"](inst, m, seed=seed)
+            sp.append(speedup(s))
+            eff.append(efficiency(s))
+        rows.append(
+            {
+                "m": m,
+                "speedup": float(np.mean(sp)),
+                "efficiency": float(np.mean(eff)),
+            }
+        )
+    return rows
+
+
+def test_speedup_curve(benchmark, show):
+    rows = run_once(benchmark, _sweep)
+    show(
+        format_table(
+            rows,
+            ["m", "speedup", "efficiency"],
+            title="E17 — Algorithm 2 speedup/efficiency vs m (tetonly-like, k=24)",
+        )
+    )
+    # Speedup grows monotonically with m across the sweep.
+    sp = [r["speedup"] for r in rows]
+    assert sp == sorted(sp)
+    # "Linear speedup": efficiency at least 1/3 (ratio <= 3) wherever the
+    # average load dominates the critical path.
+    inst = get_instance(
+        ExperimentConfig(mesh="tetonly", target_cells=BENCH_CELLS, k=24)
+    )
+    for row in rows:
+        if inst.n_tasks / row["m"] >= inst.depth():
+            assert row["efficiency"] >= 1 / 3

@@ -1,0 +1,134 @@
+"""E8 — theory validation: Lemma 2, Lemma 3, Corollary 2 empirics.
+
+Measures the quantities the proofs bound and prints them next to the
+bounds (the empirical counterpart of Section 4's analysis).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_CELLS, run_once
+from repro.analysis import (
+    expected_max_load_bound,
+    lemma2_max_copies_per_layer,
+    lemma3_max_tasks_per_proc_layer,
+    mean_max_load,
+    theorem3_layer_times,
+)
+from repro.core import random_cell_assignment
+from repro.core.random_delay import draw_delays
+from repro.experiments import format_table
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.runner import get_instance
+from repro.util.rng import spawn_rngs
+
+
+def _lemma_rows():
+    cfg = ExperimentConfig(mesh="tetonly", target_cells=BENCH_CELLS, k=24)
+    inst = get_instance(cfg)
+    n, k = inst.n_cells, inst.k
+    rows = []
+    for m in (8, 32, 128):
+        copies, per_proc = [], []
+        for rng in spawn_rngs(0, 8):
+            delays = draw_delays(k, rng)
+            assignment = random_cell_assignment(n, m, rng)
+            copies.append(lemma2_max_copies_per_layer(inst, delays))
+            per_proc.append(
+                lemma3_max_tasks_per_proc_layer(inst, delays, assignment, m)
+            )
+        rows.append(
+            {
+                "m": m,
+                "lemma2_max_copies": float(np.mean(copies)),
+                "lemma2_bound_logn": float(np.log(n)),
+                "lemma3_max_per_proc": float(np.mean(per_proc)),
+                "lemma3_bound": float(max(n / m, 1) * np.log(n) ** 2),
+            }
+        )
+    return rows
+
+
+def test_lemma_bounds(benchmark, show):
+    rows = run_once(benchmark, _lemma_rows)
+    show(
+        format_table(
+            rows,
+            [
+                "m",
+                "lemma2_max_copies",
+                "lemma2_bound_logn",
+                "lemma3_max_per_proc",
+                "lemma3_bound",
+            ],
+            title="E8 — Lemma 2/3 empirics vs bounds (tetonly-like, k=24)",
+        )
+    )
+    for row in rows:
+        # alpha = 3 comfortably covers the observed constant.
+        assert row["lemma2_max_copies"] <= 3 * row["lemma2_bound_logn"]
+        assert row["lemma3_max_per_proc"] <= row["lemma3_bound"]
+
+
+def _ballsbins_rows():
+    rows = []
+    for t, m in ((64, 8), (256, 16), (1024, 32), (4096, 64)):
+        rows.append(
+            {
+                "balls_t": t,
+                "bins_m": m,
+                "E_max_load": mean_max_load(t, m, trials=300, seed=0),
+                "corollary2_bound": expected_max_load_bound(t, m),
+            }
+        )
+    return rows
+
+
+def test_corollary2_balls_in_bins(benchmark, show):
+    rows = run_once(benchmark, _ballsbins_rows)
+    show(
+        format_table(
+            rows,
+            ["balls_t", "bins_m", "E_max_load", "corollary2_bound"],
+            title="E8 — Corollary 2(b): expected max load vs bound",
+        )
+    )
+    for row in rows:
+        assert row["E_max_load"] <= row["corollary2_bound"]
+
+
+def _theorem3_rows():
+    cfg = ExperimentConfig(mesh="tetonly", target_cells=BENCH_CELLS, k=8)
+    inst = get_instance(cfg)
+    rows = []
+    for m in (8, 32, 128):
+        samples = [
+            theorem3_layer_times(inst, m, seed=rng) for rng in spawn_rngs(3, 4)
+        ]
+        rows.append(
+            {
+                "m": m,
+                "mean_max_excess": float(
+                    np.mean([s["max_excess"] for s in samples])
+                ),
+                "rho_logm_llm": samples[0]["rho"],
+            }
+        )
+    return rows
+
+
+def test_theorem3_layer_excess(benchmark, show):
+    """Theorem 3: per-layer time exceeds |layer|/m by only
+    O(log m log log log m); the observed excess/rho ratio must stay a
+    small constant as m scales 16x."""
+    rows = run_once(benchmark, _theorem3_rows)
+    for row in rows:
+        row["excess_over_rho"] = row["mean_max_excess"] / row["rho_logm_llm"]
+    show(
+        format_table(
+            rows,
+            ["m", "mean_max_excess", "rho_logm_llm", "excess_over_rho"],
+            title="E8 — Theorem 3: worst layer excess vs rho = log m * logloglog m",
+        )
+    )
+    for row in rows:
+        assert row["excess_over_rho"] <= 6.0

@@ -1,0 +1,82 @@
+"""E22 — topology-aware processor mapping (extension).
+
+C1 treats every cross edge equally; on a torus interconnect distance
+matters.  Compare hop-weighted communication under (i) the paper's
+random block->processor assignment and (ii) RCB locality mapping of
+blocks onto the torus — same blocks, same cut, different placement.
+Also records the distributed edge-coloring round counts ([11]) for the
+busiest step's message graph, closing the loop on the paper's
+coordination remark.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_CELLS, run_once
+from repro.comm import (
+    TorusTopology,
+    distributed_edge_coloring,
+    hop_weighted_c1,
+    locality_mapping,
+    step_message_graph,
+)
+from repro.comm.cost import interprocessor_edges, per_step_send_counts
+from repro.core import block_assignment, random_delay_priority_schedule
+from repro.experiments import format_table
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.runner import get_blocks, get_instance
+from repro.mesh.generators import make_mesh
+
+TORI = ((4, 4), (8, 8))
+BLOCK_SIZE = 8
+
+
+def _sweep():
+    cfg = ExperimentConfig(mesh="tetonly", target_cells=BENCH_CELLS, k=8)
+    inst = get_instance(cfg)
+    mesh = make_mesh("tetonly", target_cells=BENCH_CELLS, seed=0)
+    blocks = get_blocks(cfg, BLOCK_SIZE)
+    nb = int(blocks.max()) + 1
+    centers = np.zeros((nb, 3))
+    np.add.at(centers, blocks, mesh.centroids)
+    centers /= np.maximum(np.bincount(blocks, minlength=nb), 1)[:, None]
+
+    rows = []
+    for dims in TORI:
+        topo = TorusTopology(dims)
+        random_assign = block_assignment(blocks, topo.m, seed=0)
+        smart_assign = locality_mapping(centers, topo)[blocks]
+        row = {
+            "torus": f"{dims[0]}x{dims[1]}",
+            "c1_edges": interprocessor_edges(inst, random_assign),
+            "hops_random": hop_weighted_c1(inst, random_assign, topo),
+            "hops_locality": hop_weighted_c1(inst, smart_assign, topo),
+        }
+        row["hop_saving"] = 1.0 - row["hops_locality"] / row["hops_random"]
+        # Distributed coloring of the busiest step's message multigraph.
+        sched = random_delay_priority_schedule(
+            inst, topo.m, seed=0, assignment=smart_assign
+        )
+        busiest = int(np.argmax(per_step_send_counts(sched)))
+        msgs = step_message_graph(sched, busiest)
+        res = distributed_edge_coloring(msgs, topo.m, seed=0)
+        row["coloring_rounds"] = res.rounds
+        row["colors_used"] = int(res.colors.max()) + 1 if res.colors.size else 0
+        rows.append(row)
+    return rows
+
+
+def test_topology_mapping(benchmark, show):
+    rows = run_once(benchmark, _sweep)
+    show(
+        format_table(
+            rows,
+            ["torus", "c1_edges", "hops_random", "hops_locality",
+             "hop_saving", "coloring_rounds", "colors_used"],
+            title=f"E22 — torus locality mapping + distributed coloring (block {BLOCK_SIZE}, k=8)",
+        )
+    )
+    for row in rows:
+        # Locality mapping must cut hop-weighted traffic substantially.
+        assert row["hop_saving"] > 0.15
+        # The [11] protocol colors the busiest step in few rounds.
+        assert row["coloring_rounds"] <= 30

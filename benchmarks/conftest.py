@@ -1,0 +1,39 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper table/figure at a reduced mesh
+scale and prints the series table it produced (EXPERIMENTS.md records
+these against the paper's claims).  Set ``REPRO_BENCH_CELLS`` to raise
+the mesh size toward the paper's 31k–118k cells.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Default mesh size for benchmarks; override with REPRO_BENCH_CELLS.
+BENCH_CELLS = int(os.environ.get("REPRO_BENCH_CELLS", "2000"))
+#: Seeds averaged per grid cell.
+BENCH_SEEDS = (0, 1)
+
+
+@pytest.fixture()
+def show():
+    """Print a result table through pytest's capture (visible with -s or
+    in the terminal summary via the benchmark harness)."""
+
+    def _show(text: str) -> None:
+        print("\n" + text + "\n")
+
+    return _show
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Figure grids are deterministic given their seeds, so repeated rounds
+    would only re-measure identical work; ``pedantic`` keeps bench time
+    linear in the experiment count.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,49 @@
+"""Every registered algorithm on every paper-like mesh, one table.
+
+The closest thing to the paper's Figure 3 panels in a single run: the
+full registry (Algorithms 1–3 and the level/descendant/DFDS heuristics,
+each ± random delays) across the four mesh geometries.
+
+Run:  python examples/heuristic_shootout.py
+"""
+
+from repro.core import average_load_lb
+from repro.heuristics import ALGORITHMS
+from repro.mesh import make_mesh
+from repro.sweeps import build_instance, level_symmetric
+
+M = 64
+CELLS = 1500
+SEEDS = (0, 1)
+
+
+def main() -> None:
+    meshes = ("tetonly", "well_logging", "long", "prismtet")
+    names = list(ALGORITHMS)
+    col = max(len(n) for n in names) + 2
+
+    instances = {}
+    for mesh_name in meshes:
+        mesh = make_mesh(mesh_name, target_cells=CELLS, seed=0)
+        instances[mesh_name] = build_instance(mesh, level_symmetric(2))  # 8 dirs
+
+    print(f"makespan / (nk/m) at m = {M}, k = 8, ~{CELLS} cells, "
+          f"mean over {len(SEEDS)} seeds\n")
+    print(" " * col + "  ".join(f"{m:>13s}" for m in meshes))
+    for name in names:
+        algo = ALGORITHMS[name]
+        cells = []
+        for mesh_name in meshes:
+            inst = instances[mesh_name]
+            lb = average_load_lb(inst, M)
+            ratios = []
+            for seed in SEEDS:
+                sched = algo(inst, M, seed=seed)
+                sched.validate()
+                ratios.append(sched.makespan / lb)
+            cells.append(sum(ratios) / len(ratios))
+        print(f"{name:{col}s}" + "  ".join(f"{c:13.2f}" for c in cells))
+
+
+if __name__ == "__main__":
+    main()

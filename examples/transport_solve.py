@@ -1,0 +1,66 @@
+"""End-to-end physics: solve a real S_n transport problem in schedule order.
+
+The schedules this library produces are not an abstract benchmark — they
+order the cell updates of a discrete-ordinates radiation solve.  This
+example builds the well-logging geometry, schedules its sweeps with
+Algorithm 2, and runs source iteration to convergence twice:
+
+1. a *white-boundary* problem whose exact solution is known
+   (``phi = q / (sigma_t - sigma_s)``), verifying the whole pipeline, and
+2. a *vacuum* problem showing the physical flux shape (peak in the bulk,
+   depressed near the leaky boundary and the bore).
+
+Run:  python examples/transport_solve.py
+"""
+
+import numpy as np
+
+from repro.core import random_delay_priority_schedule
+from repro.mesh import well_logging_like
+from repro.sweeps import build_instance
+from repro.transport import Quadrature, TransportProblem, solve_with_schedule
+
+
+def main() -> None:
+    mesh = well_logging_like(target_cells=1200, seed=4)
+    quad = Quadrature.sn(2)  # 8 directions
+    inst = build_instance(mesh, quad.directions)
+    sched = random_delay_priority_schedule(inst, m=16, seed=0)
+    sched.validate()
+    print(
+        f"{mesh.name}: {mesh.n_cells} cells, k={quad.k}, schedule makespan "
+        f"{sched.makespan} on 16 processors\n"
+    )
+
+    # 1. Verification: infinite-medium limit, exact answer 2.0/(1.0-0.6)=5.
+    p = TransportProblem(
+        mesh, quad, sigma_t=1.0, sigma_s=0.6, source=2.0, boundary="white"
+    )
+    res = solve_with_schedule(p, sched, tol=1e-10)
+    err = float(np.abs(res.phi - 5.0).max())
+    print(
+        f"white boundary (infinite medium): {res.iterations} iterations, "
+        f"max |phi - 5.0| = {err:.2e}"
+    )
+
+    # 2. Physics: vacuum boundaries, scattering medium.
+    p = TransportProblem(
+        mesh, quad, sigma_t=1.0, sigma_s=0.6, source=2.0, boundary="vacuum"
+    )
+    res = solve_with_schedule(p, sched, tol=1e-8)
+    r = np.hypot(mesh.centroids[:, 0], mesh.centroids[:, 1])
+    inner = res.phi[r < 0.5].mean()
+    outer = res.phi[r > 0.85].mean()
+    print(
+        f"vacuum boundary: {res.iterations} iterations, "
+        f"phi in [{res.phi.min():.3f}, {res.phi.max():.3f}]"
+    )
+    print(
+        f"  mean flux near bore (r<0.5): {inner:.3f}, "
+        f"near outer skin (r>0.85): {outer:.3f}  "
+        f"(boundary depression: {outer / inner:.2f}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro — reproduction of "Provable Algorithms for Parallel Sweep
+Scheduling on Unstructured Meshes" (Anil Kumar, Marathe, Parthasarathy,
+Srinivasan, Zust; IPDPS 2005).
+
+Quickstart::
+
+    from repro.mesh import tetonly_like
+    from repro.sweeps import level_symmetric, build_instance
+    from repro.core import random_delay_priority_schedule, average_load_lb
+
+    mesh = tetonly_like(2000, seed=0)
+    inst = build_instance(mesh, level_symmetric(4))   # 24 directions
+    sched = random_delay_priority_schedule(inst, m=32, seed=0)
+    sched.validate()
+    print(sched.makespan / average_load_lb(inst, 32))  # ~1-2x the LB
+
+Packages:
+
+* :mod:`repro.core` — instance model, schedules, Algorithms 1–3;
+* :mod:`repro.heuristics` — level/descendant/DFDS/FIFO/KBA baselines;
+* :mod:`repro.mesh` — synthetic unstructured meshes;
+* :mod:`repro.sweeps` — direction sets, sweep-DAG induction;
+* :mod:`repro.partition` — multilevel METIS stand-in;
+* :mod:`repro.comm` — C1/C2 communication costs, message rounds;
+* :mod:`repro.analysis` — Chernoff/balls-in-bins toolkit, metrics;
+* :mod:`repro.experiments` — figure-reproduction harness.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    Dag,
+    SweepInstance,
+    Schedule,
+    random_delay_schedule,
+    random_delay_priority_schedule,
+    improved_random_delay_schedule,
+)
+
+__all__ = [
+    "__version__",
+    "Dag",
+    "SweepInstance",
+    "Schedule",
+    "random_delay_schedule",
+    "random_delay_priority_schedule",
+    "improved_random_delay_schedule",
+]

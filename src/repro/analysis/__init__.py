@@ -1,0 +1,74 @@
+"""Analysis toolkit: paper's probability bounds plus schedule metrics."""
+
+from repro.analysis.ballsbins import (
+    chernoff_G,
+    bound_F,
+    bound_H,
+    expected_max_load_bound,
+    max_load,
+    mean_max_load,
+    phi,
+)
+from repro.analysis.metrics import (
+    approx_ratio,
+    speedup,
+    efficiency,
+    ScheduleSummary,
+    summarize_schedule,
+    lemma2_max_copies_per_layer,
+    lemma3_max_tasks_per_proc_layer,
+    theorem3_layer_times,
+)
+from repro.analysis.trace import (
+    utilization_profile,
+    processor_timeline,
+    direction_progress,
+    gantt_text,
+)
+from repro.analysis.compare import (
+    AlgorithmSample,
+    sample_algorithm,
+    bootstrap_ci,
+    compare_pair,
+)
+from repro.analysis.tournament import tournament, format_tournament
+from repro.analysis.structure import (
+    DirectionStats,
+    InstanceStats,
+    direction_stats,
+    instance_stats,
+    parallelism_profile,
+)
+
+__all__ = [
+    "chernoff_G",
+    "bound_F",
+    "bound_H",
+    "expected_max_load_bound",
+    "max_load",
+    "mean_max_load",
+    "phi",
+    "approx_ratio",
+    "speedup",
+    "efficiency",
+    "ScheduleSummary",
+    "summarize_schedule",
+    "lemma2_max_copies_per_layer",
+    "lemma3_max_tasks_per_proc_layer",
+    "theorem3_layer_times",
+    "utilization_profile",
+    "processor_timeline",
+    "direction_progress",
+    "gantt_text",
+    "AlgorithmSample",
+    "sample_algorithm",
+    "bootstrap_ci",
+    "compare_pair",
+    "tournament",
+    "format_tournament",
+    "DirectionStats",
+    "InstanceStats",
+    "direction_stats",
+    "instance_stats",
+    "parallelism_profile",
+]

@@ -1,0 +1,126 @@
+"""Statistical comparison of randomized scheduling algorithms.
+
+Randomized schedulers need more than single-seed comparisons: this
+module runs algorithms over seed batches and reports means with
+bootstrap confidence intervals, plus paired win/loss records (paired on
+seed, which removes the shared mesh-randomness variance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.instance import SweepInstance
+from repro.core.lower_bounds import average_load_lb
+from repro.heuristics.registry import get_algorithm
+from repro.util.errors import ReproError
+from repro.util.rng import as_rng, spawn_rngs
+
+__all__ = ["AlgorithmSample", "sample_algorithm", "bootstrap_ci", "compare_pair"]
+
+
+@dataclass
+class AlgorithmSample:
+    """Makespans of one algorithm across seeds, with summary stats."""
+
+    algorithm: str
+    m: int
+    makespans: np.ndarray
+    lower_bound: int
+
+    @property
+    def ratios(self) -> np.ndarray:
+        return self.makespans / max(self.lower_bound, 1)
+
+    @property
+    def mean_ratio(self) -> float:
+        return float(self.ratios.mean())
+
+
+def sample_algorithm(
+    inst: SweepInstance,
+    algorithm: str,
+    m: int,
+    n_seeds: int = 10,
+    seed=0,
+) -> AlgorithmSample:
+    """Run ``algorithm`` across ``n_seeds`` independent seeds."""
+    if n_seeds <= 0:
+        raise ReproError(f"n_seeds must be positive, got {n_seeds}")
+    algo = get_algorithm(algorithm)
+    makespans = np.array(
+        [algo(inst, m, seed=rng).makespan for rng in spawn_rngs(seed, n_seeds)]
+    )
+    return AlgorithmSample(
+        algorithm=algorithm,
+        m=m,
+        makespans=makespans,
+        lower_bound=average_load_lb(inst, m),
+    )
+
+
+def bootstrap_ci(
+    values: np.ndarray,
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    seed=0,
+) -> tuple[float, float]:
+    """Percentile bootstrap CI for the mean of ``values``."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ReproError("cannot bootstrap an empty sample")
+    if not 0 < confidence < 1:
+        raise ReproError(f"confidence must lie in (0, 1), got {confidence}")
+    rng = as_rng(seed)
+    idx = rng.integers(0, values.size, size=(n_boot, values.size))
+    means = values[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(means, alpha)),
+        float(np.quantile(means, 1.0 - alpha)),
+    )
+
+
+def compare_pair(
+    inst: SweepInstance,
+    algorithm_a: str,
+    algorithm_b: str,
+    m: int,
+    n_seeds: int = 10,
+    seed=0,
+) -> dict:
+    """Seed-paired comparison of two algorithms.
+
+    Both algorithms consume the *same* seed per trial, so differences
+    come from the algorithms, not the random draws.  Returns means, a
+    bootstrap CI on the paired makespan difference (a - b), and the
+    win/tie/loss record for ``algorithm_a``.
+    """
+    algo_a = get_algorithm(algorithm_a)
+    algo_b = get_algorithm(algorithm_b)
+    a_spans, b_spans = [], []
+    for rng in spawn_rngs(seed, n_seeds):
+        # Reuse the identical generator state for both algorithms.
+        state = rng.bit_generator.state
+        a_spans.append(algo_a(inst, m, seed=rng).makespan)
+        rng.bit_generator.state = state
+        b_spans.append(algo_b(inst, m, seed=rng).makespan)
+    a = np.array(a_spans, dtype=np.float64)
+    b = np.array(b_spans, dtype=np.float64)
+    diff = a - b
+    lo, hi = bootstrap_ci(diff, seed=seed)
+    return {
+        "algorithm_a": algorithm_a,
+        "algorithm_b": algorithm_b,
+        "mean_a": float(a.mean()),
+        "mean_b": float(b.mean()),
+        "mean_diff": float(diff.mean()),
+        "diff_ci_low": lo,
+        "diff_ci_high": hi,
+        "a_wins": int((diff < 0).sum()),
+        "ties": int((diff == 0).sum()),
+        "b_wins": int((diff > 0).sum()),
+        "significant": not (lo <= 0.0 <= hi),
+    }

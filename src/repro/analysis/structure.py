@@ -1,0 +1,109 @@
+"""Instance structure statistics: what makes a mesh hard to sweep.
+
+The paper characterises its meshes only by cell count; these statistics
+expose the properties that actually drive schedule quality — per-
+direction depth (pipeline length), level-width profiles (available
+parallelism), and the width of the union DAG (the best any scheduler
+could exploit).  Used by the mesh-inventory benchmark and handy when
+tuning a new mesh generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.instance import SweepInstance
+
+__all__ = [
+    "DirectionStats",
+    "InstanceStats",
+    "direction_stats",
+    "instance_stats",
+    "parallelism_profile",
+]
+
+
+@dataclass
+class DirectionStats:
+    """Shape of one direction's DAG."""
+
+    direction: int
+    depth: int  # number of levels
+    max_width: int  # largest level
+    mean_width: float
+    edges: int
+
+
+@dataclass
+class InstanceStats:
+    """Aggregate sweep-difficulty statistics of an instance."""
+
+    name: str
+    n_cells: int
+    k: int
+    n_tasks: int
+    total_edges: int
+    depth: int  # max over directions
+    max_parallelism: int  # widest union-DAG level
+    mean_parallelism: float
+    #: nk / depth: an upper bound on useful processors if directions ran
+    #: strictly one after another.
+    serial_direction_limit: float
+    #: n_tasks / union depth: the instance's intrinsic parallel slack.
+    intrinsic_parallelism: float
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+def direction_stats(inst: SweepInstance, direction: int) -> DirectionStats:
+    """Level-structure statistics of one direction DAG."""
+    g = inst.dags[direction]
+    depth = g.num_levels()
+    if depth and g.n:
+        widths = np.bincount(g.level_of(), minlength=depth)
+        max_w = int(widths.max())
+        mean_w = float(widths.mean())
+    else:
+        max_w, mean_w = 0, 0.0
+    return DirectionStats(
+        direction=direction,
+        depth=depth,
+        max_width=max_w,
+        mean_width=mean_w,
+        edges=g.num_edges,
+    )
+
+
+def parallelism_profile(inst: SweepInstance) -> np.ndarray:
+    """Width of every union-DAG level: tasks that *could* run together.
+
+    This is the zero-delay parallelism envelope; the random delays
+    flatten it by staggering directions.
+    """
+    union = inst.union_dag()
+    depth = union.num_levels()
+    if depth == 0:
+        return np.zeros(0, dtype=np.int64)
+    return np.bincount(union.level_of(), minlength=depth)
+
+
+def instance_stats(inst: SweepInstance) -> InstanceStats:
+    """Aggregate statistics over all directions."""
+    profile = parallelism_profile(inst)
+    union_depth = profile.size
+    depth = inst.depth()
+    return InstanceStats(
+        name=inst.name,
+        n_cells=inst.n_cells,
+        k=inst.k,
+        n_tasks=inst.n_tasks,
+        total_edges=sum(g.num_edges for g in inst.dags),
+        depth=depth,
+        max_parallelism=int(profile.max()) if profile.size else 0,
+        mean_parallelism=float(profile.mean()) if profile.size else 0.0,
+        serial_direction_limit=inst.n_tasks / depth if depth else 0.0,
+        intrinsic_parallelism=inst.n_tasks / union_depth if union_depth else 0.0,
+    )

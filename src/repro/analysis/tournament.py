@@ -1,0 +1,68 @@
+"""Round-robin tournaments: all algorithms, all pairs, one table.
+
+Built on :func:`repro.analysis.compare.compare_pair`; every pair of
+algorithms plays seed-paired trials and the results aggregate into a
+win-rate matrix plus a ranking by mean makespan — the
+"who-actually-wins" view that single benchmarks can't give.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.compare import compare_pair, sample_algorithm
+from repro.core.instance import SweepInstance
+from repro.util.errors import ReproError
+
+__all__ = ["tournament", "format_tournament"]
+
+
+def tournament(
+    inst: SweepInstance,
+    algorithms: list[str],
+    m: int,
+    n_seeds: int = 8,
+    seed=0,
+) -> dict:
+    """Run a full round-robin over ``algorithms``.
+
+    Returns ``{"ranking": [...], "matrix": {(a, b): result}}`` where the
+    ranking lists (algorithm, mean makespan) best first and the matrix
+    holds each ordered pair's :func:`compare_pair` result.
+    """
+    if len(algorithms) < 2:
+        raise ReproError("a tournament needs at least two algorithms")
+    means = {
+        name: sample_algorithm(inst, name, m, n_seeds=n_seeds, seed=seed)
+        .makespans.mean()
+        for name in algorithms
+    }
+    ranking = sorted(means.items(), key=lambda kv: kv[1])
+    matrix = {}
+    for i, a in enumerate(algorithms):
+        for b in algorithms[i + 1 :]:
+            matrix[(a, b)] = compare_pair(inst, a, b, m, n_seeds=n_seeds, seed=seed)
+    return {"ranking": ranking, "matrix": matrix}
+
+
+def format_tournament(result: dict) -> str:
+    """Render a tournament as ranking + significant-edge list."""
+    lines = ["ranking (mean makespan, best first):"]
+    for name, mean in result["ranking"]:
+        lines.append(f"  {name:32s} {mean:10.1f}")
+    lines.append("")
+    lines.append("pairwise (significant edges only):")
+    any_edge = False
+    for (a, b), r in result["matrix"].items():
+        if not r["significant"]:
+            continue
+        any_edge = True
+        winner, loser = (a, b) if r["mean_diff"] < 0 else (b, a)
+        lines.append(
+            f"  {winner} beats {loser}: mean diff {abs(r['mean_diff']):.1f}, "
+            f"record {max(r['a_wins'], r['b_wins'])}-{r['ties']}-"
+            f"{min(r['a_wins'], r['b_wins'])}"
+        )
+    if not any_edge:
+        lines.append("  (none — all pairs statistically tied)")
+    return "\n".join(lines)

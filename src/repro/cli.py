@@ -1,0 +1,318 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``schedule``   run one algorithm on a generated mesh, print metrics
+``figures``    regenerate one or all paper figures (Fig 2a–3c, headline)
+``mesh``       generate a mesh and report/save it
+``partition``  partition a mesh into blocks, report cut/balance
+``transport``  run the S_n transport solve in schedule order
+
+All commands take ``--seed`` and print deterministic output.  The CLI is
+a thin veneer over the library — every command body is a few calls into
+the public API, and the functions return exit codes so tests can drive
+them without subprocesses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis import gantt_text, summarize_schedule
+from repro.comm import CommModel, estimate_wall_clock
+from repro.core import block_assignment
+from repro.experiments import paper
+from repro.heuristics import algorithm_names, get_algorithm
+from repro.mesh import MESH_GENERATORS, make_mesh, save_mesh
+from repro.partition import balance, block_sizes, edge_cut, partition_mesh_blocks
+from repro.sweeps import build_instance, directions_for_mesh
+from repro.transport import Quadrature, TransportProblem, solve_with_schedule
+from repro.util.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = {
+    "fig2a": paper.fig2a,
+    "fig2b": paper.fig2b,
+    "fig2c": paper.fig2c,
+    "fig3a": paper.fig3a,
+    "fig3b": paper.fig3b,
+    "fig3c": paper.fig3c,
+    "headline": paper.headline_bounds,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel sweep scheduling on unstructured meshes (IPDPS 2005 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--mesh", default="tetonly", choices=sorted(MESH_GENERATORS))
+        p.add_argument("--cells", type=int, default=2000, help="target cell count")
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("schedule", help="schedule sweeps with one algorithm")
+    common(p)
+    p.add_argument("--algorithm", default="random_delay_priority",
+                   choices=algorithm_names())
+    p.add_argument("-k", "--directions", type=int, default=8)
+    p.add_argument("-m", "--processors", type=int, default=16)
+    p.add_argument("--block-size", type=int, default=1,
+                   help="METIS-style block size (1 = per-cell assignment)")
+    p.add_argument("--comm-cost", type=float, default=0.0,
+                   help="per-message-round cost c for the wall-clock estimate")
+    p.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+
+    p = sub.add_parser("figures", help="regenerate paper figures")
+    p.add_argument("which", nargs="?", default="all",
+                   choices=["all"] + sorted(_FIGURES))
+    p.add_argument("--cells", type=int, default=2000)
+    p.add_argument("--chart", action="store_true",
+                   help="also render each figure as an ASCII chart")
+
+    p = sub.add_parser("mesh", help="generate a mesh")
+    common(p)
+    p.add_argument("--out", default=None, help="save to this .npz path")
+
+    p = sub.add_parser("partition", help="partition a mesh into blocks")
+    common(p)
+    p.add_argument("--block-size", type=int, default=64)
+
+    p = sub.add_parser("transport", help="run an S_n transport solve")
+    common(p)
+    p.add_argument("-k", "--directions", type=int, default=8)
+    p.add_argument("-m", "--processors", type=int, default=16)
+    p.add_argument("--sigma-t", type=float, default=1.0)
+    p.add_argument("--sigma-s", type=float, default=0.5)
+    p.add_argument("--source", type=float, default=1.0)
+    p.add_argument("--boundary", default="vacuum", choices=["vacuum", "white"])
+    p.add_argument("--krylov", action="store_true",
+                   help="GMRES acceleration (vacuum boundaries only)")
+
+    p = sub.add_parser(
+        "compare", help="seed-paired statistical comparison of two algorithms"
+    )
+    common(p)
+    p.add_argument("algorithm_a", choices=algorithm_names())
+    p.add_argument("algorithm_b", choices=algorithm_names())
+    p.add_argument("-k", "--directions", type=int, default=8)
+    p.add_argument("-m", "--processors", type=int, default=16)
+    p.add_argument("--trials", type=int, default=10)
+
+    p = sub.add_parser(
+        "tournament", help="round-robin all (or chosen) algorithms with stats"
+    )
+    common(p)
+    p.add_argument("algorithms", nargs="*", default=[],
+                   help="registry names (default: the main contenders)")
+    p.add_argument("-k", "--directions", type=int, default=8)
+    p.add_argument("-m", "--processors", type=int, default=16)
+    p.add_argument("--trials", type=int, default=8)
+
+    p = sub.add_parser(
+        "families", help="run the algorithms on non-geometric instance families"
+    )
+    p.add_argument("--size", type=int, default=128, help="cells per family")
+    p.add_argument("-k", "--directions", type=int, default=8)
+    p.add_argument("-m", "--processors", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_schedule(args) -> int:
+    mesh = make_mesh(args.mesh, target_cells=args.cells, seed=args.seed)
+    inst = build_instance(mesh, directions_for_mesh(mesh.dim, args.directions))
+    algo = get_algorithm(args.algorithm)
+    if args.block_size > 1:
+        blocks = partition_mesh_blocks(
+            mesh.n_cells, mesh.adjacency, args.block_size, seed=args.seed
+        )
+        assignment = block_assignment(blocks, args.processors, seed=args.seed)
+        sched = algo(inst, args.processors, seed=args.seed, assignment=assignment)
+    else:
+        sched = algo(inst, args.processors, seed=args.seed)
+    sched.validate()
+    s = summarize_schedule(sched)
+    print(f"mesh: {mesh.name} ({mesh.n_cells} cells), k={inst.k}, m={args.processors}")
+    print(f"algorithm: {s.algorithm}")
+    print(f"makespan: {s.makespan} (lower bound nk/m = {s.lower_bound}, "
+          f"ratio {s.ratio:.3f})")
+    print(f"C1 = {s.c1} ({s.c1_fraction:.1%} of DAG edges), C2 = {s.c2}, "
+          f"idle = {s.idle_fraction:.1%}")
+    if args.comm_cost > 0:
+        est = estimate_wall_clock(sched, CommModel(c=args.comm_cost))
+        print(f"wall-clock estimate (c={args.comm_cost}): {est.total:.1f} "
+              f"({est.comm_fraction():.0%} communication)")
+    if args.gantt:
+        print()
+        print(gantt_text(sched))
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    names = sorted(_FIGURES) if args.which == "all" else [args.which]
+    for name in names:
+        rows, text = _FIGURES[name](target_cells=args.cells)
+        print(text)
+        if args.chart and rows and "series" in rows[0]:
+            from repro.experiments import ascii_chart
+
+            y = "ratio" if "ratio" in rows[0] else "makespan"
+            print()
+            print(ascii_chart(rows, x="m", y=y, group_by="series",
+                              title=f"{name} — {y} vs m (shape view)"))
+        print()
+    return 0
+
+
+def _cmd_mesh(args) -> int:
+    mesh = make_mesh(args.mesh, target_cells=args.cells, seed=args.seed)
+    print(f"{mesh.name}: {mesh.n_cells} cells, {mesh.n_faces} interior faces, "
+          f"dim {mesh.dim}")
+    if mesh.cell_volumes is not None:
+        print(f"total volume: {mesh.cell_volumes.sum():.4f}, "
+              f"boundary faces: {mesh.boundary_cells.size}")
+    if args.out:
+        save_mesh(mesh, args.out)
+        print(f"saved to {args.out}")
+    return 0
+
+
+def _cmd_partition(args) -> int:
+    mesh = make_mesh(args.mesh, target_cells=args.cells, seed=args.seed)
+    blocks = partition_mesh_blocks(
+        mesh.n_cells, mesh.adjacency, args.block_size, seed=args.seed
+    )
+    sizes = block_sizes(blocks)
+    print(f"{mesh.name}: {mesh.n_cells} cells -> {sizes.size} blocks "
+          f"(target size {args.block_size})")
+    print(f"edge cut: {edge_cut(blocks, mesh.adjacency)} of {mesh.n_faces} "
+          f"({edge_cut(blocks, mesh.adjacency) / max(mesh.n_faces, 1):.1%})")
+    print(f"balance (max/mean): {balance(blocks):.3f}")
+    return 0
+
+
+def _cmd_transport(args) -> int:
+    mesh = make_mesh(args.mesh, target_cells=args.cells, seed=args.seed)
+    if mesh.dim == 3:
+        quad = Quadrature.equal_weight(directions_for_mesh(3, args.directions))
+    else:
+        quad = Quadrature.fan2d(args.directions)
+    inst = build_instance(mesh, quad.directions)
+    sched = get_algorithm("random_delay_priority")(
+        inst, args.processors, seed=args.seed
+    )
+    problem = TransportProblem(
+        mesh, quad, args.sigma_t, args.sigma_s, args.source, boundary=args.boundary
+    )
+    print(f"{mesh.name}: {mesh.n_cells} cells, k={quad.k}, "
+          f"schedule makespan {sched.makespan}")
+    if args.krylov:
+        from repro.transport import solve_krylov_with_schedule
+
+        res = solve_krylov_with_schedule(problem, sched)
+        status = "converged" if res.converged else "NOT converged"
+        print(f"GMRES {status} in {res.sweeps} full-mesh sweeps")
+        phi = res.phi
+    else:
+        res = solve_with_schedule(problem, sched)
+        status = "converged" if res.converged else "NOT converged"
+        print(f"source iteration {status} in {res.iterations} iterations "
+              f"(residual {res.final_residual:.2e})")
+        phi = res.phi
+    print(f"scalar flux: min {phi.min():.4f}, mean {phi.mean():.4f}, "
+          f"max {phi.max():.4f}")
+    if args.boundary == "white":
+        exact = args.source / (args.sigma_t - args.sigma_s)
+        print(f"infinite-medium exact value: {exact:.4f} "
+              f"(max error {np.abs(phi - exact).max():.2e})")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.analysis import compare_pair
+
+    mesh = make_mesh(args.mesh, target_cells=args.cells, seed=args.seed)
+    inst = build_instance(mesh, directions_for_mesh(mesh.dim, args.directions))
+    result = compare_pair(
+        inst, args.algorithm_a, args.algorithm_b,
+        m=args.processors, n_seeds=args.trials, seed=args.seed,
+    )
+    print(f"{args.algorithm_a} vs {args.algorithm_b} on {mesh.name} "
+          f"(m={args.processors}, {args.trials} paired trials)")
+    print(f"mean makespans: {result['mean_a']:.1f} vs {result['mean_b']:.1f}")
+    print(f"paired difference (a-b): {result['mean_diff']:+.1f}, "
+          f"95% CI [{result['diff_ci_low']:+.1f}, {result['diff_ci_high']:+.1f}]")
+    print(f"record: {result['a_wins']} wins / {result['ties']} ties / "
+          f"{result['b_wins']} losses — "
+          f"{'significant' if result['significant'] else 'not significant'}")
+    return 0
+
+
+def _cmd_tournament(args) -> int:
+    from repro.analysis import format_tournament, tournament
+
+    algos = list(args.algorithms) or [
+        "random_delay", "random_delay_priority", "level", "descendant", "dfds",
+    ]
+    mesh = make_mesh(args.mesh, target_cells=args.cells, seed=args.seed)
+    inst = build_instance(mesh, directions_for_mesh(mesh.dim, args.directions))
+    print(f"tournament on {mesh.name} (m={args.processors}, "
+          f"{args.trials} paired trials)\n")
+    result = tournament(inst, algos, m=args.processors,
+                        n_seeds=args.trials, seed=args.seed)
+    print(format_tournament(result))
+    return 0
+
+
+def _cmd_families(args) -> int:
+    from repro.core.lower_bounds import combined_lower_bound
+    from repro.instances import INSTANCE_FAMILIES, make_instance
+
+    algos = ("random_delay", "random_delay_priority", "level", "dfds")
+    col = max(len(a) for a in algos) + 2
+    print(f"ratio to combined LB (n={args.size}, k={args.directions}, "
+          f"m={args.processors})\n")
+    print(f"{'family':18s}" + "".join(f"{a:>{col}s}" for a in algos))
+    for family in sorted(INSTANCE_FAMILIES):
+        inst = make_instance(family, n=args.size, k=args.directions,
+                             seed=args.seed)
+        lb = combined_lower_bound(inst, args.processors)
+        cells = []
+        for name in algos:
+            sched = get_algorithm(name)(inst, args.processors, seed=args.seed)
+            cells.append(sched.makespan / lb)
+        print(f"{family:18s}" + "".join(f"{c:>{col}.2f}" for c in cells))
+    return 0
+
+
+_COMMANDS = {
+    "schedule": _cmd_schedule,
+    "figures": _cmd_figures,
+    "mesh": _cmd_mesh,
+    "partition": _cmd_partition,
+    "transport": _cmd_transport,
+    "compare": _cmd_compare,
+    "tournament": _cmd_tournament,
+    "families": _cmd_families,
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

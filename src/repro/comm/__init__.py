@@ -1,0 +1,42 @@
+"""Communication-cost models: static C1, per-step C2, 1-port rounds."""
+
+from repro.comm.cost import (
+    interprocessor_edges,
+    interprocessor_edge_fraction,
+    c2_cost,
+    per_step_send_counts,
+)
+from repro.comm.edge_coloring import greedy_edge_coloring, max_degree
+from repro.comm.rounds import per_step_rounds, rounds_cost, step_message_graph
+from repro.comm.simulator import (
+    CommModel,
+    WallClockEstimate,
+    estimate_wall_clock,
+    communication_profile,
+)
+from repro.comm.distributed_coloring import (
+    distributed_edge_coloring,
+    DistributedColoringResult,
+)
+from repro.comm.topology import TorusTopology, hop_weighted_c1, locality_mapping
+
+__all__ = [
+    "interprocessor_edges",
+    "interprocessor_edge_fraction",
+    "c2_cost",
+    "per_step_send_counts",
+    "greedy_edge_coloring",
+    "max_degree",
+    "per_step_rounds",
+    "rounds_cost",
+    "step_message_graph",
+    "CommModel",
+    "WallClockEstimate",
+    "estimate_wall_clock",
+    "communication_profile",
+    "distributed_edge_coloring",
+    "DistributedColoringResult",
+    "TorusTopology",
+    "hop_weighted_c1",
+    "locality_mapping",
+]

@@ -1,0 +1,97 @@
+"""Communication-cost measures C1 and C2 (paper Section 5, "Objectives").
+
+* **C1** — static: the number of DAG edges ``((u,i),(v,i))`` whose
+  endpoints live on different processors, summed over all directions.
+  Independent of the schedule; depends only on the assignment.
+
+* **C2** — dynamic: assume a communication round after every computation
+  step; the round costs the maximum number of messages any single
+  processor must send.  ``C2 = sum_t max_P msgs(P, t)`` where a task
+  executed at step ``t`` sends one message per cross-processor out-edge
+  (the paper's "Max Off-Proc-Outdegree").  With ``dedup=True`` messages
+  from one task to the same destination processor are batched into one.
+
+The paper calls C2 "very optimistic": doing all messages in
+max-out-degree time needs coordination such as edge coloring — see
+:mod:`repro.comm.rounds` for the honest 1-port accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.instance import SweepInstance
+from repro.core.schedule import Schedule
+
+__all__ = [
+    "interprocessor_edges",
+    "interprocessor_edge_fraction",
+    "c2_cost",
+    "per_step_send_counts",
+]
+
+
+def interprocessor_edges(inst: SweepInstance, assignment: np.ndarray) -> int:
+    """C1: DAG edges crossing processors, summed over every direction."""
+    assignment = np.asarray(assignment)
+    total = 0
+    for g in inst.dags:
+        if g.num_edges:
+            total += int(
+                (assignment[g.edges[:, 0]] != assignment[g.edges[:, 1]]).sum()
+            )
+    return total
+
+
+def interprocessor_edge_fraction(inst: SweepInstance, assignment: np.ndarray) -> float:
+    """C1 divided by the total number of DAG edges (0 when there are none).
+
+    For a uniformly random cell assignment this concentrates around
+    ``(m-1)/m`` — the observation that motivated block partitioning.
+    """
+    total_edges = sum(g.num_edges for g in inst.dags)
+    if total_edges == 0:
+        return 0.0
+    return interprocessor_edges(inst, assignment) / total_edges
+
+
+def _cross_edge_sends(schedule: Schedule, dedup: bool):
+    """(step, sender, count) triplets for all cross-processor sends."""
+    inst = schedule.instance
+    union = inst.union_dag()
+    if union.num_edges == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+    proc = schedule.task_proc()
+    src = union.edges[:, 0]
+    dst = union.edges[:, 1]
+    cross = proc[src] != proc[dst]
+    src = src[cross]
+    dst_proc = proc[dst[cross]]
+    if dedup:
+        # One message per distinct (source task, destination processor).
+        key = src * schedule.m + dst_proc
+        src = np.unique(key) // schedule.m
+    steps = schedule.start[src]
+    senders = proc[src]
+    # Aggregate per (step, sender).
+    key = steps * schedule.m + senders
+    uniq, counts = np.unique(key, return_counts=True)
+    return uniq // schedule.m, uniq % schedule.m, counts
+
+
+def per_step_send_counts(schedule: Schedule, dedup: bool = False) -> np.ndarray:
+    """``out[t]`` = maximum messages any processor sends after step ``t``."""
+    steps, _senders, counts = _cross_edge_sends(schedule, dedup)
+    out = np.zeros(schedule.makespan, dtype=np.int64)
+    if steps.size:
+        np.maximum.at(out, steps, counts)
+    return out
+
+
+def c2_cost(schedule: Schedule, dedup: bool = False) -> int:
+    """C2: total communication delay under the per-step max-send model."""
+    return int(per_step_send_counts(schedule, dedup=dedup).sum())

@@ -1,0 +1,128 @@
+"""Randomized distributed edge coloring (the paper's reference [11]).
+
+The paper notes that realising the C2 bound "requires some extra
+coordination ... one way this can be done in a distributed manner is to
+use an edge coloring algorithm" — citing Marathe–Panconesi–Risinger's
+experimental study of the simple distributed algorithm.  We implement
+that algorithm:
+
+    repeat until every edge is colored:
+        every uncolored edge proposes a color uniformly at random from
+        its palette minus the colors already fixed at its endpoints;
+        an edge keeps its proposal iff no adjacent edge proposed the
+        same color this round.
+
+With palette size ``ceil(palette_factor * Δ)`` (default 2Δ, the
+classical choice) the algorithm terminates in O(log E) rounds with high
+probability; the tests check proper coloring always and measure rounds.
+Unlike :func:`repro.comm.edge_coloring.greedy_edge_coloring` this needs
+no global order — each round is one synchronous message exchange among
+the processors holding the edges, exactly the setting of the paper's
+per-step communication rounds.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.comm.edge_coloring import max_degree
+from repro.util.errors import ReproError
+from repro.util.rng import as_rng
+
+__all__ = ["distributed_edge_coloring", "DistributedColoringResult"]
+
+
+class DistributedColoringResult:
+    """Colors plus the synchronous-round count the protocol used."""
+
+    __slots__ = ("colors", "rounds", "palette_size")
+
+    def __init__(self, colors: np.ndarray, rounds: int, palette_size: int):
+        self.colors = colors
+        self.rounds = rounds
+        self.palette_size = palette_size
+
+
+def distributed_edge_coloring(
+    edges: np.ndarray,
+    n: int,
+    palette_factor: float = 2.0,
+    seed=None,
+    max_rounds: int = 10_000,
+) -> DistributedColoringResult:
+    """Color edges by the randomized proposal/conflict protocol.
+
+    Parameters
+    ----------
+    edges:
+        ``(E, 2)`` multigraph edges; self-loops rejected.
+    palette_factor:
+        Palette size = ``ceil(palette_factor * Δ)``; must be > 1 (below
+        Δ+1 a proper coloring may not even exist).
+    max_rounds:
+        Safety valve; the protocol terminates in O(log E) rounds w.h.p.,
+        so hitting this indicates a bug or an adversarial palette.
+    """
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if edges.size and np.any(edges[:, 0] == edges[:, 1]):
+        raise ReproError("self-loop edge cannot be colored")
+    e_count = edges.shape[0]
+    if e_count == 0:
+        return DistributedColoringResult(np.empty(0, dtype=np.int64), 0, 0)
+    if palette_factor <= 1.0:
+        raise ReproError(f"palette_factor must exceed 1, got {palette_factor}")
+    rng = as_rng(seed)
+    delta = max_degree(edges, n)
+    palette = max(1, math.ceil(palette_factor * delta))
+
+    colors = np.full(e_count, -1, dtype=np.int64)
+    # used[v] = set of colors fixed at vertex v.
+    used: list[set[int]] = [set() for _ in range(n)]
+    uncolored = list(range(e_count))
+    rounds = 0
+    while uncolored:
+        rounds += 1
+        if rounds > max_rounds:
+            raise ReproError(
+                f"distributed coloring exceeded {max_rounds} rounds — "
+                "palette too small?"
+            )
+        # Proposal phase.
+        proposals: dict[int, int] = {}
+        for e in uncolored:
+            u, v = edges[e]
+            busy = used[u] | used[v]
+            # Sample until an available color is drawn; with palette
+            # >= 2Δ at least half the palette is free, so this is a
+            # couple of draws in expectation.
+            available = palette - len(busy)
+            if available <= 0:
+                raise ReproError(
+                    "palette exhausted at an endpoint — palette_factor too small"
+                )
+            while True:
+                c = int(rng.integers(palette))
+                if c not in busy:
+                    proposals[e] = c
+                    break
+        # Conflict phase: a proposal survives iff unique at both endpoints.
+        claim: dict[tuple[int, int], list[int]] = {}
+        for e, c in proposals.items():
+            u, v = edges[e]
+            claim.setdefault((int(u), c), []).append(e)
+            claim.setdefault((int(v), c), []).append(e)
+        winners = []
+        for e, c in proposals.items():
+            u, v = edges[e]
+            if len(claim[(int(u), c)]) == 1 and len(claim[(int(v), c)]) == 1:
+                winners.append(e)
+        for e in winners:
+            c = proposals[e]
+            colors[e] = c
+            u, v = edges[e]
+            used[u].add(c)
+            used[v].add(c)
+        uncolored = [e for e in uncolored if colors[e] < 0]
+    return DistributedColoringResult(colors, rounds, palette)

@@ -1,0 +1,70 @@
+"""Greedy edge coloring for conflict-free message rounds.
+
+The paper notes (Section 5) that achieving the C2 bound "requires some
+extra coordination ... one way this can be done in a distributed manner
+is to use an edge coloring algorithm [11]".  We implement the sequential
+greedy coloring it reduces to: color each edge with the smallest color
+free at both endpoints.  For a multigraph with maximum degree ``Δ`` the
+greedy bound is ``2Δ - 1`` colors (Vizing-style algorithms reach
+``Δ + 1`` but are overkill here — the *number of rounds*, not the exact
+constant, is what the round-accounting experiments compare).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ReproError
+
+__all__ = ["greedy_edge_coloring", "max_degree"]
+
+
+def max_degree(edges: np.ndarray, n: int) -> int:
+    """Maximum (total) degree of the multigraph ``edges`` on ``n`` vertices."""
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if edges.size == 0:
+        return 0
+    deg = np.bincount(edges.ravel(), minlength=n)
+    return int(deg.max())
+
+
+def greedy_edge_coloring(edges: np.ndarray, n: int) -> np.ndarray:
+    """Color every edge so no two edges sharing a vertex share a color.
+
+    Parameters
+    ----------
+    edges:
+        ``(E, 2)`` multigraph edges (parallel edges allowed; each needs
+        its own color).  Self-loops are rejected — a processor does not
+        message itself.
+    n:
+        Vertex count.
+
+    Returns
+    -------
+    ``(E,)`` array of colors ``0..C-1`` with ``C <= 2Δ - 1``.
+    """
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if edges.size and np.any(edges[:, 0] == edges[:, 1]):
+        raise ReproError("self-loop message: a processor cannot send to itself")
+    colors = np.empty(edges.shape[0], dtype=np.int64)
+    used: list[set[int]] = [set() for _ in range(n)]
+    # Color high-degree vertices' edges first: sort edges by the max
+    # endpoint degree, descending, which tightens the greedy bound a bit.
+    if edges.size:
+        deg = np.bincount(edges.ravel(), minlength=n)
+        order = np.argsort(
+            -np.maximum(deg[edges[:, 0]], deg[edges[:, 1]]), kind="stable"
+        )
+    else:
+        order = np.empty(0, dtype=np.int64)
+    for e in order.tolist():
+        u, v = int(edges[e, 0]), int(edges[e, 1])
+        busy = used[u] | used[v]
+        c = 0
+        while c in busy:
+            c += 1
+        colors[e] = c
+        used[u].add(c)
+        used[v].add(c)
+    return colors

@@ -1,0 +1,105 @@
+"""Wall-clock estimation combining computation and communication.
+
+The paper evaluates makespan and communication cost separately and notes
+real cost lies between its two extremes.  This simulator composes them
+into a single wall-clock estimate under a configurable model:
+
+    time = p * makespan + c * (communication steps)
+
+where the communication steps per computation step are, by accounting
+mode:
+
+* ``"max_send"`` — the paper's C2: max messages any processor sends;
+* ``"rounds"`` — 1-port edge-colored rounds (strictly >= C2, <= C1);
+* ``"total_edges"`` — C1 amortised as if all messages serialised
+  (the pessimistic extreme);
+* ``"none"`` — computation only.
+
+``p`` and ``c`` are the per-task and per-message-round costs (the
+paper's uniform ``p`` and ``c``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comm.cost import c2_cost, interprocessor_edges, per_step_send_counts
+from repro.comm.rounds import rounds_cost
+from repro.core.schedule import Schedule
+from repro.util.errors import ReproError
+
+__all__ = ["CommModel", "WallClockEstimate", "estimate_wall_clock"]
+
+_ACCOUNTINGS = ("max_send", "rounds", "total_edges", "none")
+
+
+@dataclass(frozen=True)
+class CommModel:
+    """Cost model: unit task time ``p``, per-round message time ``c``."""
+
+    p: float = 1.0
+    c: float = 0.1
+    accounting: str = "max_send"
+
+    def __post_init__(self):
+        if self.p <= 0:
+            raise ReproError(f"task time p must be positive, got {self.p}")
+        if self.c < 0:
+            raise ReproError(f"message time c must be nonnegative, got {self.c}")
+        if self.accounting not in _ACCOUNTINGS:
+            raise ReproError(
+                f"unknown accounting {self.accounting!r}; "
+                f"known: {', '.join(_ACCOUNTINGS)}"
+            )
+
+
+@dataclass
+class WallClockEstimate:
+    """Breakdown of an estimated parallel execution time."""
+
+    compute_time: float
+    comm_steps: int
+    comm_time: float
+
+    @property
+    def total(self) -> float:
+        return self.compute_time + self.comm_time
+
+    def comm_fraction(self) -> float:
+        return self.comm_time / self.total if self.total else 0.0
+
+
+def estimate_wall_clock(
+    schedule: Schedule, model: CommModel = CommModel()
+) -> WallClockEstimate:
+    """Estimate wall-clock time of ``schedule`` under ``model``."""
+    if model.accounting == "none":
+        comm_steps = 0
+    elif model.accounting == "max_send":
+        comm_steps = c2_cost(schedule)
+    elif model.accounting == "rounds":
+        comm_steps = rounds_cost(schedule)
+    else:  # total_edges
+        comm_steps = interprocessor_edges(schedule.instance, schedule.assignment)
+    return WallClockEstimate(
+        compute_time=model.p * schedule.makespan,
+        comm_steps=comm_steps,
+        comm_time=model.c * comm_steps,
+    )
+
+
+def communication_profile(schedule: Schedule) -> dict:
+    """All three communication accountings side by side."""
+    return {
+        "c1_total_edges": interprocessor_edges(
+            schedule.instance, schedule.assignment
+        ),
+        "c2_max_send": c2_cost(schedule),
+        "rounds_1port": rounds_cost(schedule),
+        "c2_peak_step": int(per_step_send_counts(schedule).max())
+        if schedule.makespan
+        else 0,
+    }
+
+
+__all__.append("communication_profile")

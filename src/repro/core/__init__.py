@@ -1,0 +1,89 @@
+"""Core sweep-scheduling model and the paper's three provable algorithms.
+
+Public surface:
+
+* :class:`~repro.core.dag.Dag` — CSR directed acyclic graph.
+* :class:`~repro.core.instance.SweepInstance` — cells + per-direction DAGs.
+* :class:`~repro.core.schedule.Schedule` — start times + assignment, with
+  an independent feasibility checker.
+* :func:`~repro.core.random_delay.random_delay_schedule` — Algorithm 1.
+* :func:`~repro.core.priority_delay.random_delay_priority_schedule` —
+  Algorithm 2.
+* :func:`~repro.core.improved.improved_random_delay_schedule` —
+  Algorithm 3.
+* :func:`~repro.core.list_scheduler.list_schedule` /
+  :func:`~repro.core.list_scheduler.list_schedule_unassigned` — the
+  prioritized list-scheduling engines.
+* lower bounds in :mod:`repro.core.lower_bounds`.
+"""
+
+from repro.core.dag import Dag
+from repro.core.instance import SweepInstance
+from repro.core.schedule import Schedule, validate_schedule
+from repro.core.assignment import (
+    random_cell_assignment,
+    block_assignment,
+    round_robin_assignment,
+    balanced_random_assignment,
+)
+from repro.core.list_scheduler import (
+    list_schedule,
+    list_schedule_unassigned,
+    UnassignedSchedule,
+)
+from repro.core.layered import schedule_layers_sequentially, layer_makespans
+from repro.core.random_delay import (
+    random_delay_schedule,
+    draw_delays,
+    delayed_task_layers,
+)
+from repro.core.priority_delay import random_delay_priority_schedule
+from repro.core.improved import improved_random_delay_schedule, preprocess_levels
+from repro.core.lower_bounds import (
+    average_load_lb,
+    copies_lb,
+    critical_path_lb,
+    combined_lower_bound,
+    graham_relaxation_lb,
+)
+from repro.core.optimal import optimal_makespan, optimal_makespan_for_assignment
+from repro.core.io import save_schedule, load_schedule
+from repro.core.timed import (
+    TimedSchedule,
+    latency_list_schedule,
+    validate_timed_schedule,
+)
+
+__all__ = [
+    "Dag",
+    "SweepInstance",
+    "Schedule",
+    "validate_schedule",
+    "random_cell_assignment",
+    "block_assignment",
+    "round_robin_assignment",
+    "balanced_random_assignment",
+    "list_schedule",
+    "list_schedule_unassigned",
+    "UnassignedSchedule",
+    "schedule_layers_sequentially",
+    "layer_makespans",
+    "random_delay_schedule",
+    "draw_delays",
+    "delayed_task_layers",
+    "random_delay_priority_schedule",
+    "improved_random_delay_schedule",
+    "preprocess_levels",
+    "average_load_lb",
+    "copies_lb",
+    "critical_path_lb",
+    "combined_lower_bound",
+    "graham_relaxation_lb",
+    "optimal_makespan",
+    "optimal_makespan_for_assignment",
+    "save_schedule",
+    "load_schedule",
+    "TimedSchedule",
+    "latency_list_schedule",
+    "validate_timed_schedule",
+]

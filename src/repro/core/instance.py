@@ -1,0 +1,156 @@
+"""The sweep-scheduling instance model.
+
+An instance (Section 3 of the paper) is a cell set ``V = {0..n-1}``, ``k``
+DAGs :math:`G_i(V_i, E_i)` — one per sweep direction, all over the same
+cells — and a processor count ``m`` (which we keep as a *scheduler*
+parameter so one instance can be scheduled at many processor counts, as the
+paper's experiments do).
+
+A *task* is a (cell, direction) pair ``(v, i)``.  Tasks are flattened to
+integer ids ``tid = i * n + v`` so schedules are plain numpy arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dag import Dag
+from repro.util.errors import InvalidInstanceError
+
+__all__ = ["SweepInstance"]
+
+
+class SweepInstance:
+    """A sweep-scheduling problem: ``n`` cells and ``k`` per-direction DAGs.
+
+    Parameters
+    ----------
+    n_cells:
+        Number of mesh cells ``n``.
+    dags:
+        One :class:`~repro.core.dag.Dag` per direction, each on exactly
+        ``n_cells`` vertices.
+    cell_graph_edges:
+        Optional ``(E, 2)`` undirected mesh-adjacency edges, used by block
+        partitioning and communication-cost accounting.  When omitted it is
+        derived as the union of all DAG edges (ignoring orientation).
+    name:
+        Optional label for reports.
+    """
+
+    def __init__(
+        self,
+        n_cells: int,
+        dags: list[Dag],
+        cell_graph_edges: np.ndarray | None = None,
+        name: str = "instance",
+    ):
+        if n_cells < 0:
+            raise InvalidInstanceError(f"n_cells must be >= 0, got {n_cells}")
+        if not dags:
+            raise InvalidInstanceError("an instance needs at least one direction DAG")
+        for i, g in enumerate(dags):
+            if g.n != n_cells:
+                raise InvalidInstanceError(
+                    f"DAG for direction {i} has {g.n} vertices, expected {n_cells}"
+                )
+        self.n_cells = int(n_cells)
+        self.dags = list(dags)
+        self.name = name
+        if cell_graph_edges is None:
+            cell_graph_edges = self._derive_cell_edges()
+        self.cell_graph_edges = np.asarray(cell_graph_edges, dtype=np.int64).reshape(-1, 2)
+        self._union_dag: Dag | None = None
+        self._task_level: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # basic shape
+    # ------------------------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        """Number of sweep directions."""
+        return len(self.dags)
+
+    @property
+    def n_tasks(self) -> int:
+        """Total number of (cell, direction) tasks, ``n * k``."""
+        return self.n_cells * self.k
+
+    def task_id(self, cell: int, direction: int) -> int:
+        """Flatten task ``(cell, direction)`` to its integer id."""
+        return direction * self.n_cells + cell
+
+    def task_cell(self, tid) -> np.ndarray | int:
+        """Cell of a task id (vectorised over arrays)."""
+        return tid % self.n_cells
+
+    def task_direction(self, tid) -> np.ndarray | int:
+        """Direction of a task id (vectorised over arrays)."""
+        return tid // self.n_cells
+
+    # ------------------------------------------------------------------
+    # derived structure
+    # ------------------------------------------------------------------
+
+    def _derive_cell_edges(self) -> np.ndarray:
+        chunks = [g.edges for g in self.dags if g.num_edges]
+        if not chunks:
+            return np.empty((0, 2), dtype=np.int64)
+        e = np.concatenate(chunks, axis=0)
+        lo = np.minimum(e[:, 0], e[:, 1])
+        hi = np.maximum(e[:, 0], e[:, 1])
+        return np.unique(np.stack([lo, hi], axis=1), axis=0)
+
+    def union_dag(self) -> Dag:
+        """The DAG ``H`` over all ``n*k`` tasks, copies of a cell distinct.
+
+        This is the graph the Improved Random Delay algorithm preprocesses
+        (Algorithm 3, step 1) and the graph every list scheduler runs on.
+        """
+        if self._union_dag is None:
+            n = self.n_cells
+            chunks = []
+            for i, g in enumerate(self.dags):
+                if g.num_edges:
+                    chunks.append(g.edges + i * n)
+            edges = (
+                np.concatenate(chunks, axis=0)
+                if chunks
+                else np.empty((0, 2), dtype=np.int64)
+            )
+            self._union_dag = Dag(self.n_tasks, edges, validate=False)
+        return self._union_dag
+
+    def task_levels(self) -> np.ndarray:
+        """Level of every task within its own direction DAG (0-indexed).
+
+        ``task_levels()[i*n + v]`` is the layer of ``(v, i)`` in ``G_i``.
+        """
+        if self._task_level is None:
+            out = np.empty(self.n_tasks, dtype=np.int64)
+            n = self.n_cells
+            for i, g in enumerate(self.dags):
+                out[i * n : (i + 1) * n] = g.level_of()
+            self._task_level = out
+        return self._task_level
+
+    def depth(self) -> int:
+        """``D``: the maximum number of levels over all directions."""
+        return max(g.num_levels() for g in self.dags)
+
+    def validate(self) -> None:
+        """Re-check all structural invariants (ranges, acyclicity)."""
+        for i, g in enumerate(self.dags):
+            try:
+                g._validate()
+            except InvalidInstanceError as exc:
+                raise InvalidInstanceError(f"direction {i}: {exc}") from exc
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"SweepInstance(name={self.name!r}, n_cells={self.n_cells}, "
+            f"k={self.k}, n_tasks={self.n_tasks})"
+        )

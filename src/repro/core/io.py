@@ -1,0 +1,82 @@
+"""Schedule persistence.
+
+A schedule is start times + assignment + the instance's DAG structure;
+``.npz`` holds it all, so expensive schedules (or externally produced
+ones to be validated/compared) round-trip exactly.  The instance is
+rebuilt from its stored edge arrays on load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.dag import Dag
+from repro.core.instance import SweepInstance
+from repro.core.schedule import Schedule
+from repro.util.errors import ReproError
+
+__all__ = ["save_schedule", "load_schedule"]
+
+_FORMAT_VERSION = 1
+
+
+def save_schedule(schedule: Schedule, path) -> None:
+    """Write a schedule (with its instance structure) to ``path``."""
+    inst = schedule.instance
+    payload = {
+        "format_version": np.array(_FORMAT_VERSION),
+        "n_cells": np.array(inst.n_cells),
+        "k": np.array(inst.k),
+        "m": np.array(schedule.m),
+        "start": schedule.start,
+        "assignment": schedule.assignment,
+        "cell_graph_edges": inst.cell_graph_edges,
+        "name": np.array(inst.name),
+        # Meta may hold numpy arrays (delays); normalise to lists.
+        "meta": np.array(
+            json.dumps(
+                {
+                    key: value.tolist() if isinstance(value, np.ndarray) else value
+                    for key, value in schedule.meta.items()
+                }
+            )
+        ),
+    }
+    for i, g in enumerate(inst.dags):
+        payload[f"dag_edges_{i}"] = g.edges
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_schedule(path) -> Schedule:
+    """Read a schedule written by :func:`save_schedule` and validate it."""
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"schedule file not found: {path}")
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ReproError(
+                f"unsupported schedule format version {version} "
+                f"(this build reads {_FORMAT_VERSION})"
+            )
+        n = int(data["n_cells"])
+        k = int(data["k"])
+        dags = [Dag(n, data[f"dag_edges_{i}"]) for i in range(k)]
+        inst = SweepInstance(
+            n,
+            dags,
+            cell_graph_edges=data["cell_graph_edges"],
+            name=str(data["name"]),
+        )
+        schedule = Schedule(
+            instance=inst,
+            m=int(data["m"]),
+            start=data["start"],
+            assignment=data["assignment"],
+            meta=json.loads(str(data["meta"])),
+        )
+    schedule.validate()
+    return schedule

@@ -1,0 +1,70 @@
+"""Lower bounds on the optimal sweep-schedule makespan.
+
+The paper (proof of Lemma 4 and Section 5) uses
+``OPT >= max(nk/m, k, D)``:
+
+* ``nk/m`` — average load: ``nk`` unit tasks over ``m`` processors;
+* ``k`` — all ``k`` copies of one cell run on a single processor;
+* ``D`` — a chain of ``D`` levels must run sequentially (we strengthen
+  this to the longest critical path over all direction DAGs).
+
+We add a fourth, stronger bound from the Graham relaxation: dropping the
+same-processor constraint can only shrink OPT, and greedy list scheduling
+is a ``(2 - 1/m)``-approximation for the relaxed problem, so
+``OPT >= ceil(T_greedy / (2 - 1/m))``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.instance import SweepInstance
+from repro.core.list_scheduler import list_schedule_unassigned
+
+__all__ = [
+    "average_load_lb",
+    "copies_lb",
+    "critical_path_lb",
+    "combined_lower_bound",
+    "graham_relaxation_lb",
+]
+
+
+def average_load_lb(inst: SweepInstance, m: int) -> int:
+    """``ceil(n*k / m)`` — the bound every paper plot normalises by."""
+    if inst.n_tasks == 0:
+        return 0
+    return math.ceil(inst.n_tasks / m)
+
+
+def copies_lb(inst: SweepInstance) -> int:
+    """``k``: one processor runs every copy of some cell (if any cell exists)."""
+    return inst.k if inst.n_cells else 0
+
+
+def critical_path_lb(inst: SweepInstance) -> int:
+    """Longest chain in any direction DAG (>= the paper's level count D)."""
+    if inst.n_cells == 0:
+        return 0
+    return max(g.critical_path_length() for g in inst.dags)
+
+
+def combined_lower_bound(inst: SweepInstance, m: int) -> int:
+    """``max(ceil(nk/m), k, critical path)`` — cheap, always available."""
+    return max(average_load_lb(inst, m), copies_lb(inst), critical_path_lb(inst))
+
+
+def graham_relaxation_lb(inst: SweepInstance, m: int) -> int:
+    """Lower bound from the same-processor relaxation.
+
+    Runs Graham list scheduling on the union DAG (any processor may run
+    any task).  Its makespan ``T`` satisfies ``T <= (2 - 1/m) OPT_rel`` and
+    ``OPT_rel <= OPT``, hence ``OPT >= ceil(T / (2 - 1/m))``.  Costs one
+    full relaxed schedule, so use for analysis rather than hot loops.
+    """
+    if inst.n_tasks == 0:
+        return 0
+    t = list_schedule_unassigned(inst, m).makespan
+    return math.ceil(t / (2.0 - 1.0 / m))

@@ -1,0 +1,132 @@
+"""Exact optimal sweep schedules for tiny instances (test oracle).
+
+Sweep scheduling is NP-complete, but tiny instances can be solved
+exactly, giving the test-suite a ground-truth OPT to verify against:
+every lower bound must sit at or below it, every algorithm's makespan at
+or above it, and approximation claims can be checked literally.
+
+Method: enumerate cell→processor assignments up to processor renaming
+(set partitions of cells into at most ``m`` groups), and for each
+assignment run memoized branch-and-bound over schedule prefixes — at
+each step every processor runs one of its ready tasks or idles, so a
+state is just the set of completed tasks.  Complexity is wildly
+exponential; :func:`optimal_makespan` refuses instances beyond a small
+budget rather than hanging.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import product
+
+import numpy as np
+
+from repro.core.instance import SweepInstance
+from repro.core.lower_bounds import combined_lower_bound
+from repro.util.errors import ReproError
+
+__all__ = ["optimal_makespan", "optimal_makespan_for_assignment"]
+
+#: Hard size cap: states are bitmask-of-tasks, so 2^n_tasks must be tiny.
+MAX_TASKS = 16
+MAX_CELLS = 8
+
+
+def optimal_makespan_for_assignment(
+    inst: SweepInstance, m: int, assignment: np.ndarray
+) -> int:
+    """Exact minimum makespan for one fixed cell→processor assignment."""
+    n_tasks = inst.n_tasks
+    if n_tasks > MAX_TASKS:
+        raise ReproError(
+            f"instance has {n_tasks} tasks; the exact solver caps at {MAX_TASKS}"
+        )
+    if n_tasks == 0:
+        return 0
+    union = inst.union_dag()
+    # Predecessor masks: task t is ready once all bits of pred_mask[t] done.
+    pred_mask = [0] * n_tasks
+    for u, v in union.edges.tolist():
+        pred_mask[v] |= 1 << u
+    proc_of = np.tile(np.asarray(assignment), inst.k).tolist()
+    all_done = (1 << n_tasks) - 1
+    tasks_by_proc: list[list[int]] = [[] for _ in range(m)]
+    for t in range(n_tasks):
+        tasks_by_proc[proc_of[t]].append(t)
+
+    @lru_cache(maxsize=None)
+    def best(done: int) -> int:
+        if done == all_done:
+            return 0
+        # Ready tasks per processor.  A processor with ready work always
+        # runs one of them: for unit tasks and a fixed assignment, an
+        # exchange argument shows some work-conserving schedule is
+        # optimal (moving a ready task into an idle slot on its own
+        # processor never delays anything), so idling branches are
+        # never needed.
+        choices: list[list[int | None]] = []
+        for p in range(m):
+            ready = [
+                t
+                for t in tasks_by_proc[p]
+                if not (done >> t) & 1 and (pred_mask[t] & done) == pred_mask[t]
+            ]
+            choices.append(ready if ready else [None])
+        result = None
+        for combo in product(*choices):
+            step = 0
+            new_done = done
+            for t in combo:
+                if t is not None:
+                    new_done |= 1 << t
+                    step = 1
+            if step == 0:
+                continue  # nobody ran: pointless step
+            sub = 1 + best(new_done)
+            if result is None or sub < result:
+                result = sub
+        assert result is not None, "live state with no runnable task"
+        return result
+
+    return best(0)
+
+
+def optimal_makespan(inst: SweepInstance, m: int) -> int:
+    """Exact OPT over all assignments (up to processor renaming).
+
+    Enumerates set partitions of the cells into at most ``m`` nonempty
+    groups via restricted growth strings, then solves each assignment.
+    Starts from the combined lower bound and returns as soon as a
+    matching schedule is found.
+    """
+    if inst.n_cells > MAX_CELLS:
+        raise ReproError(
+            f"instance has {inst.n_cells} cells; the exact solver caps at {MAX_CELLS}"
+        )
+    if inst.n_cells == 0:
+        return 0
+    lb = combined_lower_bound(inst, m)
+    best_val = None
+    for assignment in _set_partitions(inst.n_cells, m):
+        val = optimal_makespan_for_assignment(inst, m, assignment)
+        if best_val is None or val < best_val:
+            best_val = val
+            if best_val <= lb:
+                break  # cannot do better than a valid lower bound
+    return int(best_val)
+
+
+def _set_partitions(n: int, max_groups: int):
+    """Yield all assignments of n items into <= max_groups unlabeled
+    groups, as restricted growth strings (item 0 always in group 0)."""
+    assignment = np.zeros(n, dtype=np.int64)
+
+    def rec(i: int, used: int):
+        if i == n:
+            yield assignment.copy()
+            return
+        for g in range(min(used + 1, max_groups)):
+            assignment[i] = g
+            yield from rec(i + 1, max(used, g + 1))
+
+    yield from rec(1, 1) if n > 1 else iter([assignment.copy()])

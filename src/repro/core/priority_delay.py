@@ -1,0 +1,57 @@
+"""Algorithm 2: "Random Delays with Priorities" — the compacted variant.
+
+Algorithm 1 processes the combined DAG layer by layer, which leaves
+processors idle whenever their share of the current layer is exhausted.
+Algorithm 2 removes all idle time: it keeps the same randomisation but
+turns the combined-DAG layer number into a *priority*
+``Γ(v, i) = level_in_direction + X_i`` and runs prioritized list
+scheduling (smallest Γ first, ties arbitrary).
+
+Theorem 2: same ``O(OPT log^2 n)`` guarantee; empirically up to 4x better
+than Algorithm 1 at high processor counts (paper Fig. 2(c)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.assignment import random_cell_assignment
+from repro.core.instance import SweepInstance
+from repro.core.list_scheduler import list_schedule
+from repro.core.random_delay import delayed_task_layers, draw_delays
+from repro.core.schedule import Schedule
+from repro.util.rng import as_rng
+
+__all__ = ["random_delay_priority_schedule"]
+
+
+def random_delay_priority_schedule(
+    inst: SweepInstance,
+    m: int,
+    seed=None,
+    assignment: np.ndarray | None = None,
+    delays: np.ndarray | None = None,
+) -> Schedule:
+    """Run Algorithm 2 ("Random Delays with Priorities").
+
+    Parameters mirror :func:`repro.core.random_delay.random_delay_schedule`:
+    ``assignment`` overrides the random cell→processor map (used for block
+    partitioning), ``delays`` pins the per-direction random delays.
+    """
+    rng = as_rng(seed)
+    if delays is None:
+        delays = draw_delays(inst.k, rng)
+    if assignment is None:
+        assignment = random_cell_assignment(inst.n_cells, m, rng)
+    gamma = delayed_task_layers(inst, delays)
+    sched = list_schedule(
+        inst,
+        m,
+        assignment,
+        priority=gamma,
+        meta={
+            "algorithm": "random_delay_priority",
+            "delays": np.asarray(delays).copy(),
+        },
+    )
+    return sched

@@ -1,0 +1,236 @@
+"""Event-driven scheduling with communication latency and task costs.
+
+The paper's provable results assume unit tasks and zero communication
+cost (p=1, c=0); Section 5.1 sketches schedules that trade processing
+against communication.  This module supplies the machinery to *measure*
+that trade-off: a discrete-event list scheduler where
+
+* a task on processor P becomes *ready* only when every predecessor has
+  finished **and its data has arrived** — instantaneous from P itself,
+  after ``comm_latency`` steps from another processor;
+* tasks may have non-uniform integer costs (the paper's uniform ``p``
+  generalised).
+
+With ``comm_latency=0`` and unit costs this reduces exactly to the
+standard engine (asserted in tests).  As latency grows, cross-processor
+edges hurt, so block assignments (fewer cut edges) overtake per-cell
+random assignments — the crossover benchmark E16 quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from heapq import heappush, heappop
+
+import numpy as np
+
+from repro.core.instance import SweepInstance
+from repro.util.errors import InvalidScheduleError
+
+__all__ = ["TimedSchedule", "latency_list_schedule", "validate_timed_schedule"]
+
+
+@dataclass
+class TimedSchedule:
+    """Schedule with explicit durations and a communication latency.
+
+    ``start[tid]`` and ``duration[tid]`` bound each task's execution
+    interval ``[start, start + duration)``; ``comm_latency`` is the extra
+    delay a dependency crossing processors incurs.
+    """
+
+    instance: SweepInstance
+    m: int
+    start: np.ndarray
+    duration: np.ndarray
+    assignment: np.ndarray
+    comm_latency: int = 0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> int:
+        if self.start.size == 0:
+            return 0
+        return int((self.start + self.duration).max())
+
+    def task_proc(self) -> np.ndarray:
+        return np.tile(self.assignment, self.instance.k)
+
+    def validate(self) -> None:
+        validate_timed_schedule(self)
+
+
+def validate_timed_schedule(s: TimedSchedule) -> None:
+    """Independent feasibility check for latency/duration schedules.
+
+    Verifies shapes, positive durations, per-processor interval
+    disjointness, and latency-aware precedence: for an edge ``u -> v``,
+    ``start[v] >= finish[u]`` on the same processor and
+    ``start[v] >= finish[u] + comm_latency`` across processors.
+    """
+    inst = s.instance
+    n_tasks = inst.n_tasks
+    if s.start.shape != (n_tasks,) or s.duration.shape != (n_tasks,):
+        raise InvalidScheduleError("start/duration must have one entry per task")
+    if s.assignment.shape != (inst.n_cells,):
+        raise InvalidScheduleError("assignment must have one entry per cell")
+    if n_tasks == 0:
+        return
+    if s.start.min() < 0:
+        raise InvalidScheduleError("unscheduled tasks present")
+    if s.duration.min() <= 0:
+        raise InvalidScheduleError("durations must be positive")
+    if s.comm_latency < 0:
+        raise InvalidScheduleError("communication latency must be nonnegative")
+
+    proc = s.task_proc()
+    finish = s.start + s.duration
+
+    # Interval disjointness per processor: sort by (proc, start) and
+    # compare neighbors.
+    order = np.lexsort((s.start, proc))
+    p_sorted = proc[order]
+    start_sorted = s.start[order]
+    finish_sorted = finish[order]
+    same_proc = p_sorted[1:] == p_sorted[:-1]
+    overlap = same_proc & (start_sorted[1:] < finish_sorted[:-1])
+    if overlap.any():
+        j = int(np.flatnonzero(overlap)[0])
+        raise InvalidScheduleError(
+            f"tasks {order[j]} and {order[j + 1]} overlap on processor "
+            f"{p_sorted[j]}"
+        )
+
+    union = inst.union_dag()
+    if union.num_edges:
+        src = union.edges[:, 0]
+        dst = union.edges[:, 1]
+        needed = finish[src] + np.where(
+            proc[src] == proc[dst], 0, s.comm_latency
+        )
+        bad = s.start[dst] < needed
+        if bad.any():
+            j = int(np.flatnonzero(bad)[0])
+            raise InvalidScheduleError(
+                f"edge {src[j]} -> {dst[j]}: start {s.start[dst[j]]} < "
+                f"required {needed[j]} (latency {s.comm_latency})"
+            )
+
+
+def latency_list_schedule(
+    inst: SweepInstance,
+    m: int,
+    assignment: np.ndarray,
+    priority: np.ndarray | None = None,
+    task_cost: np.ndarray | None = None,
+    comm_latency: int = 0,
+    meta: dict | None = None,
+) -> TimedSchedule:
+    """Discrete-event prioritized list scheduling under latency + costs.
+
+    Work-conserving per processor: whenever a processor is idle and has a
+    *released* task (all predecessor data arrived), it runs its best
+    priority among them.  Deterministic: ties break by task id, and the
+    event queue orders by (time, processor).
+    """
+    assignment = np.asarray(assignment)
+    if assignment.shape != (inst.n_cells,):
+        raise InvalidScheduleError("assignment must have one entry per cell")
+    if inst.n_cells and (assignment.min() < 0 or assignment.max() >= m):
+        raise InvalidScheduleError(f"assignment values must lie in [0, {m})")
+    if comm_latency < 0:
+        raise InvalidScheduleError("communication latency must be nonnegative")
+    n_tasks = inst.n_tasks
+    if task_cost is None:
+        cost = [1] * n_tasks
+    else:
+        task_cost = np.asarray(task_cost)
+        if task_cost.shape != (n_tasks,):
+            raise InvalidScheduleError("task_cost must have one entry per task")
+        if n_tasks and task_cost.min() <= 0:
+            raise InvalidScheduleError("task costs must be positive")
+        cost = task_cost.tolist()
+    prio = ([0] * n_tasks if priority is None else np.asarray(priority).tolist())
+
+    union = inst.union_dag()
+    off, tgt = union.successor_csr()
+    off_l, tgt_l = off.tolist(), tgt.tolist()
+    pending = union.indegree().tolist()
+    proc_of = np.tile(assignment, inst.k).tolist()
+    release = [0] * n_tasks
+
+    # Per-processor structures: a future heap keyed by release time and a
+    # ready heap keyed by priority.
+    future: list[list] = [[] for _ in range(m)]
+    ready: list[list] = [[] for _ in range(m)]
+    proc_free = [0] * m
+    idle = [True] * m  # processor not currently running a task
+    events: list = []  # (time, proc) wake-ups
+
+    for tid in range(n_tasks):
+        if pending[tid] == 0:
+            p = proc_of[tid]
+            heappush(ready[p], (prio[tid], tid))
+    for p in range(m):
+        if ready[p]:
+            heappush(events, (0, p))
+
+    start = np.full(n_tasks, -1, dtype=np.int64)
+    done = 0
+    guard = 0
+    # Every edge pushes at most one release wake, every task one finish
+    # wake, plus slack for idle re-arms.
+    max_events = 4 * (n_tasks + union.num_edges) + 8 * m + 64
+    while done < n_tasks:
+        if not events:
+            raise InvalidScheduleError(
+                "deadlock: tasks remain but no events pending — cyclic instance?"
+            )
+        guard += 1
+        if guard > max_events:
+            raise InvalidScheduleError("event budget exceeded — internal error")
+        now, p = heappop(events)
+        # Move matured future tasks into the ready heap.
+        fut = future[p]
+        while fut and fut[0][0] <= now:
+            _, pr, tid = heappop(fut)
+            heappush(ready[p], (pr, tid))
+        if not idle[p] and proc_free[p] > now:
+            continue  # stale wake-up: still busy
+        idle[p] = True
+        if not ready[p]:
+            if fut:
+                heappush(events, (max(fut[0][0], proc_free[p]), p))
+            continue
+        if proc_free[p] > now:
+            heappush(events, (proc_free[p], p))
+            continue
+        _, tid = heappop(ready[p])
+        start[tid] = now
+        fin = now + cost[tid]
+        proc_free[p] = fin
+        idle[p] = False
+        done += 1
+        # Schedule this processor's next decision point.
+        heappush(events, (fin, p))
+        # Release successors.
+        for s_tid in tgt_l[off_l[tid] : off_l[tid + 1]]:
+            sp = proc_of[s_tid]
+            arrival = fin if sp == p else fin + comm_latency
+            if arrival > release[s_tid]:
+                release[s_tid] = arrival
+            pending[s_tid] -= 1
+            if pending[s_tid] == 0:
+                heappush(future[sp], (release[s_tid], prio[s_tid], s_tid))
+                heappush(events, (max(release[s_tid], proc_free[sp]), sp))
+
+    duration = np.asarray(cost, dtype=np.int64)
+    return TimedSchedule(
+        instance=inst,
+        m=m,
+        start=start,
+        duration=duration,
+        assignment=np.asarray(assignment, dtype=np.int64),
+        comm_latency=comm_latency,
+        meta=dict(meta or {}),
+    )

@@ -1,0 +1,36 @@
+"""Experiment harness: configs, grid runner, reporting, figure drivers."""
+
+from repro.experiments.configs import ExperimentConfig, scaled
+from repro.experiments.runner import (
+    run_cell,
+    run_grid,
+    get_instance,
+    get_blocks,
+    clear_caches,
+)
+from repro.experiments.report import format_table, format_series, pick
+from repro.experiments.ascii_plot import ascii_chart
+from repro.experiments.export import rows_to_csv, rows_to_json, load_rows_json
+from repro.experiments.presets import CI_SCALE, PAPER_SCALE, get_preset
+from repro.experiments import paper
+
+__all__ = [
+    "ExperimentConfig",
+    "scaled",
+    "run_cell",
+    "run_grid",
+    "get_instance",
+    "get_blocks",
+    "clear_caches",
+    "format_table",
+    "format_series",
+    "pick",
+    "ascii_chart",
+    "rows_to_csv",
+    "rows_to_json",
+    "load_rows_json",
+    "CI_SCALE",
+    "PAPER_SCALE",
+    "get_preset",
+    "paper",
+]

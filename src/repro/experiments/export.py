@@ -1,0 +1,63 @@
+"""Export experiment rows to CSV or JSON.
+
+The grid runner returns plain list-of-dicts rows; these helpers persist
+them for external analysis (spreadsheets, plotting environments) without
+adding dependencies — stdlib ``csv``/``json`` only.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.util.errors import ReproError
+
+__all__ = ["rows_to_csv", "rows_to_json", "load_rows_json"]
+
+
+def _check_rows(rows) -> list[dict]:
+    rows = list(rows)
+    if not rows:
+        raise ReproError("no rows to export")
+    if not all(isinstance(r, dict) for r in rows):
+        raise ReproError("rows must be dicts")
+    return rows
+
+
+def rows_to_csv(rows, path, columns=None) -> None:
+    """Write rows as CSV; columns default to the union of keys, in
+    first-appearance order."""
+    rows = _check_rows(rows)
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    with Path(path).open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+
+
+def rows_to_json(rows, path) -> None:
+    """Write rows as a JSON array (numpy scalars coerced to Python)."""
+    rows = _check_rows(rows)
+
+    def coerce(value):
+        if hasattr(value, "item"):
+            return value.item()
+        return value
+
+    payload = [{k: coerce(v) for k, v in row.items()} for row in rows]
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_rows_json(path) -> list[dict]:
+    """Read rows written by :func:`rows_to_json`."""
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"rows file not found: {path}")
+    return json.loads(path.read_text())

@@ -1,0 +1,37 @@
+"""Comparison heuristics from the paper's experimental section.
+
+* level priorities (wavefront order, ± random delays),
+* descendant priorities (Plimpton et al. style, ± delays),
+* DFDS (Pautz's Depth-First Descendant-Seeking, ± delays),
+* Graham relaxed greedy and FIFO baselines,
+* KBA for structured grids (related-work anchor),
+* a name→callable registry consumed by the experiment harness.
+"""
+
+from repro.heuristics.level_priority import level_priority_schedule
+from repro.heuristics.descendant_priority import (
+    descendant_priority_schedule,
+    descendant_counts_per_task,
+)
+from repro.heuristics.dfds import dfds_schedule, dfds_priorities
+from repro.heuristics.blevel import blevel_schedule, blevel_priorities
+from repro.heuristics.greedy import graham_relaxed_schedule, fifo_schedule
+from repro.heuristics.kba import kba_schedule, kba_assignment
+from repro.heuristics.registry import ALGORITHMS, get_algorithm, algorithm_names
+
+__all__ = [
+    "level_priority_schedule",
+    "descendant_priority_schedule",
+    "descendant_counts_per_task",
+    "dfds_schedule",
+    "dfds_priorities",
+    "blevel_schedule",
+    "blevel_priorities",
+    "graham_relaxed_schedule",
+    "fifo_schedule",
+    "kba_schedule",
+    "kba_assignment",
+    "ALGORITHMS",
+    "get_algorithm",
+    "algorithm_names",
+]

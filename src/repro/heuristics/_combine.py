@@ -1,0 +1,44 @@
+"""Shared helper: combine a heuristic priority with random delays.
+
+The paper combines its random-delays technique with the descendant and
+DFDS heuristics but leaves the combination rule unspecified.  We use a
+lexicographic key: the delayed level ``level + X_i`` is primary (the
+contention-resolution mechanism of Algorithm 2) and the heuristic value
+breaks ties within a delayed level.  Encoded as one integer so the list
+scheduler's scalar heap keys stay cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.instance import SweepInstance
+from repro.core.random_delay import delayed_task_layers
+
+__all__ = ["lex_delay_priority"]
+
+
+def lex_delay_priority(
+    inst: SweepInstance,
+    delays: np.ndarray,
+    secondary: np.ndarray,
+    higher_is_better: bool,
+) -> np.ndarray:
+    """Encode ``(level + X_i, secondary)`` as a single minimised key.
+
+    Parameters
+    ----------
+    secondary:
+        Heuristic value per task.
+    higher_is_better:
+        ``True`` if larger ``secondary`` should run first (descendants,
+        DFDS); ``False`` if smaller should (levels).
+    """
+    primary = delayed_task_layers(inst, np.asarray(delays, dtype=np.int64))
+    secondary = np.asarray(secondary, dtype=np.int64)
+    lo = int(secondary.min()) if secondary.size else 0
+    shifted = secondary - lo  # nonnegative
+    span = int(shifted.max()) + 1 if shifted.size else 1
+    if higher_is_better:
+        shifted = (span - 1) - shifted
+    return primary * span + shifted

@@ -1,0 +1,65 @@
+"""Critical-path (b-level) priorities — the classic HLFET baseline.
+
+Highest-Level-First with Estimated Times: each task is prioritized by
+its b-level (longest chain of tasks below it in its direction DAG);
+deeper tasks run first, keeping critical paths moving.  The paper does
+not benchmark this classic, but it is the standard list-scheduling
+yardstick and slots naturally between the level and descendant
+heuristics: level priorities look *up* the DAG, b-levels look *down*
+along the longest chain, descendant counts look down along *all* chains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.assignment import random_cell_assignment
+from repro.core.instance import SweepInstance
+from repro.core.list_scheduler import list_schedule
+from repro.core.random_delay import draw_delays
+from repro.core.schedule import Schedule
+from repro.heuristics._combine import lex_delay_priority
+from repro.util.rng import as_rng
+
+__all__ = ["blevel_priorities", "blevel_schedule"]
+
+
+def blevel_priorities(inst: SweepInstance) -> np.ndarray:
+    """b-level of every task within its own direction DAG."""
+    out = np.empty(inst.n_tasks, dtype=np.int64)
+    n = inst.n_cells
+    for i, g in enumerate(inst.dags):
+        out[i * n : (i + 1) * n] = g.b_levels()
+    return out
+
+
+def blevel_schedule(
+    inst: SweepInstance,
+    m: int,
+    seed=None,
+    assignment: np.ndarray | None = None,
+    with_delays: bool = False,
+    delays: np.ndarray | None = None,
+) -> Schedule:
+    """List scheduling with b-level priorities (higher runs first)."""
+    rng = as_rng(seed)
+    b = blevel_priorities(inst)
+    if with_delays:
+        if delays is None:
+            delays = draw_delays(inst.k, rng)
+        prio = lex_delay_priority(inst, delays, b, higher_is_better=True)
+    else:
+        delays = np.zeros(inst.k, dtype=np.int64)
+        prio = -b
+    if assignment is None:
+        assignment = random_cell_assignment(inst.n_cells, m, rng)
+    return list_schedule(
+        inst,
+        m,
+        assignment,
+        priority=prio,
+        meta={
+            "algorithm": "blevel" + ("_delays" if with_delays else ""),
+            "delays": np.asarray(delays).copy(),
+        },
+    )

@@ -1,0 +1,55 @@
+"""Graham-style greedy baselines.
+
+Two baselines round out the comparison set:
+
+* :func:`graham_relaxed_schedule` — classical greedy list scheduling on
+  the union DAG with the same-processor constraint *dropped* (the
+  ``(2 - 1/m)``-approximation of Graham et al. for ``P | prec | C_max``).
+  Not a feasible sweep schedule; its makespan lower-bounds what any sweep
+  scheduler could hope for, which makes it the natural x-axis anchor in
+  comparison plots.
+
+* :func:`fifo_schedule` — feasible sweep schedule with no priorities at
+  all (ties broken by task id).  The weakest sensible feasible baseline:
+  any heuristic that cannot beat FIFO is not pulling its weight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.assignment import random_cell_assignment
+from repro.core.instance import SweepInstance
+from repro.core.list_scheduler import (
+    UnassignedSchedule,
+    list_schedule,
+    list_schedule_unassigned,
+)
+from repro.core.schedule import Schedule
+from repro.util.rng import as_rng
+
+__all__ = ["graham_relaxed_schedule", "fifo_schedule"]
+
+
+def graham_relaxed_schedule(inst: SweepInstance, m: int) -> UnassignedSchedule:
+    """Greedy list scheduling ignoring the same-processor constraint."""
+    return list_schedule_unassigned(inst, m)
+
+
+def fifo_schedule(
+    inst: SweepInstance,
+    m: int,
+    seed=None,
+    assignment: np.ndarray | None = None,
+) -> Schedule:
+    """Feasible list schedule with uniform priorities (task-id ties)."""
+    rng = as_rng(seed)
+    if assignment is None:
+        assignment = random_cell_assignment(inst.n_cells, m, rng)
+    return list_schedule(
+        inst,
+        m,
+        assignment,
+        priority=None,
+        meta={"algorithm": "fifo"},
+    )

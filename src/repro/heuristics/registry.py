@@ -1,0 +1,60 @@
+"""Named algorithm registry used by the experiment harness.
+
+Every entry maps a stable string name to a callable
+``f(inst, m, seed=None, assignment=None) -> Schedule``.  The registry is
+the single list the comparison experiments (Fig. 3(a)–(c)) iterate over;
+adding an algorithm here makes it appear in every shoot-out.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Callable
+
+from repro.core.improved import improved_random_delay_schedule
+from repro.core.priority_delay import random_delay_priority_schedule
+from repro.core.random_delay import random_delay_schedule
+from repro.heuristics.blevel import blevel_schedule
+from repro.heuristics.descendant_priority import descendant_priority_schedule
+from repro.heuristics.dfds import dfds_schedule
+from repro.heuristics.greedy import fifo_schedule
+from repro.heuristics.level_priority import level_priority_schedule
+from repro.util.errors import ReproError
+
+__all__ = ["ALGORITHMS", "get_algorithm", "algorithm_names"]
+
+ALGORITHMS: dict[str, Callable] = {
+    # Paper's provable algorithms.
+    "random_delay": random_delay_schedule,                      # Algorithm 1
+    "random_delay_priority": random_delay_priority_schedule,    # Algorithm 2
+    "improved_random_delay": improved_random_delay_schedule,    # Algorithm 3
+    "improved_random_delay_priority": partial(
+        improved_random_delay_schedule, priorities=True
+    ),
+    # Comparison heuristics (Section 5.2).
+    "level": level_priority_schedule,
+    "level_delays": partial(level_priority_schedule, with_delays=True),
+    "descendant": descendant_priority_schedule,
+    "descendant_delays": partial(descendant_priority_schedule, with_delays=True),
+    "dfds": dfds_schedule,
+    "dfds_delays": partial(dfds_schedule, with_delays=True),
+    # Classic list-scheduling baselines (extensions beyond the paper).
+    "blevel": blevel_schedule,
+    "blevel_delays": partial(blevel_schedule, with_delays=True),
+    "fifo": fifo_schedule,
+}
+
+
+def algorithm_names() -> list[str]:
+    """All registered algorithm names, in registry order."""
+    return list(ALGORITHMS)
+
+
+def get_algorithm(name: str) -> Callable:
+    """Look up an algorithm by name, with a helpful error on typos."""
+    try:
+        return ALGORITHMS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown algorithm {name!r}; known: {', '.join(ALGORITHMS)}"
+        ) from None

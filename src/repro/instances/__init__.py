@@ -1,0 +1,35 @@
+"""Synthetic non-geometric sweep instances.
+
+The paper stresses that its algorithms "assume no relation between the
+DAGs in different directions, and thus are applicable even to
+non-geometric instances".  These generators build such instances —
+structured families with known properties (chains, rotations,
+fork-joins) plus random layered DAGs — used by the robustness benchmark
+E19 and as sharp-edged test inputs.
+"""
+
+from repro.instances.families import (
+    identical_chains,
+    rotated_chains,
+    opposing_chains,
+    fork_join,
+    random_layered,
+    wide_shallow,
+    tree_sweeps,
+    butterfly,
+    INSTANCE_FAMILIES,
+    make_instance,
+)
+
+__all__ = [
+    "identical_chains",
+    "rotated_chains",
+    "opposing_chains",
+    "fork_join",
+    "random_layered",
+    "wide_shallow",
+    "tree_sweeps",
+    "butterfly",
+    "INSTANCE_FAMILIES",
+    "make_instance",
+]

@@ -1,0 +1,238 @@
+"""Non-geometric instance families with known structure.
+
+Each family stresses a different regime of the scheduling problem:
+
+* :func:`identical_chains` — every direction is the *same* chain.  The
+  hardest same-processor contention: all k copies of a cell sit at the
+  same level, so without staggering they all want the same processor at
+  once.  The random delays are exactly the fix (Lemma 2's bad case).
+* :func:`rotated_chains` — direction ``i`` sweeps the cyclically shifted
+  order starting at cell ``i``.  Fronts are naturally staggered; a good
+  scheduler pipelines them almost perfectly.
+* :func:`opposing_chains` — two directions, forward and backward (the
+  1-D transport pattern; generalises the test-suite's 4-cell fixture).
+* :func:`fork_join` — repeated diamonds: serial bottleneck cells
+  alternating with wide fans (mixed parallelism).
+* :func:`wide_shallow` — random bipartite depth-2 DAGs (communication-
+  heavy, trivially parallel).
+* :func:`random_layered` — random DAGs with a given width profile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dag import Dag
+from repro.core.instance import SweepInstance
+from repro.util.errors import ReproError
+from repro.util.rng import as_rng
+
+__all__ = [
+    "identical_chains",
+    "rotated_chains",
+    "opposing_chains",
+    "fork_join",
+    "random_layered",
+    "wide_shallow",
+    "tree_sweeps",
+    "butterfly",
+    "INSTANCE_FAMILIES",
+    "make_instance",
+]
+
+
+def _chain_edges(order: np.ndarray) -> np.ndarray:
+    return np.stack([order[:-1], order[1:]], axis=1)
+
+
+def identical_chains(n: int, k: int) -> SweepInstance:
+    """All ``k`` directions share the chain ``0 -> 1 -> ... -> n-1``."""
+    _check(n, k)
+    order = np.arange(n, dtype=np.int64)
+    dags = [Dag(n, _chain_edges(order), validate=False) for _ in range(k)]
+    return SweepInstance(n, dags, name=f"identical_chains_n{n}_k{k}")
+
+
+def rotated_chains(n: int, k: int) -> SweepInstance:
+    """Direction ``i`` is the chain over the cyclic shift starting at
+    ``(i * n) // k``, spreading the start points evenly."""
+    _check(n, k)
+    dags = []
+    for i in range(k):
+        shift = (i * n) // k
+        order = (np.arange(n, dtype=np.int64) + shift) % n
+        dags.append(Dag(n, _chain_edges(order), validate=False))
+    return SweepInstance(n, dags, name=f"rotated_chains_n{n}_k{k}")
+
+
+def opposing_chains(n: int, k: int = 2) -> SweepInstance:
+    """Alternating forward/backward chains (k directions)."""
+    _check(n, k)
+    fwd = np.arange(n, dtype=np.int64)
+    dags = []
+    for i in range(k):
+        order = fwd if i % 2 == 0 else fwd[::-1]
+        dags.append(Dag(n, _chain_edges(order), validate=False))
+    return SweepInstance(n, dags, name=f"opposing_chains_n{n}_k{k}")
+
+
+def fork_join(n_stages: int, width: int, k: int) -> SweepInstance:
+    """``n_stages`` fork-join diamonds per direction, rotated per direction.
+
+    Each diamond: one source cell fans out to ``width`` parallel cells,
+    which join into the next source.  Total cells
+    ``n_stages * (width + 1) + 1``.  Direction ``i`` relabels cells by a
+    cyclic shift so the bottleneck cells differ per direction.
+    """
+    if n_stages <= 0 or width <= 0:
+        raise ReproError("n_stages and width must be positive")
+    n = n_stages * (width + 1) + 1
+    _check(n, k)
+    edges = []
+    for s in range(n_stages):
+        src = s * (width + 1)
+        fan = [src + 1 + j for j in range(width)]
+        nxt = (s + 1) * (width + 1)
+        for f in fan:
+            edges.append((src, f))
+            edges.append((f, nxt))
+    base = np.array(edges, dtype=np.int64)
+    dags = []
+    for i in range(k):
+        shift = (i * n) // k
+        dags.append(Dag(n, (base + shift) % n, validate=False))
+    # Shifted copies can collide into cycles only if shift maps an edge
+    # onto a back edge; the diamond graph on distinct labels stays
+    # acyclic under relabeling (it is a DAG on any injective relabeling).
+    return SweepInstance(n, dags, name=f"fork_join_s{n_stages}_w{width}_k{k}")
+
+
+def wide_shallow(n: int, k: int, seed=0, edge_prob: float = 0.1) -> SweepInstance:
+    """Depth-2 random bipartite DAGs: half sources, half sinks."""
+    _check(n, k)
+    rng = as_rng(seed)
+    half = n // 2
+    dags = []
+    for _ in range(k):
+        mask = rng.random((half, n - half)) < edge_prob
+        src, dst = np.nonzero(mask)
+        edges = np.stack([src, dst + half], axis=1).astype(np.int64)
+        dags.append(Dag(n, edges, validate=False))
+    return SweepInstance(n, dags, name=f"wide_shallow_n{n}_k{k}")
+
+
+def random_layered(
+    n: int, k: int, n_layers: int, seed=0, edge_prob: float = 0.3
+) -> SweepInstance:
+    """Random DAGs with ``n_layers`` layers of near-equal width; each
+    direction draws its own random layer assignment and edges between
+    consecutive layers."""
+    _check(n, k)
+    if n_layers <= 0 or n_layers > n:
+        raise ReproError(f"need 1 <= n_layers <= n, got {n_layers}")
+    rng = as_rng(seed)
+    dags = []
+    for _ in range(k):
+        layer = rng.permutation(n) % n_layers
+        edges = []
+        for l in range(n_layers - 1):
+            cur = np.flatnonzero(layer == l)
+            nxt = np.flatnonzero(layer == l + 1)
+            if not cur.size or not nxt.size:
+                continue
+            mask = rng.random((cur.size, nxt.size)) < edge_prob
+            a, b = np.nonzero(mask)
+            edges.append(np.stack([cur[a], nxt[b]], axis=1))
+        arr = (
+            np.concatenate(edges, axis=0)
+            if edges
+            else np.empty((0, 2), dtype=np.int64)
+        )
+        dags.append(Dag(n, arr, validate=False))
+    return SweepInstance(n, dags, name=f"random_layered_n{n}_k{k}_l{n_layers}")
+
+
+def tree_sweeps(depth: int, k: int, branching: int = 2) -> SweepInstance:
+    """Alternating out-tree / in-tree sweeps on a complete tree.
+
+    Odd directions sweep root→leaves (an out-tree: maximal fan-out,
+    trivially parallel after the root), even directions leaves→root (an
+    in-tree: a reduction, serialising toward the root).  The classic
+    reduction/broadcast pair of collective-communication scheduling.
+    """
+    if depth < 1 or branching < 2:
+        raise ReproError("need depth >= 1 and branching >= 2")
+    n = (branching ** (depth + 1) - 1) // (branching - 1)
+    _check(n, k)
+    # Parent of node v (heap layout): (v - 1) // branching.
+    child = np.arange(1, n, dtype=np.int64)
+    parent = (child - 1) // branching
+    down = np.stack([parent, child], axis=1)  # root -> leaves
+    up = down[:, ::-1].copy()  # leaves -> root
+    dags = [
+        Dag(n, down if i % 2 == 0 else up, validate=False) for i in range(k)
+    ]
+    return SweepInstance(n, dags, name=f"tree_d{depth}_b{branching}_k{k}")
+
+
+def butterfly(stages: int, k: int) -> SweepInstance:
+    """FFT-butterfly DAGs: ``stages + 1`` ranks of ``2**stages`` nodes.
+
+    Every node at rank r feeds its straight and exchange partners at
+    rank r+1 — uniform width, heavy regular communication.  Direction i
+    relabels cells by a cyclic shift so bottlenecks rotate.
+    """
+    if stages < 1:
+        raise ReproError("need at least one butterfly stage")
+    width = 2 ** stages
+    n = width * (stages + 1)
+    _check(n, k)
+    edges = []
+    for r in range(stages):
+        for j in range(width):
+            src = r * width + j
+            edges.append((src, (r + 1) * width + j))
+            edges.append((src, (r + 1) * width + (j ^ (1 << r))))
+    base = np.array(edges, dtype=np.int64)
+    dags = []
+    for i in range(k):
+        shift = (i * n) // k
+        dags.append(Dag(n, (base + shift) % n, validate=False))
+    return SweepInstance(n, dags, name=f"butterfly_s{stages}_k{k}")
+
+
+#: name -> zero-config builder at a standard test size.
+INSTANCE_FAMILIES = {
+    "identical_chains": lambda n=64, k=8, seed=0: identical_chains(n, k),
+    "rotated_chains": lambda n=64, k=8, seed=0: rotated_chains(n, k),
+    "opposing_chains": lambda n=64, k=8, seed=0: opposing_chains(n, k),
+    "fork_join": lambda n=64, k=8, seed=0: fork_join(max(n // 9, 1), 8, k),
+    "wide_shallow": lambda n=64, k=8, seed=0: wide_shallow(n, k, seed=seed),
+    "random_layered": lambda n=64, k=8, seed=0: random_layered(
+        n, k, max(n // 8, 2), seed=seed
+    ),
+    "tree_sweeps": lambda n=64, k=8, seed=0: tree_sweeps(
+        max(int(np.log2(max(n, 4))) - 1, 1), k
+    ),
+    "butterfly": lambda n=64, k=8, seed=0: butterfly(
+        max(int(np.log2(max(n, 8))) - 2, 1), k
+    ),
+}
+
+
+def make_instance(family: str, n: int = 64, k: int = 8, seed=0) -> SweepInstance:
+    """Build a named family instance (see :data:`INSTANCE_FAMILIES`)."""
+    try:
+        builder = INSTANCE_FAMILIES[family]
+    except KeyError:
+        raise ReproError(
+            f"unknown family {family!r}; known: {', '.join(INSTANCE_FAMILIES)}"
+        ) from None
+    return builder(n=n, k=k, seed=seed)
+
+
+def _check(n: int, k: int) -> None:
+    if n <= 1:
+        raise ReproError(f"need at least 2 cells, got {n}")
+    if k <= 0:
+        raise ReproError(f"need at least one direction, got {k}")

@@ -1,0 +1,41 @@
+"""Mesh substrate: containers, generators, geometry, persistence.
+
+The paper's LANL meshes are not public; :mod:`repro.mesh.generators`
+builds synthetic Delaunay tet meshes with matching geometric character
+(see DESIGN.md, "Substitutions").
+"""
+
+from repro.mesh.mesh import Mesh
+from repro.mesh.generators import (
+    tetonly_like,
+    well_logging_like,
+    long_like,
+    prismtet_like,
+    graded_box,
+    unit_square_tri,
+    MESH_GENERATORS,
+    make_mesh,
+)
+from repro.mesh.geometry import (
+    simplex_centroids,
+    simplex_volumes,
+    face_normals_outward,
+)
+from repro.mesh.io import save_mesh, load_mesh
+
+__all__ = [
+    "Mesh",
+    "tetonly_like",
+    "well_logging_like",
+    "long_like",
+    "prismtet_like",
+    "graded_box",
+    "unit_square_tri",
+    "MESH_GENERATORS",
+    "make_mesh",
+    "simplex_centroids",
+    "simplex_volumes",
+    "face_normals_outward",
+    "save_mesh",
+    "load_mesh",
+]

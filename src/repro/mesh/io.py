@@ -1,0 +1,81 @@
+"""Mesh persistence: a minimal ``.npz``-based format.
+
+Meshes are pure numpy payloads, so ``numpy.savez_compressed`` round-trips
+them exactly.  This lets expensive generated meshes (or externally
+converted ones) be cached between experiment runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+from repro.util.errors import MeshError
+
+__all__ = ["save_mesh", "load_mesh"]
+
+_FORMAT_VERSION = 1
+
+
+def save_mesh(mesh: Mesh, path) -> None:
+    """Write ``mesh`` to ``path`` (a ``.npz`` file)."""
+    path = Path(path)
+    payload = {
+        "format_version": np.array(_FORMAT_VERSION),
+        "points": mesh.points,
+        "adjacency": mesh.adjacency,
+        "face_normals": mesh.face_normals,
+        "centroids": mesh.centroids,
+        "name": np.array(mesh.name),
+        "meta": np.array(json.dumps(mesh.meta, default=str)),
+    }
+    optional = {
+        "cells": mesh.cells,
+        "cell_coords": mesh.cell_coords,
+        "face_areas": mesh.face_areas,
+        "cell_volumes": mesh.cell_volumes,
+        "boundary_cells": mesh.boundary_cells,
+        "boundary_normals": mesh.boundary_normals,
+        "boundary_areas": mesh.boundary_areas,
+    }
+    for key, value in optional.items():
+        if value is not None:
+            payload[key] = value
+    np.savez_compressed(path, **payload)
+
+
+def load_mesh(path) -> Mesh:
+    """Read a mesh written by :func:`save_mesh`."""
+    path = Path(path)
+    if not path.exists():
+        raise MeshError(f"mesh file not found: {path}")
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise MeshError(
+                f"unsupported mesh format version {version} "
+                f"(this build reads {_FORMAT_VERSION})"
+            )
+        def opt(key):
+            return data[key] if key in data else None
+
+        mesh = Mesh(
+            points=data["points"],
+            cells=opt("cells"),
+            adjacency=data["adjacency"],
+            face_normals=data["face_normals"],
+            centroids=data["centroids"],
+            cell_coords=opt("cell_coords"),
+            name=str(data["name"]),
+            meta=json.loads(str(data["meta"])),
+            face_areas=opt("face_areas"),
+            cell_volumes=opt("cell_volumes"),
+            boundary_cells=opt("boundary_cells"),
+            boundary_normals=opt("boundary_normals"),
+            boundary_areas=opt("boundary_areas"),
+        )
+    mesh.validate()
+    return mesh

@@ -1,0 +1,322 @@
+"""The :class:`Mesh` container and its two builders.
+
+A mesh is, for scheduling purposes, just (i) a set of cells, (ii) the
+face-adjacency pairs between them, and (iii) a unit normal per shared
+face.  The per-direction sweep DAG orients every adjacency pair by the
+sign of ``normal . direction`` (see :mod:`repro.sweeps.dag_builder`).
+
+Builders:
+
+* :func:`Mesh.from_delaunay` — unstructured simplex mesh from a point
+  cloud via ``scipy.spatial.Delaunay`` (2-D triangles or 3-D tets), with
+  optional cell filtering for non-convex shapes (the well-logging bore).
+* :func:`Mesh.structured_grid` — regular quad/hex grid with integer cell
+  coordinates (used for exact tests and KBA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mesh.geometry import (
+    face_normals_outward,
+    simplex_centroids,
+    simplex_volumes,
+)
+from repro.util.errors import MeshError
+
+__all__ = ["Mesh"]
+
+
+@dataclass
+class Mesh:
+    """Cell-adjacency mesh with oriented face normals.
+
+    Attributes
+    ----------
+    points:
+        ``(P, d)`` vertex coordinates (may be empty for abstract meshes).
+    cells:
+        ``(n, c)`` vertex indices per cell, or ``None`` for abstract
+        meshes that only carry adjacency.
+    adjacency:
+        ``(A, 2)`` pairs of cells sharing a face; each unordered pair
+        appears exactly once.
+    face_normals:
+        ``(A, d)`` unit normal of the shared face, oriented from
+        ``adjacency[:, 0]`` toward ``adjacency[:, 1]``.
+    centroids:
+        ``(n, d)`` cell centroids.
+    cell_coords:
+        Optional ``(n, d)`` integer grid coordinates (structured meshes
+        only; consumed by KBA).
+    name:
+        Label used in reports.
+    """
+
+    points: np.ndarray
+    cells: np.ndarray | None
+    adjacency: np.ndarray
+    face_normals: np.ndarray
+    centroids: np.ndarray
+    cell_coords: np.ndarray | None = None
+    name: str = "mesh"
+    meta: dict = field(default_factory=dict)
+    #: (A,) area (length in 2-D) of each interior face; None when the
+    #: builder has no geometry (abstract meshes).
+    face_areas: np.ndarray | None = None
+    #: (n,) cell volumes (areas in 2-D).
+    cell_volumes: np.ndarray | None = None
+    #: (B,) cell of each boundary face, with matching outward normal and
+    #: area rows; used by the transport solver's leakage terms.
+    boundary_cells: np.ndarray | None = None
+    boundary_normals: np.ndarray | None = None
+    boundary_areas: np.ndarray | None = None
+
+    @property
+    def n_cells(self) -> int:
+        return int(self.centroids.shape[0])
+
+    @property
+    def dim(self) -> int:
+        return int(self.centroids.shape[1])
+
+    @property
+    def n_faces(self) -> int:
+        """Number of interior (shared) faces."""
+        return int(self.adjacency.shape[0])
+
+    def validate(self) -> None:
+        """Check index ranges, normal unit length, and pair uniqueness."""
+        n = self.n_cells
+        if self.adjacency.size:
+            if self.adjacency.min() < 0 or self.adjacency.max() >= n:
+                raise MeshError("adjacency references a cell out of range")
+            if np.any(self.adjacency[:, 0] == self.adjacency[:, 1]):
+                raise MeshError("a cell cannot be adjacent to itself")
+            lo = np.minimum(self.adjacency[:, 0], self.adjacency[:, 1])
+            hi = np.maximum(self.adjacency[:, 0], self.adjacency[:, 1])
+            pairs = lo * n + hi
+            if np.unique(pairs).size != pairs.size:
+                raise MeshError("duplicate adjacency pairs")
+            norms = np.linalg.norm(self.face_normals, axis=1)
+            if not np.allclose(norms, 1.0, atol=1e-8):
+                raise MeshError("face normals must be unit length")
+        if self.face_normals.shape != (self.n_faces, self.dim):
+            raise MeshError(
+                f"face_normals shape {self.face_normals.shape} does not match "
+                f"adjacency ({self.n_faces} faces, dim {self.dim})"
+            )
+        if self.face_areas is not None:
+            if self.face_areas.shape != (self.n_faces,):
+                raise MeshError("face_areas must have one entry per interior face")
+            if self.n_faces and self.face_areas.min() <= 0:
+                raise MeshError("face areas must be positive")
+        if self.cell_volumes is not None:
+            if self.cell_volumes.shape != (n,):
+                raise MeshError("cell_volumes must have one entry per cell")
+            if n and self.cell_volumes.min() <= 0:
+                raise MeshError("cell volumes must be positive")
+        if self.boundary_cells is not None:
+            b = self.boundary_cells.shape[0]
+            if self.boundary_normals is None or self.boundary_normals.shape != (b, self.dim):
+                raise MeshError("boundary_normals must match boundary_cells")
+            if self.boundary_areas is None or self.boundary_areas.shape != (b,):
+                raise MeshError("boundary_areas must match boundary_cells")
+            if b and (self.boundary_cells.min() < 0 or self.boundary_cells.max() >= n):
+                raise MeshError("boundary_cells reference a cell out of range")
+
+    # ------------------------------------------------------------------
+    # builders
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_delaunay(
+        cls,
+        points: np.ndarray,
+        keep=None,
+        name: str = "delaunay",
+    ) -> "Mesh":
+        """Delaunay mesh of a point cloud (2-D triangles / 3-D tets).
+
+        Parameters
+        ----------
+        points:
+            ``(P, d)`` array, ``d in (2, 3)``.
+        keep:
+            Optional predicate ``f(centroids) -> bool mask`` that filters
+            cells (e.g. drop tets whose centroid falls inside a bore).
+            Adjacency is rebuilt over the surviving cells.
+        """
+        from scipy.spatial import Delaunay  # deferred: big import
+
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] not in (2, 3):
+            raise MeshError(f"points must be (P, 2) or (P, 3); got {points.shape}")
+        tri = Delaunay(points)
+        cells = tri.simplices.astype(np.int64)
+        neighbors = tri.neighbors  # (n, d+1); -1 = boundary
+        centroids = simplex_centroids(points, cells)
+
+        if keep is not None:
+            mask = np.asarray(keep(centroids), dtype=bool)
+            if mask.shape != (cells.shape[0],):
+                raise MeshError("keep predicate must return a mask per cell")
+            if not mask.any():
+                raise MeshError("keep predicate removed every cell")
+            new_id = np.full(cells.shape[0], -1, dtype=np.int64)
+            new_id[mask] = np.arange(int(mask.sum()), dtype=np.int64)
+            cells = cells[mask]
+            centroids = centroids[mask]
+            neighbors = neighbors[mask]
+            # Remap neighbor ids; dropped neighbors become boundary (-1).
+            valid = neighbors >= 0
+            remapped = np.full_like(neighbors, -1)
+            remapped[valid] = new_id[neighbors[valid]]
+            neighbors = remapped
+
+        adjacency, face_normals, face_areas, boundary = _faces_from_neighbors(
+            points, cells, neighbors, centroids
+        )
+        mesh = cls(
+            points=points,
+            cells=cells,
+            adjacency=adjacency,
+            face_normals=face_normals,
+            centroids=centroids,
+            name=name,
+            face_areas=face_areas,
+            cell_volumes=simplex_volumes(points, cells),
+            boundary_cells=boundary[0],
+            boundary_normals=boundary[1],
+            boundary_areas=boundary[2],
+        )
+        mesh.validate()
+        return mesh
+
+    @classmethod
+    def structured_grid(cls, shape: tuple[int, ...], name: str = "grid") -> "Mesh":
+        """Regular quad (2-D) or hex (3-D) grid with unit cells.
+
+        ``shape`` is the cell count per axis, e.g. ``(8, 8)`` or
+        ``(4, 4, 4)``.  Centroids sit at integer-plus-half coordinates and
+        ``cell_coords`` carries the integer grid indices for KBA.
+        """
+        shape = tuple(int(s) for s in shape)
+        d = len(shape)
+        if d not in (2, 3) or any(s <= 0 for s in shape):
+            raise MeshError(f"shape must be 2 or 3 positive ints, got {shape}")
+        grids = np.meshgrid(*[np.arange(s) for s in shape], indexing="ij")
+        coords = np.stack([g.ravel() for g in grids], axis=1).astype(np.int64)
+        n = coords.shape[0]
+        strides = np.array(
+            [int(np.prod(shape[a + 1 :])) for a in range(d)], dtype=np.int64
+        )
+        cell_id = coords @ strides
+
+        adj_chunks = []
+        normal_chunks = []
+        b_cells, b_normals = [], []
+        for axis in range(d):
+            has_next = coords[:, axis] < shape[axis] - 1
+            src = cell_id[has_next]
+            dst = src + strides[axis]
+            adj_chunks.append(np.stack([src, dst], axis=1))
+            normal = np.zeros((src.size, d))
+            normal[:, axis] = 1.0
+            normal_chunks.append(normal)
+            # Domain-boundary faces at both ends of this axis.
+            for coord_val, sign in ((0, -1.0), (shape[axis] - 1, 1.0)):
+                on_edge = cell_id[coords[:, axis] == coord_val]
+                bn = np.zeros((on_edge.size, d))
+                bn[:, axis] = sign
+                b_cells.append(on_edge)
+                b_normals.append(bn)
+        adjacency = (
+            np.concatenate(adj_chunks, axis=0)
+            if adj_chunks
+            else np.empty((0, 2), dtype=np.int64)
+        )
+        face_normals = (
+            np.concatenate(normal_chunks, axis=0)
+            if normal_chunks
+            else np.empty((0, d))
+        )
+        boundary_cells = np.concatenate(b_cells)
+        mesh = cls(
+            points=np.empty((0, d)),
+            cells=None,
+            adjacency=adjacency,
+            face_normals=face_normals,
+            centroids=coords.astype(np.float64) + 0.5,
+            cell_coords=coords,
+            name=name,
+            # Stored as a list so the JSON mesh-file round-trip is exact.
+            meta={"shape": list(shape)},
+            face_areas=np.ones(adjacency.shape[0]),
+            cell_volumes=np.ones(n),
+            boundary_cells=boundary_cells,
+            boundary_normals=np.concatenate(b_normals, axis=0),
+            boundary_areas=np.ones(boundary_cells.size),
+        )
+        mesh.validate()
+        return mesh
+
+
+def _face_measure(points: np.ndarray, face_vertices: np.ndarray) -> np.ndarray:
+    """Area (3-D triangle) or length (2-D edge) of each face."""
+    fp = points[face_vertices]
+    if points.shape[1] == 2:
+        return np.linalg.norm(fp[:, 1, :] - fp[:, 0, :], axis=1)
+    e1 = fp[:, 1, :] - fp[:, 0, :]
+    e2 = fp[:, 2, :] - fp[:, 0, :]
+    return 0.5 * np.linalg.norm(np.cross(e1, e2), axis=1)
+
+
+def _faces_from_neighbors(
+    points: np.ndarray,
+    cells: np.ndarray,
+    neighbors: np.ndarray,
+    centroids: np.ndarray,
+):
+    """Interior + boundary face data from Delaunay neighbor arrays.
+
+    ``neighbors[t, j]`` is the simplex sharing the face of ``t`` opposite
+    its ``j``-th vertex (-1 on the boundary).  Each interior unordered
+    pair is emitted once (from the lower-id side) with the normal
+    oriented low→high; every boundary face is emitted with its outward
+    normal.
+    """
+    n, verts_per_cell = cells.shape
+    t_all = np.repeat(np.arange(n, dtype=np.int64), verts_per_cell)
+    opp_all = np.tile(np.arange(verts_per_cell), n)
+    nb_all = neighbors.ravel()
+
+    # Face vertices = all vertices of t except the opposite one.
+    all_idx = np.arange(verts_per_cell)
+    face_local = np.stack(
+        [np.delete(all_idx, j) for j in range(verts_per_cell)], axis=0
+    )  # (verts_per_cell, d)
+
+    # Interior faces, each pair once from the lower-id side.
+    take = (nb_all >= 0) & (t_all < nb_all)
+    t_ids, opp, nb = t_all[take], opp_all[take], nb_all[take]
+    face_vertices = cells[t_ids[:, None], face_local[opp]]
+    normals = face_normals_outward(points, face_vertices, centroids[t_ids])
+    areas = _face_measure(points, face_vertices)
+    adjacency = np.stack([t_ids, nb], axis=1)
+
+    # Boundary faces (outward normals).
+    btake = nb_all < 0
+    bt, bopp = t_all[btake], opp_all[btake]
+    bverts = cells[bt[:, None], face_local[bopp]]
+    if bt.size:
+        bnormals = face_normals_outward(points, bverts, centroids[bt])
+        bareas = _face_measure(points, bverts)
+    else:
+        d = points.shape[1]
+        bnormals = np.empty((0, d))
+        bareas = np.empty(0)
+    return adjacency, normals, areas, (bt, bnormals, bareas)

@@ -1,0 +1,45 @@
+"""Graph partitioning: multilevel METIS stand-in plus baselines.
+
+The paper partitions meshes into blocks with METIS before assigning each
+block a random processor; this package reimplements the multilevel
+pipeline (heavy-edge matching → greedy growing → FM refinement →
+recursive bisection) from scratch, plus simpler baselines for ablation.
+"""
+
+from repro.partition.graph import PartGraph
+from repro.partition.multilevel import (
+    multilevel_bisect,
+    partition_graph,
+    partition_mesh_blocks,
+)
+from repro.partition.baselines import random_blocks, bfs_blocks, geometric_blocks
+from repro.partition.spectral import fiedler_vector, spectral_bisect, spectral_partition
+from repro.partition.rcb import rcb_partition, rcb_blocks
+from repro.partition.quality import edge_cut, balance, block_sizes
+from repro.partition.coarsen import heavy_edge_matching, contract, CoarseLevel
+from repro.partition.initial import greedy_graph_growing, bisection_cut
+from repro.partition.refine import fm_refine
+
+__all__ = [
+    "PartGraph",
+    "multilevel_bisect",
+    "partition_graph",
+    "partition_mesh_blocks",
+    "random_blocks",
+    "bfs_blocks",
+    "geometric_blocks",
+    "fiedler_vector",
+    "spectral_bisect",
+    "spectral_partition",
+    "rcb_partition",
+    "rcb_blocks",
+    "edge_cut",
+    "balance",
+    "block_sizes",
+    "heavy_edge_matching",
+    "contract",
+    "CoarseLevel",
+    "greedy_graph_growing",
+    "bisection_cut",
+    "fm_refine",
+]

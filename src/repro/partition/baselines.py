@@ -1,0 +1,96 @@
+"""Baseline block partitioners used in the partitioner ablation (E10).
+
+The multilevel partitioner is the METIS stand-in the paper's experiments
+rely on; these baselines bracket it:
+
+* :func:`random_blocks` — cells dealt to blocks at random (no locality at
+  all; the worst sensible cut);
+* :func:`bfs_blocks` — breadth-first strips from a random start (decent
+  locality, no refinement);
+* :func:`geometric_blocks` — sort cells along a space-filling-ish axis
+  ordering and chop into equal chunks (pure geometry, ignores topology).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+import numpy as np
+
+from repro.util.errors import PartitionError
+from repro.util.rng import as_rng
+
+__all__ = ["random_blocks", "bfs_blocks", "geometric_blocks"]
+
+
+def _n_blocks(n_cells: int, block_size: int) -> int:
+    if block_size <= 0:
+        raise PartitionError(f"block_size must be positive, got {block_size}")
+    return max(1, math.ceil(n_cells / block_size))
+
+
+def random_blocks(n_cells: int, block_size: int, seed=None) -> np.ndarray:
+    """Random balanced blocks of ``block_size`` cells."""
+    nb = _n_blocks(n_cells, block_size)
+    rng = as_rng(seed)
+    out = np.empty(n_cells, dtype=np.int64)
+    out[rng.permutation(n_cells)] = np.arange(n_cells, dtype=np.int64) % nb
+    return out
+
+
+def bfs_blocks(
+    n_cells: int, cell_edges: np.ndarray, block_size: int, seed=None
+) -> np.ndarray:
+    """BFS strip blocks: fill block 0 with a BFS ball, then block 1, ...
+
+    Disconnected components restart BFS from a fresh unvisited cell.
+    """
+    nb = _n_blocks(n_cells, block_size)
+    rng = as_rng(seed)
+    # Adjacency lists (undirected).
+    adj: list[list[int]] = [[] for _ in range(n_cells)]
+    for u, v in np.asarray(cell_edges, dtype=np.int64).reshape(-1, 2).tolist():
+        adj[u].append(v)
+        adj[v].append(u)
+    blocks = np.full(n_cells, -1, dtype=np.int64)
+    queue: deque[int] = deque()
+    filled = 0
+    current = 0
+    order = rng.permutation(n_cells).tolist()
+    restart = iter(order)
+    while filled < n_cells:
+        if not queue:
+            for cand in restart:
+                if blocks[cand] < 0:
+                    queue.append(cand)
+                    break
+        v = queue.popleft()
+        if blocks[v] >= 0:
+            continue
+        blocks[v] = current
+        filled += 1
+        if filled % block_size == 0 and current < nb - 1:
+            current += 1
+        for u in adj[v]:
+            if blocks[u] < 0:
+                queue.append(u)
+    return blocks
+
+
+def geometric_blocks(centroids: np.ndarray, block_size: int) -> np.ndarray:
+    """Axis-sort blocks: order cells along the longest bounding-box axis
+    (ties broken by the remaining coordinates) and chop into chunks."""
+    centroids = np.asarray(centroids)
+    n_cells = centroids.shape[0]
+    nb = _n_blocks(n_cells, block_size)
+    if n_cells == 0:
+        return np.empty(0, dtype=np.int64)
+    extent = centroids.max(axis=0) - centroids.min(axis=0)
+    axes = np.argsort(extent)[::-1]  # longest axis is primary sort key
+    order = np.lexsort(tuple(centroids[:, a] for a in axes[::-1]))
+    blocks = np.empty(n_cells, dtype=np.int64)
+    blocks[order] = np.minimum(
+        np.arange(n_cells, dtype=np.int64) // block_size, nb - 1
+    )
+    return blocks

@@ -1,0 +1,89 @@
+"""Initial bisection of the coarsest graph: greedy graph growing (GGGP).
+
+Grow one side from a random seed, always absorbing the frontier vertex
+whose move improves the cut most (max gain), until the side reaches its
+target weight.  Several seeds are tried and the best cut wins.  On the
+~100-vertex coarsest graphs this is both fast and close to optimal, and
+FM refinement cleans up the rest during uncoarsening.
+"""
+
+from __future__ import annotations
+
+from heapq import heappush, heappop
+
+import numpy as np
+
+from repro.partition.graph import PartGraph
+from repro.util.rng import as_rng
+
+__all__ = ["greedy_graph_growing", "bisection_cut"]
+
+
+def bisection_cut(g: PartGraph, side: np.ndarray) -> int:
+    """Total weight of edges crossing the bisection ``side`` (bool array)."""
+    src = np.repeat(np.arange(g.n, dtype=np.int64), np.diff(g.xadj))
+    cross = side[src] != side[g.adjncy]
+    # CSR stores each undirected edge twice.
+    return int(g.adjwgt[cross].sum() // 2)
+
+
+def greedy_graph_growing(
+    g: PartGraph,
+    target_weight: int,
+    rng,
+    tries: int = 4,
+) -> np.ndarray:
+    """Bisect ``g``; returns a bool array, True = side 1.
+
+    Side 1 is grown to weight ``>= target_weight`` (but a single vertex
+    never splits, so the achieved weight can overshoot by one vertex).
+    """
+    best_side = None
+    best_cut = None
+    total = g.total_vertex_weight
+    target_weight = int(min(max(target_weight, 0), total))
+    for _ in range(max(tries, 1)):
+        side = _grow_once(g, target_weight, rng)
+        cut = bisection_cut(g, side)
+        if best_cut is None or cut < best_cut:
+            best_side, best_cut = side, cut
+    return best_side
+
+
+def _grow_once(g: PartGraph, target_weight: int, rng) -> np.ndarray:
+    side = np.zeros(g.n, dtype=bool)
+    if g.n == 0 or target_weight == 0:
+        return side
+    grown = 0
+    # gain[v] = (weight to side 1) - (weight to side 0); larger = better.
+    gain = np.zeros(g.n, dtype=np.int64)
+    in_heap = np.zeros(g.n, dtype=bool)
+    heap: list = []
+
+    def push(v):
+        heappush(heap, (-int(gain[v]), int(v)))
+        in_heap[v] = True
+
+    seed = int(rng.integers(g.n))
+    push(seed)
+    while grown < target_weight:
+        v = None
+        while heap:
+            negg, cand = heappop(heap)
+            if not side[cand] and -negg == gain[cand]:
+                v = cand
+                break
+        if v is None:
+            # Disconnected remainder: restart from an unabsorbed vertex.
+            left = np.flatnonzero(~side)
+            if left.size == 0:
+                break
+            v = int(left[rng.integers(left.size)])
+        side[v] = True
+        grown += int(g.vwgt[v])
+        lo, hi = g.xadj[v], g.xadj[v + 1]
+        for u, w in zip(g.adjncy[lo:hi].tolist(), g.adjwgt[lo:hi].tolist()):
+            if not side[u]:
+                gain[u] += 2 * w  # u's edge to v flips from cut to internal
+                push(u)
+    return side

@@ -1,0 +1,40 @@
+"""Partition quality metrics: edge cut and balance."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import PartitionError
+
+__all__ = ["edge_cut", "balance", "block_sizes"]
+
+
+def edge_cut(labels: np.ndarray, edges: np.ndarray) -> int:
+    """Number of undirected edges whose endpoints carry different labels."""
+    labels = np.asarray(labels)
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if edges.size == 0:
+        return 0
+    return int((labels[edges[:, 0]] != labels[edges[:, 1]]).sum())
+
+
+def block_sizes(labels: np.ndarray) -> np.ndarray:
+    """Cell count of every block (dense over the label range)."""
+    labels = np.asarray(labels)
+    if labels.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if labels.min() < 0:
+        raise PartitionError("labels must be nonnegative")
+    return np.bincount(labels)
+
+
+def balance(labels: np.ndarray) -> float:
+    """Max block size divided by the mean (1.0 = perfectly balanced).
+
+    Only blocks that actually occur count toward the mean.
+    """
+    sizes = block_sizes(labels)
+    sizes = sizes[sizes > 0]
+    if sizes.size == 0:
+        return 1.0
+    return float(sizes.max() / sizes.mean())

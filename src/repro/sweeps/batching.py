@@ -1,0 +1,92 @@
+"""Direction batching (angle-set aggregation).
+
+Production sweep codes often cannot hold all ``k`` directions' state in
+memory at once; they sweep *batches* of directions sequentially (e.g.
+one octant at a time).  Scheduling-wise this costs concurrency: a batch
+of ``b`` directions exposes only ``b`` fronts to pipeline, so batched
+makespans are at least the unbatched one and the gap quantifies the
+memory/performance trade-off (benchmark E23).
+
+The same-processor constraint spans batches — every copy of a cell in
+*any* batch runs on one processor — so the assignment is drawn once and
+shared, exactly as a real code would pin cells to ranks for the whole
+solve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.assignment import random_cell_assignment
+from repro.core.instance import SweepInstance
+from repro.core.schedule import Schedule
+from repro.heuristics.registry import get_algorithm
+from repro.util.errors import ReproError
+from repro.util.rng import as_rng, spawn_rngs
+
+__all__ = ["direction_batches", "batched_schedule"]
+
+
+def direction_batches(k: int, n_batches: int) -> list[np.ndarray]:
+    """Split directions ``0..k-1`` into ``n_batches`` contiguous batches.
+
+    Contiguity mirrors octant grouping for level-symmetric sets (their
+    generation order groups sign octants together).
+    """
+    if not 1 <= n_batches <= k:
+        raise ReproError(f"need 1 <= n_batches <= k={k}, got {n_batches}")
+    bounds = np.linspace(0, k, n_batches + 1).astype(np.int64)
+    return [
+        np.arange(bounds[i], bounds[i + 1], dtype=np.int64)
+        for i in range(n_batches)
+    ]
+
+
+def batched_schedule(
+    inst: SweepInstance,
+    m: int,
+    n_batches: int,
+    algorithm: str = "random_delay_priority",
+    seed=None,
+    assignment: np.ndarray | None = None,
+) -> Schedule:
+    """Schedule the instance as ``n_batches`` sequential direction batches.
+
+    Each batch is scheduled independently (with the shared assignment)
+    by the named algorithm; batch schedules run back to back.  Returns a
+    feasible schedule of the *full* instance whose makespan is the sum
+    of the per-batch makespans.
+    """
+    rng = as_rng(seed)
+    if assignment is None:
+        assignment = random_cell_assignment(inst.n_cells, m, rng)
+    assignment = np.asarray(assignment, dtype=np.int64)
+    algo = get_algorithm(algorithm)
+    batches = direction_batches(inst.k, n_batches)
+    batch_rngs = spawn_rngs(rng, len(batches))
+
+    n = inst.n_cells
+    start = np.empty(inst.n_tasks, dtype=np.int64)
+    offset = 0
+    for batch, batch_rng in zip(batches, batch_rngs):
+        sub = SweepInstance(
+            n,
+            [inst.dags[i] for i in batch.tolist()],
+            cell_graph_edges=inst.cell_graph_edges,
+            name=f"{inst.name}_batch",
+        )
+        sub_sched = algo(sub, m, seed=batch_rng, assignment=assignment)
+        for j, i in enumerate(batch.tolist()):
+            start[i * n : (i + 1) * n] = sub_sched.start[j * n : (j + 1) * n] + offset
+        offset += sub_sched.makespan
+
+    return Schedule(
+        instance=inst,
+        m=m,
+        start=start,
+        assignment=assignment,
+        meta={
+            "algorithm": f"batched_{algorithm}",
+            "n_batches": n_batches,
+        },
+    )

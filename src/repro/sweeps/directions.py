@@ -1,0 +1,143 @@
+"""Sweep direction sets.
+
+The S_n transport application sweeps a *level-symmetric quadrature* set:
+``N (N + 2)`` unit directions arranged symmetrically over the octants
+(S_2 = 8, S_4 = 24, S_6 = 48, S_8 = 80 — the paper's experiments use 8 to
+48 directions).  We implement the standard LQ_n construction plus
+generic direction sets (Fibonacci sphere, 2-D fans, random) for
+non-geometric and test instances.
+
+LQ_n construction: distinct cosines ``mu_1 < .. < mu_{N/2}`` with
+``mu_a^2 = mu_1^2 + (a - 1) * 2 (1 - 3 mu_1^2) / (N - 2)``; the directions
+are all sign combinations of ``(mu_a, mu_b, mu_c)`` with
+``a + b + c = N/2 + 2``.  The identity
+``mu_a^2 + mu_b^2 + mu_c^2 = 1`` holds for every admissible triple, so all
+directions are unit vectors regardless of the ``mu_1`` choice; ``mu_1``
+values follow the standard tables (Lewis & Miller) where available.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ReproError
+from repro.util.rng import as_rng
+
+__all__ = [
+    "level_symmetric",
+    "fibonacci_sphere",
+    "circle_directions",
+    "random_directions",
+    "num_level_symmetric_directions",
+]
+
+#: Standard first-cosine values for the LQ_n quadrature (Lewis & Miller).
+_MU1_TABLE = {
+    2: 0.5773503,
+    4: 0.3500212,
+    6: 0.2666355,
+    8: 0.2182179,
+    12: 0.1672126,
+    16: 0.1389568,
+}
+
+
+def num_level_symmetric_directions(order: int) -> int:
+    """Number of directions in the S_order set: ``order * (order + 2)``."""
+    _check_order(order)
+    return order * (order + 2)
+
+
+def level_symmetric(order: int) -> np.ndarray:
+    """The LQ_n level-symmetric quadrature directions, ``(k, 3)`` unit rows.
+
+    ``order`` must be even and >= 2.  ``order=4`` gives the paper's
+    24-direction set.
+    """
+    _check_order(order)
+    half = order // 2
+    mu1 = _MU1_TABLE.get(order)
+    if mu1 is None:
+        # Fallback consistent with the table's trend; any mu1 in (0, 1/sqrt 3)
+        # yields unit directions, the choice only tunes quadrature accuracy.
+        mu1 = np.sqrt(1.0 / (3.0 * (order - 1)))
+    mu = np.empty(half)
+    mu[0] = mu1
+    if order > 2:
+        delta = 2.0 * (1.0 - 3.0 * mu1**2) / (order - 2)
+        for a in range(1, half):
+            mu[a] = np.sqrt(mu1**2 + a * delta)
+
+    dirs = []
+    target = half + 2
+    for a in range(1, half + 1):
+        for b in range(1, half + 1):
+            c = target - a - b
+            if 1 <= c <= half:
+                dirs.append((mu[a - 1], mu[b - 1], mu[c - 1]))
+    base = np.array(dirs)
+    signs = np.array(
+        [(sx, sy, sz) for sx in (1, -1) for sy in (1, -1) for sz in (1, -1)],
+        dtype=np.float64,
+    )
+    out = (base[:, None, :] * signs[None, :, :]).reshape(-1, 3)
+    assert out.shape[0] == order * (order + 2)
+    return out
+
+
+def fibonacci_sphere(k: int) -> np.ndarray:
+    """``k`` near-evenly spread unit directions on the sphere (3-D)."""
+    if k <= 0:
+        raise ReproError(f"need at least one direction, got {k}")
+    i = np.arange(k, dtype=np.float64) + 0.5
+    phi = np.pi * (3.0 - np.sqrt(5.0)) * i
+    z = 1.0 - 2.0 * i / k
+    r = np.sqrt(np.maximum(0.0, 1.0 - z * z))
+    return np.stack([r * np.cos(phi), r * np.sin(phi), z], axis=1)
+
+
+def circle_directions(k: int, offset: float = 0.0) -> np.ndarray:
+    """``k`` evenly spaced unit directions in the plane (2-D meshes)."""
+    if k <= 0:
+        raise ReproError(f"need at least one direction, got {k}")
+    theta = offset + 2.0 * np.pi * np.arange(k) / k
+    return np.stack([np.cos(theta), np.sin(theta)], axis=1)
+
+
+def random_directions(k: int, dim: int = 3, seed=None) -> np.ndarray:
+    """``k`` uniformly random unit directions (normalised Gaussians)."""
+    if k <= 0:
+        raise ReproError(f"need at least one direction, got {k}")
+    if dim not in (2, 3):
+        raise ReproError(f"directions must be 2-D or 3-D, got dim={dim}")
+    rng = as_rng(seed)
+    v = rng.standard_normal((k, dim))
+    norms = np.linalg.norm(v, axis=1, keepdims=True)
+    # A zero vector from the Gaussian has probability 0 but guard anyway.
+    degenerate = norms[:, 0] < 1e-12
+    if degenerate.any():
+        v[degenerate] = np.eye(dim)[0]
+        norms = np.linalg.norm(v, axis=1, keepdims=True)
+    return v / norms
+
+
+def directions_for_mesh(dim: int, k: int, seed=None) -> np.ndarray:
+    """Convenience: a sensible k-direction set for a mesh of dimension dim.
+
+    3-D: the level-symmetric set when ``k`` matches an S_n count,
+    otherwise a Fibonacci sphere.  2-D: an even fan on the circle.
+    """
+    if dim == 2:
+        return circle_directions(k)
+    for order in (2, 4, 6, 8, 12, 16):
+        if num_level_symmetric_directions(order) == k:
+            return level_symmetric(order)
+    return fibonacci_sphere(k)
+
+
+def _check_order(order: int) -> None:
+    if order < 2 or order % 2:
+        raise ReproError(f"S_n order must be even and >= 2, got {order}")
+
+
+__all__.append("directions_for_mesh")

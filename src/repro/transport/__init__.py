@@ -1,0 +1,64 @@
+"""Discrete-ordinates transport solver — the application the schedules
+serve.  One-group, isotropic scattering, upwind finite volume, with the
+source-iteration outer loop; executes sweeps in schedule order."""
+
+from repro.transport.quadrature import Quadrature
+from repro.transport.sweep_solver import (
+    TransportProblem,
+    DirectionGeometry,
+    WhiteBoundary,
+    build_geometry,
+    sweep_direction,
+    sweep_all,
+    schedule_orders,
+    direction_balance,
+)
+from repro.transport.source_iteration import SolveResult, solve, solve_with_schedule
+from repro.transport.krylov import (
+    KrylovResult,
+    solve_krylov,
+    solve_krylov_with_schedule,
+    si_vs_krylov_sweeps,
+)
+from repro.transport.multigroup import (
+    MultigroupProblem,
+    MultigroupResult,
+    solve_multigroup,
+    solve_multigroup_with_schedule,
+)
+from repro.transport.dsa import (
+    DsaResult,
+    assemble_diffusion_matrix,
+    solve_dsa,
+    solve_dsa_with_schedule,
+)
+from repro.transport.verification import manufactured_emission, verify_sweep
+
+__all__ = [
+    "KrylovResult",
+    "solve_krylov",
+    "solve_krylov_with_schedule",
+    "si_vs_krylov_sweeps",
+    "MultigroupProblem",
+    "MultigroupResult",
+    "solve_multigroup",
+    "solve_multigroup_with_schedule",
+    "DsaResult",
+    "assemble_diffusion_matrix",
+    "solve_dsa",
+    "solve_dsa_with_schedule",
+    "manufactured_emission",
+    "verify_sweep",
+    "Quadrature",
+    "TransportProblem",
+    "DirectionGeometry",
+    "WhiteBoundary",
+    "build_geometry",
+    "sweep_direction",
+    "sweep_all",
+    "schedule_orders",
+    "direction_balance",
+    "SolveResult",
+    "solve",
+    "solve_with_schedule",
+]

@@ -1,0 +1,153 @@
+"""Diffusion synthetic acceleration (DSA) for source iteration.
+
+Source iteration attenuates only the error's transport modes; the slowly
+converging diffusive modes (spectral radius ~ scattering ratio) are
+exactly what a cheap diffusion solve captures.  DSA therefore follows
+every transport sweep with a diffusion *correction*:
+
+    sweep:      phi_half = D L^{-1} (sigma_s phi_l + q)
+    diffusion:  (-div D grad + sigma_a) f = sigma_s (phi_half - phi_l)
+    update:     phi_{l+1} = phi_half + f
+
+with diffusion coefficient ``D = 1/(3 sigma_t)`` and absorption
+``sigma_a = sigma_t - sigma_s``.  The classic result: iteration count
+becomes nearly independent of the scattering ratio.
+
+The diffusion operator is discretised with the two-point flux
+approximation (TPFA) on the cell graph — for adjacent cells i, j sharing
+a face of area A at centroid distance d, the coupling is
+``A * D_harmonic / d`` — assembled as a scipy sparse SPD matrix and
+solved with conjugate gradients.  Vacuum boundaries add a marshak-like
+sink ``A/(4) ...``; we use the simple Robin coefficient ``A/2`` per
+boundary face (standard half-range approximation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.sparse import coo_matrix, diags
+from scipy.sparse.linalg import cg
+
+from repro.core.schedule import Schedule
+from repro.transport.sweep_solver import (
+    TransportProblem,
+    build_geometry,
+    schedule_orders,
+    sweep_all,
+)
+from repro.util.errors import ReproError
+
+__all__ = ["assemble_diffusion_matrix", "solve_dsa", "solve_dsa_with_schedule",
+           "DsaResult"]
+
+
+def assemble_diffusion_matrix(problem: TransportProblem):
+    """TPFA diffusion operator ``(-div D grad + sigma_a)`` as sparse CSR.
+
+    Symmetric positive definite provided ``sigma_a > 0`` somewhere (true
+    for any subcritical problem) or vacuum boundary sinks exist.
+    """
+    mesh = problem.mesh
+    n = mesh.n_cells
+    d_coef = 1.0 / (3.0 * problem.sigma_t)
+    sigma_a = problem.sigma_t - problem.sigma_s
+
+    rows, cols, vals = [], [], []
+    diag = sigma_a * mesh.cell_volumes
+
+    if mesh.n_faces:
+        a = mesh.adjacency[:, 0]
+        b = mesh.adjacency[:, 1]
+        dist = np.linalg.norm(
+            mesh.centroids[b] - mesh.centroids[a], axis=1
+        )
+        if np.any(dist <= 0):
+            raise ReproError("coincident cell centroids break TPFA")
+        # Harmonic mean of the two cells' diffusion coefficients.
+        dh = 2.0 * d_coef[a] * d_coef[b] / (d_coef[a] + d_coef[b])
+        coupling = mesh.face_areas * dh / dist
+        rows.extend([a, b])
+        cols.extend([b, a])
+        vals.extend([-coupling, -coupling])
+        np.add.at(diag, a, coupling)
+        np.add.at(diag, b, coupling)
+
+    if problem.boundary == "vacuum" and mesh.boundary_cells is not None:
+        # Half-range (Marshak-like) Robin sink: A/2 per boundary face.
+        np.add.at(diag, mesh.boundary_cells, mesh.boundary_areas / 2.0)
+
+    rows.append(np.arange(n))
+    cols.append(np.arange(n))
+    vals.append(diag)
+    mat = coo_matrix(
+        (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+        shape=(n, n),
+    ).tocsr()
+    return mat
+
+
+@dataclass
+class DsaResult:
+    """Converged DSA-accelerated solution."""
+
+    phi: np.ndarray
+    iterations: int
+    converged: bool
+    residual_history: list = field(default_factory=list)
+
+
+def solve_dsa(
+    problem: TransportProblem,
+    orders: list[np.ndarray],
+    tol: float = 1e-8,
+    max_iterations: int = 200,
+) -> DsaResult:
+    """DSA-accelerated source iteration (vacuum boundaries).
+
+    Each iteration costs one full set of scheduled sweeps plus one
+    sparse CG solve on the cell graph (negligible next to the sweeps).
+    """
+    if problem.boundary != "vacuum":
+        raise ReproError(
+            "DSA is implemented for vacuum boundaries "
+            "(the white boundary's lagged reflection breaks the two-level "
+            "error analysis)"
+        )
+    if tol <= 0 or max_iterations <= 0:
+        raise ReproError("tol and max_iterations must be positive")
+    geos, white = build_geometry(problem, orders)
+    diffusion = assemble_diffusion_matrix(problem)
+    mesh = problem.mesh
+    phi = np.zeros(mesh.n_cells)
+    history = []
+    for it in range(1, max_iterations + 1):
+        phi_half, _psi = sweep_all(problem, phi, geos, white, None)
+        # Diffusion correction of the scattering-source lag.
+        rhs = problem.sigma_s * (phi_half - phi) * mesh.cell_volumes
+        f, info = cg(diffusion, rhs, rtol=1e-10, atol=0.0)
+        if info != 0:
+            raise ReproError(f"diffusion CG failed to converge (info={info})")
+        new_phi = phi_half + f
+        scale = float(np.abs(new_phi).max()) or 1.0
+        residual = float(np.abs(new_phi - phi).max()) / scale
+        history.append(residual)
+        phi = new_phi
+        if residual < tol:
+            return DsaResult(phi, it, True, history)
+    return DsaResult(phi, max_iterations, False, history)
+
+
+def solve_dsa_with_schedule(
+    problem: TransportProblem,
+    schedule: Schedule,
+    tol: float = 1e-8,
+    max_iterations: int = 200,
+) -> DsaResult:
+    """DSA solve executing sweeps in the schedule's order."""
+    inst = schedule.instance
+    if inst.n_cells != problem.mesh.n_cells or inst.k != problem.quadrature.k:
+        raise ReproError("schedule instance does not match the transport problem")
+    return solve_dsa(problem, schedule_orders(schedule), tol=tol,
+                     max_iterations=max_iterations)

@@ -1,0 +1,138 @@
+"""Krylov-accelerated transport: GMRES instead of source iteration.
+
+Source iteration's spectral radius is the scattering ratio
+``c = sigma_s/sigma_t`` — near-unity scattering means hundreds of
+sweeps.  Production S_n codes therefore wrap the sweep in a Krylov
+solver: writing the sweep (given an emission density) as the linear map
+``L⁻¹``, the transport fixed point ``phi = D L⁻¹ (S phi + q)`` becomes
+the linear system
+
+    (I - D L⁻¹ S) phi = D L⁻¹ q
+
+whose matrix-vector product is *one full sweep* — exactly the operation
+the schedules of this library order.  GMRES then converges in far fewer
+sweeps than source iteration at high ``c``.
+
+Restricted to vacuum boundaries: the white boundary's lagged reflection
+makes the fixed-point operator iteration-dependent, which a stationary
+Krylov operator cannot represent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.sparse.linalg import LinearOperator, gmres
+
+from repro.core.schedule import Schedule
+from repro.transport.source_iteration import SolveResult
+from repro.transport.sweep_solver import (
+    TransportProblem,
+    build_geometry,
+    schedule_orders,
+    sweep_direction,
+)
+from repro.util.errors import ReproError
+
+__all__ = ["solve_krylov", "solve_krylov_with_schedule", "KrylovResult"]
+
+
+@dataclass
+class KrylovResult:
+    """Converged GMRES transport solution, with sweep accounting."""
+
+    phi: np.ndarray
+    sweeps: int  # total full-mesh sweep applications (matvecs + rhs)
+    converged: bool
+    residual_history: list = field(default_factory=list)
+
+
+def solve_krylov(
+    problem: TransportProblem,
+    orders: list[np.ndarray],
+    tol: float = 1e-8,
+    maxiter: int = 200,
+    restart: int = 30,
+) -> KrylovResult:
+    """Solve the one-group transport problem with GMRES.
+
+    Each operator application performs one sweep of every direction in
+    the provided cell orders.
+    """
+    if problem.boundary != "vacuum":
+        raise ReproError(
+            "Krylov transport supports vacuum boundaries only "
+            "(white reflection is iteration-lagged; use source iteration)"
+        )
+    if tol <= 0 or maxiter <= 0:
+        raise ReproError("tol and maxiter must be positive")
+    geos, _white = build_geometry(problem, orders)
+    quad = problem.quadrature
+    n = problem.mesh.n_cells
+    counter = {"sweeps": 0}
+
+    def apply_dl_inv(emission: np.ndarray) -> np.ndarray:
+        counter["sweeps"] += 1
+        phi = np.zeros(n)
+        for i in range(quad.k):
+            phi += quad.weights[i] * sweep_direction(problem, geos[i], emission)
+        return phi
+
+    b = apply_dl_inv(problem.source)
+
+    def matvec(phi: np.ndarray) -> np.ndarray:
+        return phi - apply_dl_inv(problem.sigma_s * phi)
+
+    op = LinearOperator((n, n), matvec=matvec, dtype=np.float64)
+    residuals: list[float] = []
+
+    phi, info = gmres(
+        op,
+        b,
+        rtol=tol,
+        atol=0.0,
+        maxiter=maxiter,
+        restart=restart,
+        callback=lambda r: residuals.append(float(r)),
+        callback_type="pr_norm",
+    )
+    return KrylovResult(
+        phi=phi,
+        sweeps=counter["sweeps"],
+        converged=(info == 0),
+        residual_history=residuals,
+    )
+
+
+def solve_krylov_with_schedule(
+    problem: TransportProblem,
+    schedule: Schedule,
+    tol: float = 1e-8,
+    maxiter: int = 200,
+) -> KrylovResult:
+    """GMRES transport solve executing sweeps in the schedule's order."""
+    inst = schedule.instance
+    if inst.n_cells != problem.mesh.n_cells or inst.k != problem.quadrature.k:
+        raise ReproError("schedule instance does not match the transport problem")
+    return solve_krylov(problem, schedule_orders(schedule), tol=tol, maxiter=maxiter)
+
+
+def si_vs_krylov_sweeps(
+    problem: TransportProblem, schedule: Schedule, tol: float = 1e-8
+) -> dict:
+    """Head-to-head sweep counts: source iteration vs GMRES."""
+    from repro.transport.source_iteration import solve_with_schedule
+
+    si: SolveResult = solve_with_schedule(problem, schedule, tol=tol)
+    kr = solve_krylov_with_schedule(problem, schedule, tol=tol)
+    return {
+        "si_sweeps": si.iterations,
+        "krylov_sweeps": kr.sweeps,
+        "si_converged": si.converged,
+        "krylov_converged": kr.converged,
+        "max_diff": float(np.abs(si.phi - kr.phi).max()),
+    }
+
+
+__all__.append("si_vs_krylov_sweeps")

@@ -1,0 +1,151 @@
+"""Multigroup transport: the full workload shape of production sweeps.
+
+Real S_n solves carry ``G`` energy groups; each outer pass sweeps every
+(group, direction) pair — multiplying the sweep count the schedule
+serves by ``G``.  One-group physics per group plus a group-to-group
+scattering matrix:
+
+    within group g:  sweep with emission  sigma_s[g,g] phi_g + Q_g
+    group coupling:  Q_g = q_g + sum_{g' != g} sigma_s[g', g] phi_{g'}
+
+Downscatter-only matrices (lower triangular in (g', g) with increasing
+g) solve in a single Gauss–Seidel pass over groups; upscatter requires
+outer iterations to a fixed point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.schedule import Schedule
+from repro.transport.quadrature import Quadrature
+from repro.transport.source_iteration import solve
+from repro.transport.sweep_solver import TransportProblem, schedule_orders
+from repro.util.errors import ReproError
+
+__all__ = ["MultigroupProblem", "MultigroupResult", "solve_multigroup",
+           "solve_multigroup_with_schedule"]
+
+
+@dataclass
+class MultigroupProblem:
+    """``G``-group isotropic-scattering problem on a mesh.
+
+    Attributes
+    ----------
+    sigma_t:
+        ``(G,)`` per-group total cross sections (scalars per group).
+    scatter:
+        ``(G, G)`` matrix; ``scatter[g_from, g_to]`` is the scattering
+        cross section from group ``g_from`` into ``g_to``.  Row sums
+        must stay below ``sigma_t[g_from]`` (subcritical medium).
+    source:
+        ``(G,)`` per-group volumetric sources.
+    """
+
+    mesh: object
+    quadrature: Quadrature
+    sigma_t: np.ndarray
+    scatter: np.ndarray
+    source: np.ndarray
+    boundary: str = "vacuum"
+
+    def __post_init__(self):
+        self.sigma_t = np.asarray(self.sigma_t, dtype=np.float64)
+        self.scatter = np.asarray(self.scatter, dtype=np.float64)
+        self.source = np.asarray(self.source, dtype=np.float64)
+        g = self.sigma_t.shape[0]
+        if self.sigma_t.ndim != 1 or g == 0:
+            raise ReproError("sigma_t must be a (G,) vector")
+        if self.scatter.shape != (g, g):
+            raise ReproError(f"scatter must be ({g}, {g})")
+        if self.source.shape != (g,):
+            raise ReproError(f"source must be ({g},)")
+        if np.any(self.scatter < 0):
+            raise ReproError("scattering cross sections must be nonnegative")
+        if np.any(self.scatter.sum(axis=1) >= self.sigma_t):
+            raise ReproError(
+                "each group's total scattering must stay below sigma_t "
+                "(subcritical medium)"
+            )
+
+    @property
+    def n_groups(self) -> int:
+        return int(self.sigma_t.shape[0])
+
+    def has_upscatter(self) -> bool:
+        """True if any energy flows to a lower group index."""
+        return bool(np.any(np.tril(self.scatter, k=-1) > 0))
+
+
+@dataclass
+class MultigroupResult:
+    phi: np.ndarray  # (G, n) per-group scalar flux
+    outer_iterations: int
+    total_sweeps: int  # full-mesh single-direction... group*source-iter sweeps
+    converged: bool
+    residual_history: list = field(default_factory=list)
+
+
+def solve_multigroup(
+    problem: MultigroupProblem,
+    orders: list[np.ndarray],
+    tol: float = 1e-8,
+    max_outer: int = 100,
+    inner_tol: float | None = None,
+) -> MultigroupResult:
+    """Gauss–Seidel over groups, source iteration within each group.
+
+    Downscatter-only problems converge in one outer pass (plus one
+    verification pass); upscatter iterates to the coupled fixed point.
+    """
+    if tol <= 0 or max_outer <= 0:
+        raise ReproError("tol and max_outer must be positive")
+    inner_tol = inner_tol or tol / 10
+    g_count = problem.n_groups
+    n = problem.mesh.n_cells
+    phi = np.zeros((g_count, n))
+    total_sweeps = 0
+    history = []
+    single_pass = not problem.has_upscatter()
+    for outer in range(1, max_outer + 1):
+        old = phi.copy()
+        for g in range(g_count):
+            # Group-coupled source from the freshest available fluxes.
+            coupled = np.full(n, problem.source[g])
+            for gp in range(g_count):
+                if gp != g and problem.scatter[gp, g] > 0:
+                    coupled = coupled + problem.scatter[gp, g] * phi[gp]
+            group_problem = TransportProblem(
+                problem.mesh,
+                problem.quadrature,
+                sigma_t=problem.sigma_t[g],
+                sigma_s=problem.scatter[g, g],
+                source=coupled,
+                boundary=problem.boundary,
+            )
+            res = solve(group_problem, orders, tol=inner_tol)
+            phi[g] = res.phi
+            total_sweeps += res.iterations
+        scale = float(np.abs(phi).max()) or 1.0
+        residual = float(np.abs(phi - old).max()) / scale
+        history.append(residual)
+        if residual < tol or (single_pass and outer >= 2):
+            return MultigroupResult(phi, outer, total_sweeps, True, history)
+    return MultigroupResult(phi, max_outer, total_sweeps, False, history)
+
+
+def solve_multigroup_with_schedule(
+    problem: MultigroupProblem,
+    schedule: Schedule,
+    tol: float = 1e-8,
+    max_outer: int = 100,
+) -> MultigroupResult:
+    """Multigroup solve executing sweeps in the schedule's order."""
+    inst = schedule.instance
+    if inst.n_cells != problem.mesh.n_cells or inst.k != problem.quadrature.k:
+        raise ReproError("schedule instance does not match the transport problem")
+    return solve_multigroup(problem, schedule_orders(schedule), tol=tol,
+                            max_outer=max_outer)

@@ -1,0 +1,83 @@
+"""Angular quadrature: direction sets paired with integration weights.
+
+The S_n method approximates the angular integral of the flux by a
+weighted sum over the quadrature directions,
+``phi = sum_k w_k psi_k`` with ``sum_k w_k = 1`` (we normalise to 1
+rather than 4*pi so the infinite-medium identity ``phi = q/(sigma_t -
+sigma_s)`` holds without stray constants).
+
+Level-symmetric sets use equal weights per direction — exact for the
+flat and linear-in-angle moments the one-group solver needs; the same
+choice applies to Fibonacci and 2-D fan sets, which are near-uniform by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sweeps.directions import (
+    circle_directions,
+    fibonacci_sphere,
+    level_symmetric,
+)
+from repro.util.errors import ReproError
+
+__all__ = ["Quadrature"]
+
+
+@dataclass(frozen=True)
+class Quadrature:
+    """A direction set with normalised integration weights."""
+
+    directions: np.ndarray  # (k, d) unit vectors
+    weights: np.ndarray  # (k,), sums to 1
+
+    def __post_init__(self):
+        if self.directions.ndim != 2 or self.directions.shape[0] == 0:
+            raise ReproError("quadrature needs at least one direction")
+        if self.weights.shape != (self.directions.shape[0],):
+            raise ReproError("one weight per direction required")
+        if not np.isclose(self.weights.sum(), 1.0):
+            raise ReproError(
+                f"weights must sum to 1, got {self.weights.sum():.6f}"
+            )
+        if np.any(self.weights <= 0):
+            raise ReproError("weights must be positive")
+
+    @property
+    def k(self) -> int:
+        return int(self.directions.shape[0])
+
+    @property
+    def dim(self) -> int:
+        return int(self.directions.shape[1])
+
+    @classmethod
+    def equal_weight(cls, directions: np.ndarray) -> "Quadrature":
+        """Equal weights over any direction set."""
+        directions = np.asarray(directions, dtype=np.float64)
+        k = directions.shape[0]
+        return cls(directions, np.full(k, 1.0 / k))
+
+    @classmethod
+    def sn(cls, order: int) -> "Quadrature":
+        """Equal-weight S_n level-symmetric quadrature (3-D)."""
+        return cls.equal_weight(level_symmetric(order))
+
+    @classmethod
+    def fib(cls, k: int) -> "Quadrature":
+        """Equal-weight Fibonacci-sphere quadrature (3-D, any k)."""
+        return cls.equal_weight(fibonacci_sphere(k))
+
+    @classmethod
+    def fan2d(cls, k: int) -> "Quadrature":
+        """Equal-weight 2-D fan quadrature."""
+        return cls.equal_weight(circle_directions(k))
+
+    def first_moment(self) -> np.ndarray:
+        """The quadrature's net current of an isotropic field: should be
+        ~0 for a symmetric set (used as a quality check)."""
+        return self.weights @ self.directions

@@ -1,0 +1,69 @@
+"""Method of manufactured solutions (MMS) for the sweep solver.
+
+The sharpest verification a discretised solver admits: pick an arbitrary
+target angular flux ``psi*``, algebraically derive the per-cell source
+that makes ``psi*`` the *exact* discrete solution, sweep, and compare to
+round-off.  Any indexing, orientation, or coupling bug breaks the match.
+Exposed as a public API so downstream changes to mesh generation or
+scheduling can re-verify the whole chain in one call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.transport.sweep_solver import (
+    DirectionGeometry,
+    TransportProblem,
+    build_geometry,
+    sweep_direction,
+)
+from repro.util.errors import ReproError
+
+__all__ = ["manufactured_emission", "verify_sweep"]
+
+
+def manufactured_emission(
+    problem: TransportProblem, geo: DirectionGeometry, psi_star: np.ndarray
+) -> np.ndarray:
+    """Emission density making ``psi_star`` the exact sweep solution.
+
+    Inverts the per-cell balance: ``V_c q_c = removal_c psi*_c -
+    sum_inflow coeff * psi*_upwind`` (vacuum boundary inflow = 0).
+    """
+    mesh = problem.mesh
+    psi_star = np.asarray(psi_star, dtype=np.float64)
+    if psi_star.shape != (mesh.n_cells,):
+        raise ReproError("psi_star must have one value per cell")
+    vol_q = geo.removal * psi_star
+    down = np.repeat(
+        np.arange(mesh.n_cells, dtype=np.int64), np.diff(geo.in_offsets)
+    )
+    np.subtract.at(vol_q, down, geo.in_coeffs * psi_star[geo.in_neighbors])
+    return vol_q / mesh.cell_volumes
+
+
+def verify_sweep(
+    problem: TransportProblem,
+    orders: list[np.ndarray],
+    seed=0,
+    directions: int | None = None,
+) -> float:
+    """Max |psi - psi*| over manufactured solutions for each direction.
+
+    Draws a random positive target flux, manufactures its source, sweeps,
+    and returns the worst absolute error across the tested directions
+    (all by default).  Anything above ~1e-10 means a discretisation bug.
+    """
+    if problem.boundary != "vacuum":
+        raise ReproError("MMS verification assumes vacuum boundaries")
+    geos, _ = build_geometry(problem, orders)
+    rng = np.random.default_rng(seed)
+    n_dirs = problem.quadrature.k if directions is None else directions
+    worst = 0.0
+    for geo in geos[:n_dirs]:
+        psi_star = rng.random(problem.mesh.n_cells) + 0.5
+        emission = manufactured_emission(problem, geo, psi_star)
+        psi = sweep_direction(problem, geo, emission)
+        worst = max(worst, float(np.abs(psi - psi_star).max()))
+    return worst

@@ -1,0 +1,26 @@
+"""Shared utilities: errors, RNG handling, timing, array helpers.
+
+These modules are intentionally dependency-light; everything else in
+:mod:`repro` builds on top of them.
+"""
+
+from repro.util.errors import (
+    ReproError,
+    InvalidInstanceError,
+    InvalidScheduleError,
+    PartitionError,
+    MeshError,
+)
+from repro.util.rng import as_rng, spawn_rngs
+from repro.util.timing import Timer
+
+__all__ = [
+    "ReproError",
+    "InvalidInstanceError",
+    "InvalidScheduleError",
+    "PartitionError",
+    "MeshError",
+    "as_rng",
+    "spawn_rngs",
+    "Timer",
+]

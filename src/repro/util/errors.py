@@ -1,0 +1,31 @@
+"""Exception hierarchy for the sweep-scheduling reproduction.
+
+Every error raised deliberately by this package derives from
+:class:`ReproError`, so callers can catch package failures without also
+swallowing programming errors (``TypeError`` etc.).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class InvalidInstanceError(ReproError):
+    """A sweep-scheduling instance violates its structural invariants.
+
+    Examples: a DAG references a cell outside ``range(n_cells)``, a
+    direction graph contains a cycle, or the processor count is not
+    positive.
+    """
+
+
+class InvalidScheduleError(ReproError):
+    """A schedule violates feasibility (precedence / capacity / same-proc)."""
+
+
+class PartitionError(ReproError):
+    """Graph partitioning failed or was given inconsistent arguments."""
+
+
+class MeshError(ReproError):
+    """Mesh construction or validation failed."""

@@ -1,0 +1,49 @@
+"""Reproducible random-number-generator plumbing.
+
+All randomized algorithms in this package accept a ``seed`` argument that
+may be ``None`` (fresh entropy), an ``int``, or an existing
+:class:`numpy.random.Generator`.  :func:`as_rng` normalises the three forms.
+
+Randomised algorithms that need several independent streams (e.g. one per
+repetition of an experiment) should use :func:`spawn_rngs`, which derives
+child generators through :class:`numpy.random.SeedSequence` spawning so the
+streams are statistically independent regardless of the root seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+
+def as_rng(seed=None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` seed, a ``SeedSequence``, or an
+        existing ``Generator`` (returned unchanged so callers can share a
+        stream).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent generators from ``seed``.
+
+    Unlike ``[as_rng(seed + i) for i in range(n)]``, sequential integer
+    seeds are not used; children are spawned through ``SeedSequence`` which
+    guarantees independence.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of rngs: {n}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children from the generator's own bit stream.
+        seeds = seed.integers(0, 2**63 - 1, size=n)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    ss = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]

@@ -1,0 +1,64 @@
+"""Shared fixtures: small meshes, instances, and hand-built DAGs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import settings as hyp_settings
+
+from repro.core import Dag, SweepInstance
+
+# Derandomize hypothesis so the suite is reproducible run to run.
+hyp_settings.register_profile("repro", derandomize=True, deadline=None)
+hyp_settings.load_profile("repro")
+from repro.mesh import Mesh, tetonly_like, unit_square_tri
+from repro.sweeps import build_instance, circle_directions, level_symmetric
+
+
+@pytest.fixture(scope="session")
+def tri_mesh() -> Mesh:
+    """~100-cell 2-D triangle mesh (fast, shared across the session)."""
+    return unit_square_tri(target_cells=100, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tet_mesh() -> Mesh:
+    """~400-cell 3-D tet mesh."""
+    return tetonly_like(target_cells=400, seed=0)
+
+
+@pytest.fixture(scope="session")
+def grid_mesh() -> Mesh:
+    """6x5 structured quad grid (exact expectations possible)."""
+    return Mesh.structured_grid((6, 5))
+
+
+@pytest.fixture(scope="session")
+def tri_instance(tri_mesh) -> SweepInstance:
+    """2-D mesh with 4 sweep directions."""
+    return build_instance(tri_mesh, circle_directions(4))
+
+
+@pytest.fixture(scope="session")
+def tet_instance(tet_mesh) -> SweepInstance:
+    """3-D mesh with the 8-direction S2 set."""
+    return build_instance(tet_mesh, level_symmetric(2))
+
+
+@pytest.fixture()
+def chain_instance() -> SweepInstance:
+    """Two directions over a 4-cell path: one sweeps 0->3, one 3->0."""
+    fwd = Dag.from_edge_list(4, [(0, 1), (1, 2), (2, 3)])
+    bwd = Dag.from_edge_list(4, [(3, 2), (2, 1), (1, 0)])
+    return SweepInstance(4, [fwd, bwd], name="chain")
+
+
+@pytest.fixture()
+def diamond_dag() -> Dag:
+    """Classic diamond: 0 -> {1, 2} -> 3."""
+    return Dag.from_edge_list(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

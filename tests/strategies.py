@@ -1,0 +1,77 @@
+"""Hypothesis strategies for DAGs and sweep instances.
+
+Random DAGs are built by drawing edges over a hidden random vertex
+ordering — every generated graph is acyclic by construction but the edge
+*labels* are arbitrary, so level structure, branching, and density all
+vary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.core import Dag, SweepInstance
+
+__all__ = ["dags", "sweep_instances", "digraph_edges"]
+
+
+@st.composite
+def dags(draw, max_n: int = 30, max_extra_edges: int = 60) -> Dag:
+    """A random DAG on 1..max_n vertices."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)  # hidden topological order
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = np.arange(n)
+    n_edges = draw(st.integers(min_value=0, max_value=max_extra_edges))
+    edges = []
+    for _ in range(n_edges):
+        u, v = rng.integers(0, n, size=2)
+        if rank[u] == rank[v]:
+            continue
+        if rank[u] < rank[v]:
+            edges.append((u, v))
+        else:
+            edges.append((v, u))
+    return Dag.from_edge_list(n, edges)
+
+
+@st.composite
+def sweep_instances(draw, max_n: int = 20, max_k: int = 4) -> SweepInstance:
+    """A random instance: k random DAGs over one shared vertex set."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    k = draw(st.integers(min_value=1, max_value=max_k))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    dag_list = []
+    for _ in range(k):
+        order = rng.permutation(n)
+        rank = np.empty(n, dtype=np.int64)
+        rank[order] = np.arange(n)
+        m_edges = int(rng.integers(0, 3 * n))
+        edges = []
+        for _ in range(m_edges):
+            u, v = rng.integers(0, n, size=2)
+            if rank[u] < rank[v]:
+                edges.append((u, v))
+            elif rank[v] < rank[u]:
+                edges.append((v, u))
+        dag_list.append(Dag.from_edge_list(n, edges))
+    return SweepInstance(n, dag_list)
+
+
+@st.composite
+def digraph_edges(draw, max_n: int = 25, max_edges: int = 80):
+    """(n, edges) for a possibly-cyclic digraph without self-loops."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    n_edges = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = []
+    for _ in range(n_edges):
+        u, v = rng.integers(0, n, size=2)
+        if u != v:
+            edges.append((u, v))
+    return n, np.array(edges, dtype=np.int64).reshape(-1, 2)

@@ -1,0 +1,75 @@
+"""Tests for the dependency-free ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments import ascii_chart
+from repro.util.errors import ReproError
+
+ROWS = [
+    {"m": 2, "algo": "a", "ratio": 1.0},
+    {"m": 8, "algo": "a", "ratio": 2.0},
+    {"m": 32, "algo": "a", "ratio": 4.0},
+    {"m": 2, "algo": "b", "ratio": 1.0},
+    {"m": 8, "algo": "b", "ratio": 1.2},
+    {"m": 32, "algo": "b", "ratio": 1.5},
+]
+
+
+class TestChart:
+    def test_basic_structure(self):
+        text = ascii_chart(ROWS, x="m", y="ratio", group_by="algo", title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert any("o = a" in l for l in lines)
+        assert any("x = b" in l for l in lines)
+        assert any("---" in l for l in lines)  # x axis
+
+    def test_y_range_labels(self):
+        text = ascii_chart(ROWS, x="m", y="ratio", group_by="algo")
+        assert "4" in text.splitlines()[0]  # max at the top
+        assert "1" in text  # min at the bottom
+
+    def test_extremes_plotted_at_extremes(self):
+        text = ascii_chart(ROWS, x="m", y="ratio", group_by="algo", height=8)
+        lines = text.splitlines()
+        # max value (4.0, series a='o') sits on the top row.
+        assert "o" in lines[0]
+        # min values share the bottom grid row; collision shows as '!'.
+        bottom = lines[7]
+        assert "o" in bottom or "!" in bottom
+
+    def test_collision_marker(self):
+        rows = [
+            {"m": 1, "algo": "a", "ratio": 1.0},
+            {"m": 1, "algo": "b", "ratio": 1.0},
+            {"m": 2, "algo": "a", "ratio": 2.0},
+            {"m": 2, "algo": "b", "ratio": 1.5},
+        ]
+        text = ascii_chart(rows, x="m", y="ratio", group_by="algo")
+        assert "!" in text
+
+    def test_x_tick_labels_present_and_untruncated(self):
+        text = ascii_chart(ROWS, x="m", y="ratio", group_by="algo")
+        tick_line = text.splitlines()[-2]
+        assert "2" in tick_line and "32" in tick_line
+
+    def test_flat_series_does_not_crash(self):
+        rows = [{"m": v, "algo": "a", "ratio": 1.0} for v in (1, 2, 3)]
+        text = ascii_chart(rows, x="m", y="ratio", group_by="algo")
+        assert "o" in text
+
+    def test_empty_cells_skipped(self):
+        rows = ROWS + [{"m": 64, "algo": "a", "ratio": ""}]
+        text = ascii_chart(rows, x="m", y="ratio", group_by="algo")
+        assert "64" not in text.splitlines()[-2]
+
+    def test_errors(self):
+        with pytest.raises(ReproError, match="no rows"):
+            ascii_chart([], x="m", y="ratio", group_by="algo")
+        with pytest.raises(ReproError, match="width"):
+            ascii_chart(ROWS, x="m", y="ratio", group_by="algo", width=5)
+        many = [
+            {"m": 1, "algo": f"s{i}", "ratio": float(i)} for i in range(12)
+        ]
+        with pytest.raises(ReproError, match="series"):
+            ascii_chart(many, x="m", y="ratio", group_by="algo")

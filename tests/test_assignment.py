@@ -1,0 +1,82 @@
+"""Tests for cell->processor assignment strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    balanced_random_assignment,
+    block_assignment,
+    random_cell_assignment,
+    round_robin_assignment,
+)
+from repro.util.errors import InvalidScheduleError
+
+
+class TestRandomCellAssignment:
+    def test_range_and_shape(self):
+        a = random_cell_assignment(100, 7, seed=0)
+        assert a.shape == (100,)
+        assert a.min() >= 0 and a.max() < 7
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            random_cell_assignment(50, 4, seed=3),
+            random_cell_assignment(50, 4, seed=3),
+        )
+
+    def test_roughly_uniform(self):
+        a = random_cell_assignment(10_000, 4, seed=0)
+        counts = np.bincount(a, minlength=4)
+        assert counts.min() > 2000  # each proc within ~20% of 2500
+
+    def test_rejects_nonpositive_m(self):
+        with pytest.raises(InvalidScheduleError, match="positive"):
+            random_cell_assignment(10, 0)
+
+    def test_zero_cells(self):
+        assert random_cell_assignment(0, 3, seed=0).shape == (0,)
+
+
+class TestBlockAssignment:
+    def test_cells_of_one_block_share_processor(self):
+        blocks = np.array([0, 0, 1, 1, 2, 2])
+        a = block_assignment(blocks, 4, seed=0)
+        assert a[0] == a[1] and a[2] == a[3] and a[4] == a[5]
+
+    def test_noncontiguous_block_ids_accepted(self):
+        blocks = np.array([10, 10, 99, 99])
+        a = block_assignment(blocks, 2, seed=0)
+        assert a[0] == a[1] and a[2] == a[3]
+
+    def test_balanced_mode_spreads_blocks(self):
+        blocks = np.arange(8)  # 8 singleton blocks
+        a = block_assignment(blocks, 4, seed=0, balanced=True)
+        counts = np.bincount(a, minlength=4)
+        assert list(counts) == [2, 2, 2, 2]
+
+    def test_random_mode_range(self):
+        blocks = np.arange(100) % 10
+        a = block_assignment(blocks, 3, seed=1)
+        assert a.min() >= 0 and a.max() < 3
+
+    def test_deterministic(self):
+        blocks = np.arange(20) % 5
+        assert np.array_equal(
+            block_assignment(blocks, 3, seed=2),
+            block_assignment(blocks, 3, seed=2),
+        )
+
+
+class TestDeterministicAssignments:
+    def test_round_robin(self):
+        assert list(round_robin_assignment(5, 2)) == [0, 1, 0, 1, 0]
+
+    def test_balanced_random_loads_differ_by_at_most_one(self):
+        a = balanced_random_assignment(10, 3, seed=0)
+        counts = np.bincount(a, minlength=3)
+        assert counts.max() - counts.min() <= 1
+
+    def test_balanced_random_is_random(self):
+        a = balanced_random_assignment(30, 3, seed=0)
+        b = balanced_random_assignment(30, 3, seed=1)
+        assert not np.array_equal(a, b)

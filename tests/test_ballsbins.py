@@ -1,0 +1,142 @@
+"""Tests for the probability toolkit (Lemma 1, Corollary 2, Lemma 5)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bound_F,
+    bound_H,
+    chernoff_G,
+    expected_max_load_bound,
+    max_load,
+    mean_max_load,
+    phi,
+)
+from repro.util.errors import ReproError
+
+
+class TestChernoffG:
+    def test_zero_delta_is_one(self):
+        assert chernoff_G(5.0, 0.0) == 1.0
+
+    def test_decreasing_in_delta(self):
+        vals = [chernoff_G(2.0, d) for d in (0.5, 1.0, 2.0, 4.0)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_decreasing_in_mu_for_fixed_delta(self):
+        assert chernoff_G(10.0, 1.0) < chernoff_G(1.0, 1.0)
+
+    def test_matches_direct_formula(self):
+        mu, d = 3.0, 1.5
+        direct = (np.e**d / (1 + d) ** (1 + d)) ** mu
+        assert chernoff_G(mu, d) == pytest.approx(direct)
+
+    def test_no_overflow_for_large_delta(self):
+        assert chernoff_G(1.0, 1e6) == 0.0
+
+    def test_bound_actually_bounds_binomial_tail(self):
+        """Monte-Carlo sanity: Pr[X >= mu(1+d)] <= G(mu, d) for a
+        Binomial(n, p) with mu = np."""
+        rng = np.random.default_rng(0)
+        n, p = 400, 0.05
+        mu = n * p
+        delta = 1.0
+        xs = rng.binomial(n, p, size=20_000)
+        emp = float((xs >= mu * (1 + delta)).mean())
+        assert emp <= chernoff_G(mu, delta) + 0.01
+
+    def test_rejects_negative(self):
+        with pytest.raises(ReproError):
+            chernoff_G(-1.0, 0.5)
+
+
+class TestBoundF:
+    def test_tail_mass_below_p(self):
+        """G(mu, F/mu - 1) < p across regimes, i.e. Pr[X > F] < p."""
+        for mu in (0.1, 0.5, 1.0, 3.0, 10.0, 100.0):
+            for p in (0.1, 0.01, 1e-4):
+                f = bound_F(mu, p)
+                assert f >= mu
+                delta = f / mu - 1
+                if delta > 0:
+                    assert chernoff_G(mu, delta) < p
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ReproError):
+            bound_F(0.0, 0.5)
+        with pytest.raises(ReproError):
+            bound_F(1.0, 1.5)
+
+
+class TestBoundH:
+    def test_nondecreasing_in_mu(self):
+        p = 1e-4
+        mus = np.linspace(0.01, 50, 200)
+        vals = [bound_H(m, p) for m in mus]
+        assert all(b >= a - 1e-9 for a, b in zip(vals, vals[1:]))
+
+    def test_concave_in_mu_below_regime_band(self):
+        """Corollary 2(a) holds for mu < L/e^2; the paper's literal H is
+        mildly convex on (L/e^2, L/e] — see the bound_H docstring."""
+        p = 1e-4
+        L = np.log(1 / p)
+        mus = np.linspace(0.01, L / np.e**2, 100)
+        for a, b in zip(mus[:-2], mus[2:]):
+            mid = (a + b) / 2
+            assert bound_H(mid, p) >= (bound_H(a, p) + bound_H(b, p)) / 2 - 1e-9
+
+    def test_linear_hence_concave_in_dense_regime(self):
+        p = 1e-4
+        L = np.log(1 / p)
+        mus = np.linspace(L / np.e * 1.01, 50, 50)
+        vals = np.array([bound_H(m, p) for m in mus])
+        slope = np.diff(vals) / np.diff(mus)
+        assert np.allclose(slope, slope[0])
+
+    def test_continuous_at_regime_boundary(self):
+        p = 1e-6
+        edge = np.log(1 / p) / np.e
+        below = bound_H(edge * 0.9999, p)
+        above = bound_H(edge * 1.0001, p)
+        assert abs(below - above) / above < 0.01
+
+
+class TestCorollary2b:
+    @pytest.mark.parametrize("t,m", [(10, 10), (100, 10), (50, 50), (500, 20)])
+    def test_expected_max_load_bounded(self, t, m):
+        emp = mean_max_load(t, m, trials=300, seed=0)
+        assert emp <= expected_max_load_bound(t, m)
+
+    def test_zero_balls(self):
+        assert expected_max_load_bound(0, 5) == 0.0
+        assert max_load(0, 5) == 0
+
+    def test_max_load_range(self):
+        load = max_load(100, 10, seed=0)
+        assert 10 <= load <= 100
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(ReproError):
+            max_load(5, 0)
+        with pytest.raises(ReproError):
+            expected_max_load_bound(5, 0)
+        with pytest.raises(ReproError):
+            mean_max_load(5, 2, trials=0)
+
+
+class TestPhi:
+    def test_values(self):
+        assert phi(0.0) == 0.0
+        assert phi(1.0) == pytest.approx(np.exp(-1))
+
+    def test_convex_on_unit_interval_for_a3(self):
+        """Lemma 5: phi_a convex on [0,1] for a >= 3 (midpoint test)."""
+        xs = np.linspace(0, 1, 101)
+        for a in (3.0, 4.0, 6.0):
+            vals = phi(xs, a=a)
+            mid = phi((xs[:-2] + xs[2:]) / 2, a=a)
+            assert np.all(mid <= (vals[:-2] + vals[2:]) / 2 + 1e-12)
+
+    def test_vectorised(self):
+        out = phi(np.array([0.1, 0.5]))
+        assert out.shape == (2,)

@@ -1,0 +1,82 @@
+"""Tests for direction batching (angle-set aggregation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import random_delay_priority_schedule
+from repro.sweeps import batched_schedule, direction_batches
+from repro.util.errors import ReproError
+
+
+class TestDirectionBatches:
+    def test_even_split(self):
+        batches = direction_batches(8, 4)
+        assert [len(b) for b in batches] == [2, 2, 2, 2]
+        assert np.concatenate(batches).tolist() == list(range(8))
+
+    def test_uneven_split(self):
+        batches = direction_batches(8, 3)
+        assert sum(len(b) for b in batches) == 8
+        assert max(len(b) for b in batches) - min(len(b) for b in batches) <= 1
+
+    def test_one_batch_is_everything(self):
+        (batch,) = direction_batches(5, 1)
+        assert batch.tolist() == [0, 1, 2, 3, 4]
+
+    def test_k_batches_are_singletons(self):
+        batches = direction_batches(4, 4)
+        assert all(len(b) == 1 for b in batches)
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ReproError):
+            direction_batches(4, 0)
+        with pytest.raises(ReproError):
+            direction_batches(4, 5)
+
+
+class TestBatchedSchedule:
+    def test_feasible(self, tet_instance):
+        s = batched_schedule(tet_instance, 4, n_batches=4, seed=0)
+        s.validate()
+        assert s.meta["n_batches"] == 4
+
+    def test_single_batch_matches_plain_algorithm(self, tet_instance):
+        """n_batches=1 must be the plain algorithm with the same
+        randomness stream structure — same makespan scale at least."""
+        s1 = batched_schedule(tet_instance, 4, n_batches=1, seed=0)
+        s1.validate()
+        plain = random_delay_priority_schedule(tet_instance, 4, seed=0)
+        assert abs(s1.makespan - plain.makespan) / plain.makespan < 0.15
+
+    def test_batches_run_sequentially(self, tet_instance):
+        n = tet_instance.n_cells
+        s = batched_schedule(tet_instance, 4, n_batches=2, seed=0)
+        first_half = s.start[: (tet_instance.k // 2) * n]
+        second_half = s.start[(tet_instance.k // 2) * n :]
+        assert first_half.max() < second_half.min()
+
+    def test_more_batches_never_helps(self, tet_instance):
+        """Batching only removes pipelining freedom: makespan is
+        monotone (weakly, modulo randomness) in batch count."""
+        spans = []
+        for nb in (1, 2, 8):
+            best = min(
+                batched_schedule(tet_instance, 8, n_batches=nb, seed=s).makespan
+                for s in range(3)
+            )
+            spans.append(best)
+        assert spans[0] <= spans[1] * 1.05
+        assert spans[1] <= spans[2] * 1.05
+
+    def test_shared_assignment_across_batches(self, tet_instance):
+        assignment = np.arange(tet_instance.n_cells) % 4
+        s = batched_schedule(
+            tet_instance, 4, n_batches=2, seed=0, assignment=assignment
+        )
+        assert np.array_equal(s.assignment, assignment)
+        s.validate()
+
+    def test_named_algorithm_forwarded(self, tet_instance):
+        s = batched_schedule(tet_instance, 4, n_batches=2, algorithm="dfds", seed=0)
+        s.validate()
+        assert s.meta["algorithm"] == "batched_dfds"

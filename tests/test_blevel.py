@@ -1,0 +1,54 @@
+"""Tests for the b-level (HLFET) heuristic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import Dag, SweepInstance
+from repro.heuristics import ALGORITHMS, blevel_priorities, blevel_schedule
+
+from .strategies import sweep_instances
+
+
+class TestPriorities:
+    def test_chain_blevels(self, chain_instance):
+        b = blevel_priorities(chain_instance)
+        assert list(b[:4]) == [4, 3, 2, 1]
+        assert list(b[4:]) == [1, 2, 3, 4]
+
+    def test_deepest_task_first_on_one_proc(self):
+        # Two roots: 0 heads a chain of 3, 1 is isolated.
+        g = Dag.from_edge_list(4, [(0, 2), (2, 3)])
+        inst = SweepInstance(4, [g])
+        s = blevel_schedule(inst, 1, assignment=np.zeros(4, dtype=int), seed=0)
+        assert s.start[0] < s.start[1]
+
+
+class TestSchedule:
+    def test_feasible(self, tet_instance):
+        s = blevel_schedule(tet_instance, 4, seed=0)
+        s.validate()
+        assert s.meta["algorithm"] == "blevel"
+
+    def test_with_delays(self, tet_instance):
+        s = blevel_schedule(tet_instance, 4, seed=0, with_delays=True)
+        s.validate()
+        assert s.meta["algorithm"] == "blevel_delays"
+
+    def test_registered(self):
+        assert "blevel" in ALGORITHMS and "blevel_delays" in ALGORITHMS
+
+    def test_beats_fifo_on_deep_instance(self):
+        """On a deep chain plus filler, critical-path awareness wins."""
+        edges = [(i, i + 1) for i in range(29)]
+        g = Dag.from_edge_list(60, edges)  # 30-chain + 30 isolated
+        inst = SweepInstance(60, [g])
+        assignment = np.arange(60) % 2
+        b = blevel_schedule(inst, 2, assignment=assignment)
+        f = ALGORITHMS["fifo"](inst, 2, assignment=assignment)
+        assert b.makespan <= f.makespan
+
+    @given(sweep_instances(max_n=12, max_k=3))
+    @settings(max_examples=15, deadline=None)
+    def test_always_feasible(self, inst):
+        blevel_schedule(inst, 2, seed=0).validate()

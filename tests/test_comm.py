@@ -1,0 +1,157 @@
+"""Tests for communication-cost measures C1, C2, and message rounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.comm import (
+    c2_cost,
+    greedy_edge_coloring,
+    interprocessor_edges,
+    interprocessor_edge_fraction,
+    max_degree,
+    per_step_rounds,
+    per_step_send_counts,
+    rounds_cost,
+    step_message_graph,
+)
+from repro.core import (
+    Dag,
+    Schedule,
+    SweepInstance,
+    list_schedule,
+    random_cell_assignment,
+    random_delay_priority_schedule,
+)
+from repro.util.errors import ReproError
+
+from .strategies import sweep_instances
+
+
+class TestC1:
+    def test_counts_cross_edges_per_direction(self, chain_instance):
+        # Assignment 0,0,1,1 cuts one edge in each of the two chains.
+        assert interprocessor_edges(chain_instance, np.array([0, 0, 1, 1])) == 2
+
+    def test_zero_when_single_processor(self, chain_instance):
+        assert interprocessor_edges(chain_instance, np.zeros(4, dtype=int)) == 0
+
+    def test_all_cross_when_alternating(self, chain_instance):
+        assert interprocessor_edges(chain_instance, np.array([0, 1, 0, 1])) == 6
+
+    def test_fraction(self, chain_instance):
+        frac = interprocessor_edge_fraction(chain_instance, np.array([0, 0, 1, 1]))
+        assert frac == pytest.approx(2 / 6)
+
+    def test_fraction_no_edges(self):
+        inst = SweepInstance(3, [Dag(3, [])])
+        assert interprocessor_edge_fraction(inst, np.zeros(3, dtype=int)) == 0.0
+
+    def test_random_assignment_fraction_near_m_minus_1_over_m(self, tet_instance):
+        """The paper's observation: random per-cell assignment cuts about
+        (m-1)/m of all edges."""
+        m = 8
+        a = random_cell_assignment(tet_instance.n_cells, m, seed=0)
+        frac = interprocessor_edge_fraction(tet_instance, a)
+        assert abs(frac - (m - 1) / m) < 0.05
+
+
+class TestC2:
+    def test_hand_example(self):
+        """Two chains on two procs: each cut edge sends 1 message."""
+        g = Dag.from_edge_list(2, [(0, 1)])
+        inst = SweepInstance(2, [g])
+        s = list_schedule(inst, 2, np.array([0, 1]))
+        # Task 0 at step 0 on proc 0 sends one message; step 1 sends none.
+        assert per_step_send_counts(s).tolist() == [1, 0]
+        assert c2_cost(s) == 1
+
+    def test_zero_on_one_processor(self, tet_instance):
+        s = random_delay_priority_schedule(tet_instance, 1, seed=0)
+        assert c2_cost(s) == 0
+
+    def test_dedup_reduces_or_equals(self, tet_instance):
+        s = random_delay_priority_schedule(tet_instance, 4, seed=0)
+        assert c2_cost(s, dedup=True) <= c2_cost(s, dedup=False)
+
+    def test_c2_below_c1(self, tet_instance):
+        """C2 sums per-step *maxima*, C1 sums every cross edge."""
+        s = random_delay_priority_schedule(tet_instance, 4, seed=0)
+        assert c2_cost(s) <= interprocessor_edges(tet_instance, s.assignment)
+
+    @given(sweep_instances(max_n=12, max_k=3))
+    @settings(max_examples=20, deadline=None)
+    def test_c2_sandwich_property(self, inst):
+        s = random_delay_priority_schedule(inst, 3, seed=0)
+        c2 = c2_cost(s)
+        c1 = interprocessor_edges(inst, s.assignment)
+        assert 0 <= c2 <= c1
+
+
+class TestEdgeColoring:
+    def test_triangle_needs_three_colors(self):
+        edges = np.array([[0, 1], [1, 2], [0, 2]])
+        colors = greedy_edge_coloring(edges, 3)
+        assert len(set(colors.tolist())) == 3
+
+    def test_star_needs_degree_colors(self):
+        edges = np.array([[0, 1], [0, 2], [0, 3]])
+        colors = greedy_edge_coloring(edges, 4)
+        assert sorted(colors.tolist()) == [0, 1, 2]
+
+    def test_proper_coloring(self):
+        rng = np.random.default_rng(0)
+        edges = rng.integers(0, 10, size=(40, 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        colors = greedy_edge_coloring(edges, 10)
+        for i in range(len(edges)):
+            for j in range(i + 1, len(edges)):
+                if set(edges[i]) & set(edges[j]):
+                    assert colors[i] != colors[j]
+
+    def test_within_greedy_bound(self):
+        rng = np.random.default_rng(1)
+        edges = rng.integers(0, 8, size=(60, 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        colors = greedy_edge_coloring(edges, 8)
+        delta = max_degree(edges, 8)
+        assert colors.max() + 1 <= 2 * delta - 1
+
+    def test_parallel_edges_get_distinct_colors(self):
+        edges = np.array([[0, 1], [0, 1]])
+        colors = greedy_edge_coloring(edges, 2)
+        assert colors[0] != colors[1]
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ReproError, match="itself"):
+            greedy_edge_coloring(np.array([[1, 1]]), 2)
+
+    def test_empty(self):
+        assert greedy_edge_coloring(np.empty((0, 2)), 3).size == 0
+        assert max_degree(np.empty((0, 2)), 3) == 0
+
+
+class TestRounds:
+    def test_rounds_sandwiched_between_c2_and_c1(self, tet_instance):
+        s = random_delay_priority_schedule(tet_instance, 4, seed=0)
+        rc = rounds_cost(s)
+        assert c2_cost(s) <= rc <= interprocessor_edges(tet_instance, s.assignment)
+
+    def test_per_step_rounds_at_least_max_sends(self, tet_instance):
+        s = random_delay_priority_schedule(tet_instance, 4, seed=0)
+        rounds = per_step_rounds(s)
+        sends = per_step_send_counts(s)
+        assert np.all(rounds >= sends)
+
+    def test_step_message_graph_entries(self):
+        g = Dag.from_edge_list(2, [(0, 1)])
+        inst = SweepInstance(2, [g])
+        s = list_schedule(inst, 2, np.array([0, 1]))
+        msgs = step_message_graph(s, 0)
+        assert msgs.tolist() == [[0, 1]]
+        assert step_message_graph(s, 1).size == 0
+
+    def test_no_edges_no_rounds(self):
+        inst = SweepInstance(3, [Dag(3, [])])
+        s = list_schedule(inst, 2, np.array([0, 1, 0]))
+        assert rounds_cost(s) == 0

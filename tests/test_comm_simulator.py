@@ -1,0 +1,63 @@
+"""Tests for the wall-clock communication simulator."""
+
+import pytest
+
+from repro.comm import (
+    CommModel,
+    communication_profile,
+    estimate_wall_clock,
+)
+from repro.core import random_delay_priority_schedule
+from repro.util.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def sched(tet_instance):
+    return random_delay_priority_schedule(tet_instance, 4, seed=0)
+
+
+class TestCommModel:
+    def test_defaults(self):
+        m = CommModel()
+        assert m.p == 1.0 and m.accounting == "max_send"
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ReproError, match="task time"):
+            CommModel(p=0)
+
+    def test_rejects_negative_c(self):
+        with pytest.raises(ReproError, match="message time"):
+            CommModel(c=-1)
+
+    def test_rejects_unknown_accounting(self):
+        with pytest.raises(ReproError, match="accounting"):
+            CommModel(accounting="psychic")
+
+
+class TestEstimate:
+    def test_none_accounting_is_pure_compute(self, sched):
+        est = estimate_wall_clock(sched, CommModel(c=1.0, accounting="none"))
+        assert est.comm_time == 0
+        assert est.total == sched.makespan
+
+    def test_accounting_ordering(self, sched):
+        """max_send <= rounds <= total_edges (the cost sandwich)."""
+        per = {
+            acc: estimate_wall_clock(sched, CommModel(accounting=acc)).comm_steps
+            for acc in ("max_send", "rounds", "total_edges")
+        }
+        assert per["max_send"] <= per["rounds"] <= per["total_edges"]
+
+    def test_p_scales_compute(self, sched):
+        a = estimate_wall_clock(sched, CommModel(p=1.0, accounting="none"))
+        b = estimate_wall_clock(sched, CommModel(p=2.5, accounting="none"))
+        assert b.compute_time == pytest.approx(2.5 * a.compute_time)
+
+    def test_comm_fraction_bounds(self, sched):
+        est = estimate_wall_clock(sched, CommModel(c=0.5))
+        assert 0 < est.comm_fraction() < 1
+
+    def test_profile_consistency(self, sched):
+        prof = communication_profile(sched)
+        assert prof["c2_max_send"] <= prof["rounds_1port"] <= prof["c1_total_edges"]
+        assert prof["c2_peak_step"] <= prof["c2_max_send"]

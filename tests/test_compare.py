@@ -1,0 +1,78 @@
+"""Tests for the statistical comparison helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import bootstrap_ci, compare_pair, sample_algorithm
+from repro.util.errors import ReproError
+
+
+class TestSampling:
+    def test_sample_shape_and_lb(self, tet_instance):
+        s = sample_algorithm(tet_instance, "random_delay_priority", 4, n_seeds=5)
+        assert s.makespans.shape == (5,)
+        assert s.lower_bound > 0
+        assert np.all(s.ratios >= 1.0)
+
+    def test_seeds_vary_makespans(self, tet_instance):
+        s = sample_algorithm(tet_instance, "random_delay", 8, n_seeds=6)
+        assert np.unique(s.makespans).size > 1
+
+    def test_deterministic_given_seed(self, tet_instance):
+        a = sample_algorithm(tet_instance, "random_delay", 4, n_seeds=4, seed=1)
+        b = sample_algorithm(tet_instance, "random_delay", 4, n_seeds=4, seed=1)
+        assert np.array_equal(a.makespans, b.makespans)
+
+    def test_rejects_zero_seeds(self, tet_instance):
+        with pytest.raises(ReproError):
+            sample_algorithm(tet_instance, "fifo", 2, n_seeds=0)
+
+
+class TestBootstrap:
+    def test_ci_contains_true_mean_of_tight_sample(self):
+        values = np.full(50, 7.0)
+        lo, hi = bootstrap_ci(values)
+        assert lo == hi == 7.0
+
+    def test_ci_brackets_sample_mean(self, rng):
+        values = rng.normal(10, 2, size=200)
+        lo, hi = bootstrap_ci(values, seed=0)
+        assert lo <= values.mean() <= hi
+        assert hi - lo < 1.5  # reasonably tight at n=200
+
+    def test_wider_confidence_wider_interval(self, rng):
+        values = rng.normal(0, 1, size=50)
+        lo95, hi95 = bootstrap_ci(values, confidence=0.95, seed=0)
+        lo50, hi50 = bootstrap_ci(values, confidence=0.50, seed=0)
+        assert (hi95 - lo95) > (hi50 - lo50)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ReproError):
+            bootstrap_ci(np.array([]))
+        with pytest.raises(ReproError):
+            bootstrap_ci(np.array([1.0]), confidence=1.5)
+
+
+class TestComparePair:
+    def test_priority_beats_plain_significantly(self, tet_instance):
+        """Algorithm 2 vs Algorithm 1 with paired seeds: the compaction
+        advantage must be a significant win, not noise."""
+        result = compare_pair(
+            tet_instance, "random_delay_priority", "random_delay",
+            m=8, n_seeds=8,
+        )
+        assert result["mean_diff"] < 0
+        assert result["a_wins"] == 8
+        assert result["significant"]
+
+    def test_self_comparison_all_ties(self, tet_instance):
+        result = compare_pair(
+            tet_instance, "random_delay", "random_delay", m=4, n_seeds=5
+        )
+        assert result["ties"] == 5
+        assert result["mean_diff"] == 0.0
+        assert not result["significant"]
+
+    def test_record_sums_to_n_seeds(self, tet_instance):
+        result = compare_pair(tet_instance, "dfds", "level", m=4, n_seeds=6)
+        assert result["a_wins"] + result["ties"] + result["b_wins"] == 6

@@ -1,0 +1,84 @@
+"""Tests for SCC detection and cycle breaking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.dag import Dag
+from repro.sweeps import break_cycles, find_sccs
+
+from .strategies import digraph_edges
+
+
+class TestFindSccs:
+    def test_triangle_is_one_scc(self):
+        labels = find_sccs(3, np.array([[0, 1], [1, 2], [2, 0]]))
+        assert labels[0] == labels[1] == labels[2]
+
+    def test_dag_has_singleton_sccs(self):
+        labels = find_sccs(3, np.array([[0, 1], [1, 2]]))
+        assert len(set(labels.tolist())) == 3
+
+    def test_empty_graph(self):
+        assert find_sccs(0, np.empty((0, 2))).size == 0
+
+    def test_no_edges(self):
+        labels = find_sccs(4, np.empty((0, 2)))
+        assert len(set(labels.tolist())) == 4
+
+
+class TestBreakCycles:
+    def test_acyclic_input_untouched(self):
+        edges = np.array([[0, 1], [1, 2], [0, 2]])
+        out, removed = break_cycles(3, edges)
+        assert removed == 0
+        assert np.array_equal(out, edges)
+
+    def test_triangle_loses_exactly_one_edge(self):
+        edges = np.array([[0, 1], [1, 2], [2, 0]])
+        out, removed = break_cycles(3, edges)
+        assert removed == 1
+        assert out.shape[0] == 2
+        Dag(3, out)  # must be acyclic now
+
+    def test_two_cycle(self):
+        edges = np.array([[0, 1], [1, 0]])
+        out, removed = break_cycles(2, edges)
+        assert removed == 1
+        assert out.tolist() == [[0, 1]]
+
+    def test_order_key_controls_survivors(self):
+        """With projection keys, edges against the sweep direction die."""
+        edges = np.array([[0, 1], [1, 0]])
+        out, _ = break_cycles(2, edges, order_key=np.array([5.0, 1.0]))
+        # Vertex 1 projects earlier, so only 1 -> 0 survives.
+        assert out.tolist() == [[1, 0]]
+
+    def test_edges_outside_scc_survive(self):
+        # Cycle {0,1} plus a bridge 1 -> 2 that must be kept.
+        edges = np.array([[0, 1], [1, 0], [1, 2]])
+        out, removed = break_cycles(3, edges)
+        assert removed == 1
+        assert [1, 2] in out.tolist()
+
+    def test_empty_edges(self):
+        out, removed = break_cycles(5, np.empty((0, 2)))
+        assert removed == 0
+        assert out.shape == (0, 2)
+
+    @given(digraph_edges())
+    @settings(max_examples=60, deadline=None)
+    def test_result_always_acyclic(self, case):
+        n, edges = case
+        out, removed = break_cycles(n, edges)
+        Dag(n, out)  # raises if a cycle survived
+        assert removed == edges.shape[0] - out.shape[0]
+
+    @given(digraph_edges())
+    @settings(max_examples=40, deadline=None)
+    def test_with_random_order_key_acyclic(self, case):
+        n, edges = case
+        rng = np.random.default_rng(0)
+        key = rng.random(n)
+        out, _ = break_cycles(n, edges, order_key=key)
+        Dag(n, out)

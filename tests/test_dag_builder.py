@@ -1,0 +1,94 @@
+"""Tests for sweep-DAG induction from meshes."""
+
+import numpy as np
+import pytest
+
+from repro.core.dag import Dag
+from repro.mesh import Mesh
+from repro.sweeps import build_instance, circle_directions, sweep_dag, sweep_edges
+from repro.util.errors import MeshError
+
+
+class TestStructuredGridSweeps:
+    def test_plus_x_direction_chains_rows(self):
+        mesh = Mesh.structured_grid((3, 1))
+        edges = sweep_edges(mesh, np.array([1.0, 0.0]))
+        assert sorted(map(tuple, edges.tolist())) == [(0, 1), (1, 2)]
+
+    def test_minus_x_reverses(self):
+        mesh = Mesh.structured_grid((3, 1))
+        edges = sweep_edges(mesh, np.array([-1.0, 0.0]))
+        assert sorted(map(tuple, edges.tolist())) == [(1, 0), (2, 1)]
+
+    def test_perpendicular_faces_unconstrained(self):
+        """Sweeping along +x imposes nothing across y-faces."""
+        mesh = Mesh.structured_grid((2, 2))
+        edges = sweep_edges(mesh, np.array([1.0, 0.0]))
+        # Only the two x-adjacencies appear.
+        assert edges.shape[0] == 2
+
+    def test_diagonal_direction_orders_both_axes(self):
+        mesh = Mesh.structured_grid((2, 2))
+        w = np.array([1.0, 1.0]) / np.sqrt(2)
+        g = sweep_dag(mesh, w)
+        # Cell (0,0)=id0 must precede (1,1)=id3 via both (0,1) and (1,0).
+        lev = g.level_of()
+        assert lev[0] == 0 and lev[3] == 2
+
+    def test_grid_sweep_level_count(self):
+        mesh = Mesh.structured_grid((4, 4))
+        w = np.array([1.0, 1.0]) / np.sqrt(2)
+        g = sweep_dag(mesh, w)
+        # Diagonal wavefronts: 4 + 4 - 1 levels.
+        assert g.num_levels() == 7
+
+    def test_rejects_wrong_direction_shape(self):
+        mesh = Mesh.structured_grid((2, 2))
+        with pytest.raises(MeshError, match="direction"):
+            sweep_edges(mesh, np.array([1.0, 0.0, 0.0]))
+
+
+class TestDelaunaySweeps:
+    def test_all_directions_acyclic(self, tri_mesh):
+        for w in circle_directions(8):
+            g = sweep_dag(tri_mesh, w, allow_cycle_breaking=False)
+            assert isinstance(g, Dag)  # constructor validates acyclicity
+
+    def test_opposite_directions_reverse_edges(self, tri_mesh):
+        w = np.array([1.0, 0.0])
+        fwd = set(map(tuple, sweep_edges(tri_mesh, w).tolist()))
+        bwd = set(map(tuple, sweep_edges(tri_mesh, -w).tolist()))
+        assert fwd == {(v, u) for (u, v) in bwd}
+
+    def test_every_interior_face_constrains_generic_direction(self, tri_mesh):
+        """For a generic direction no face is exactly parallel, so every
+        adjacency pair induces exactly one edge."""
+        w = np.array([0.8716, 0.4902])
+        w = w / np.linalg.norm(w)
+        edges = sweep_edges(tri_mesh, w)
+        assert edges.shape[0] == tri_mesh.n_faces
+
+    def test_3d_instance_depth_reasonable(self, tet_instance, tet_mesh):
+        # Depth cannot exceed the cell count and must be at least a few
+        # layers for any real mesh.
+        assert 3 <= tet_instance.depth() <= tet_mesh.n_cells
+
+
+class TestBuildInstance:
+    def test_instance_shape(self, tri_mesh):
+        inst = build_instance(tri_mesh, circle_directions(4))
+        assert inst.k == 4
+        assert inst.n_cells == tri_mesh.n_cells
+        assert inst.name.endswith("_k4")
+
+    def test_cell_graph_edges_are_mesh_adjacency(self, tri_mesh):
+        inst = build_instance(tri_mesh, circle_directions(4))
+        assert np.array_equal(inst.cell_graph_edges, tri_mesh.adjacency)
+
+    def test_rejects_wrong_direction_dim(self, tri_mesh):
+        with pytest.raises(MeshError, match="directions"):
+            build_instance(tri_mesh, np.ones((4, 3)))
+
+    def test_custom_name(self, tri_mesh):
+        inst = build_instance(tri_mesh, circle_directions(2), name="custom")
+        assert inst.name == "custom"

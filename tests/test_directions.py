@@ -1,0 +1,95 @@
+"""Tests for sweep direction sets."""
+
+import numpy as np
+import pytest
+
+from repro.sweeps import (
+    circle_directions,
+    directions_for_mesh,
+    fibonacci_sphere,
+    level_symmetric,
+    num_level_symmetric_directions,
+    random_directions,
+)
+from repro.util.errors import ReproError
+
+
+class TestLevelSymmetric:
+    @pytest.mark.parametrize(
+        "order,count", [(2, 8), (4, 24), (6, 48), (8, 80), (12, 168)]
+    )
+    def test_direction_counts(self, order, count):
+        dirs = level_symmetric(order)
+        assert dirs.shape == (count, 3)
+        assert num_level_symmetric_directions(order) == count
+
+    @pytest.mark.parametrize("order", [2, 4, 6, 8, 12, 16])
+    def test_unit_vectors(self, order):
+        dirs = level_symmetric(order)
+        assert np.allclose(np.linalg.norm(dirs, axis=1), 1.0, atol=1e-6)
+
+    def test_octant_symmetry(self):
+        """The set is closed under sign flips of any axis."""
+        dirs = level_symmetric(4)
+        as_set = {tuple(np.round(d, 6)) for d in dirs}
+        for d in dirs:
+            assert tuple(np.round(d * [-1, 1, 1], 6)) in as_set
+            assert tuple(np.round(d * [1, -1, 1], 6)) in as_set
+            assert tuple(np.round(d * [1, 1, -1], 6)) in as_set
+
+    def test_no_duplicate_directions(self):
+        dirs = level_symmetric(6)
+        uniq = np.unique(np.round(dirs, 9), axis=0)
+        assert uniq.shape[0] == dirs.shape[0]
+
+    @pytest.mark.parametrize("order", [0, 1, 3, -2])
+    def test_invalid_order_rejected(self, order):
+        with pytest.raises(ReproError, match="even"):
+            level_symmetric(order)
+
+
+class TestGenericSets:
+    def test_fibonacci_unit_and_spread(self):
+        dirs = fibonacci_sphere(100)
+        assert np.allclose(np.linalg.norm(dirs, axis=1), 1.0)
+        # Mean direction of an even spread is near zero.
+        assert np.linalg.norm(dirs.mean(axis=0)) < 0.05
+
+    def test_circle_unit_and_even(self):
+        dirs = circle_directions(8)
+        assert dirs.shape == (8, 2)
+        assert np.allclose(np.linalg.norm(dirs, axis=1), 1.0)
+        # Evenly spaced: consecutive dot products all equal.
+        dots = [np.dot(dirs[i], dirs[(i + 1) % 8]) for i in range(8)]
+        assert np.allclose(dots, dots[0])
+
+    def test_random_directions_unit(self):
+        dirs = random_directions(50, dim=3, seed=0)
+        assert np.allclose(np.linalg.norm(dirs, axis=1), 1.0)
+
+    def test_random_directions_2d(self):
+        dirs = random_directions(10, dim=2, seed=0)
+        assert dirs.shape == (10, 2)
+
+    @pytest.mark.parametrize("fn", [fibonacci_sphere, circle_directions])
+    def test_zero_directions_rejected(self, fn):
+        with pytest.raises(ReproError, match="at least one"):
+            fn(0)
+
+    def test_random_bad_dim_rejected(self):
+        with pytest.raises(ReproError, match="dim"):
+            random_directions(5, dim=4)
+
+
+class TestDirectionsForMesh:
+    def test_2d_gets_fan(self):
+        dirs = directions_for_mesh(2, 6)
+        assert dirs.shape == (6, 2)
+
+    def test_3d_sn_count_gets_level_symmetric(self):
+        dirs = directions_for_mesh(3, 24)
+        assert np.array_equal(dirs, level_symmetric(4))
+
+    def test_3d_other_count_gets_fibonacci(self):
+        dirs = directions_for_mesh(3, 10)
+        assert dirs.shape == (10, 3)

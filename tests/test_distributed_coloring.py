@@ -1,0 +1,89 @@
+"""Tests for the randomized distributed edge coloring ([11])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import distributed_edge_coloring, max_degree
+from repro.util.errors import ReproError
+
+
+def assert_proper(edges, colors):
+    for i in range(len(edges)):
+        for j in range(i + 1, len(edges)):
+            if set(edges[i]) & set(edges[j]):
+                assert colors[i] != colors[j]
+
+
+class TestBasics:
+    def test_triangle(self):
+        edges = np.array([[0, 1], [1, 2], [0, 2]])
+        res = distributed_edge_coloring(edges, 3, seed=0)
+        assert_proper(edges.tolist(), res.colors)
+        assert res.palette_size == 4  # 2 * Delta
+
+    def test_star(self):
+        edges = np.array([[0, i] for i in range(1, 8)])
+        res = distributed_edge_coloring(edges, 8, seed=0)
+        assert np.unique(res.colors).size == 7  # all distinct at the hub
+
+    def test_parallel_edges(self):
+        edges = np.array([[0, 1], [0, 1], [0, 1]])
+        res = distributed_edge_coloring(edges, 2, seed=0)
+        assert np.unique(res.colors).size == 3
+
+    def test_empty(self):
+        res = distributed_edge_coloring(np.empty((0, 2)), 4, seed=0)
+        assert res.colors.size == 0
+        assert res.rounds == 0
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(1)
+        edges = rng.integers(0, 12, size=(40, 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        a = distributed_edge_coloring(edges, 12, seed=5)
+        b = distributed_edge_coloring(edges, 12, seed=5)
+        assert np.array_equal(a.colors, b.colors)
+        assert a.rounds == b.rounds
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ReproError, match="self-loop"):
+            distributed_edge_coloring(np.array([[2, 2]]), 3)
+
+    def test_rejects_tiny_palette_factor(self):
+        with pytest.raises(ReproError, match="palette_factor"):
+            distributed_edge_coloring(np.array([[0, 1]]), 2, palette_factor=0.9)
+
+
+class TestConvergence:
+    def test_rounds_logarithmic_empirically(self):
+        """A 300-edge random multigraph should color in ~O(log E) rounds
+        (the [11] result); allow a generous constant."""
+        rng = np.random.default_rng(0)
+        edges = rng.integers(0, 40, size=(300, 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        res = distributed_edge_coloring(edges, 40, seed=0)
+        assert res.rounds <= 40  # log2(300) ~ 8; huge slack for safety
+        assert_proper(edges[:60].tolist(), res.colors[:60])
+
+    def test_colors_within_palette(self):
+        rng = np.random.default_rng(2)
+        edges = rng.integers(0, 15, size=(80, 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        res = distributed_edge_coloring(edges, 15, seed=0)
+        assert res.colors.max() < res.palette_size
+        assert res.palette_size <= 2 * max_degree(edges, 15)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_always_proper_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 15))
+        e = int(rng.integers(1, 40))
+        edges = rng.integers(0, n, size=(e, 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        if edges.shape[0] == 0:
+            return
+        res = distributed_edge_coloring(edges, n, seed=seed)
+        assert_proper(edges.tolist(), res.colors)

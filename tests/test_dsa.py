@@ -1,0 +1,108 @@
+"""Tests for diffusion synthetic acceleration."""
+
+import numpy as np
+import pytest
+from scipy.sparse.linalg import eigsh
+
+from repro.core import random_delay_priority_schedule
+from repro.mesh import Mesh, tetonly_like
+from repro.sweeps import build_instance
+from repro.transport import (
+    Quadrature,
+    TransportProblem,
+    assemble_diffusion_matrix,
+    solve_dsa_with_schedule,
+    solve_with_schedule,
+)
+from repro.util.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def setup():
+    mesh = Mesh.structured_grid((5, 5, 4))
+    quad = Quadrature.sn(2)
+    inst = build_instance(mesh, quad.directions)
+    sched = random_delay_priority_schedule(inst, 4, seed=0)
+    return mesh, quad, sched
+
+
+class TestDiffusionMatrix:
+    def test_symmetric(self, setup):
+        mesh, quad, _ = setup
+        p = TransportProblem(mesh, quad, 1.0, 0.5, 1.0)
+        mat = assemble_diffusion_matrix(p)
+        assert (mat - mat.T).nnz == 0 or abs(mat - mat.T).max() < 1e-14
+
+    def test_positive_definite(self, setup):
+        mesh, quad, _ = setup
+        p = TransportProblem(mesh, quad, 1.0, 0.5, 1.0)
+        mat = assemble_diffusion_matrix(p)
+        smallest = eigsh(mat, k=1, which="SA", return_eigenvectors=False)
+        assert smallest[0] > 0
+
+    def test_row_sums_positive_with_boundary(self, setup):
+        """Interior couplings cancel in row sums; what remains is
+        absorption + boundary sinks — all positive."""
+        mesh, quad, _ = setup
+        p = TransportProblem(mesh, quad, 1.0, 0.5, 1.0)
+        mat = assemble_diffusion_matrix(p)
+        sums = np.asarray(mat.sum(axis=1)).ravel()
+        assert np.all(sums > 0)
+
+    def test_works_on_unstructured(self):
+        mesh = tetonly_like(250, seed=0)
+        quad = Quadrature.sn(2)
+        p = TransportProblem(mesh, quad, 1.0, 0.5, 1.0)
+        mat = assemble_diffusion_matrix(p)
+        assert mat.shape == (mesh.n_cells, mesh.n_cells)
+
+
+class TestDsaSolve:
+    def test_matches_source_iteration(self, setup):
+        mesh, quad, sched = setup
+        p = TransportProblem(mesh, quad, 1.0, 0.8, 1.0, boundary="vacuum")
+        si = solve_with_schedule(p, sched, tol=1e-10)
+        dsa = solve_dsa_with_schedule(p, sched, tol=1e-10)
+        assert dsa.converged
+        assert np.allclose(dsa.phi, si.phi, atol=1e-7)
+
+    def test_accelerates_high_scattering(self, setup):
+        mesh, quad, sched = setup
+        p = TransportProblem(mesh, quad, 1.0, 0.95, 1.0, boundary="vacuum")
+        si = solve_with_schedule(p, sched, tol=1e-9)
+        dsa = solve_dsa_with_schedule(p, sched, tol=1e-9)
+        assert dsa.iterations < si.iterations / 2
+
+    def test_iteration_count_flat_in_c(self, setup):
+        """DSA's defining property: iterations ~independent of the
+        scattering ratio."""
+        mesh, quad, sched = setup
+        iters = []
+        for c in (0.5, 0.9, 0.98):
+            p = TransportProblem(mesh, quad, 1.0, c, 1.0, boundary="vacuum")
+            iters.append(solve_dsa_with_schedule(p, sched, tol=1e-9).iterations)
+        assert max(iters) <= 2 * min(iters)
+
+    def test_rejects_white_boundary(self, setup):
+        mesh, quad, sched = setup
+        p = TransportProblem(mesh, quad, 1.0, 0.5, 1.0, boundary="white")
+        with pytest.raises(ReproError, match="vacuum"):
+            solve_dsa_with_schedule(p, sched)
+
+    def test_rejects_bad_args(self, setup):
+        mesh, quad, sched = setup
+        p = TransportProblem(mesh, quad, 1.0, 0.5, 1.0)
+        with pytest.raises(ReproError, match="positive"):
+            solve_dsa_with_schedule(p, sched, tol=0)
+
+    def test_unstructured_mesh(self):
+        mesh = tetonly_like(250, seed=0)
+        quad = Quadrature.sn(2)
+        inst = build_instance(mesh, quad.directions)
+        sched = random_delay_priority_schedule(inst, 4, seed=0)
+        p = TransportProblem(mesh, quad, 1.0, 0.9, 1.0, boundary="vacuum")
+        si = solve_with_schedule(p, sched, tol=1e-9)
+        dsa = solve_dsa_with_schedule(p, sched, tol=1e-9)
+        assert dsa.converged
+        assert np.allclose(dsa.phi, si.phi, atol=1e-6)
+        assert dsa.iterations < si.iterations

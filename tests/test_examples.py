@@ -1,0 +1,33 @@
+"""Every example script must run clean end to end (the README promise)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+def load_example(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("path", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_runs(path, capsys):
+    module = load_example(path)
+    assert hasattr(module, "main"), f"{path.name} must expose main()"
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out) > 50  # produced a real report, not silence
+
+
+def test_at_least_four_examples_exist():
+    assert len(EXAMPLES) >= 4

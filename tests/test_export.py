@@ -1,0 +1,58 @@
+"""Tests for experiment row export (CSV / JSON)."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.experiments import load_rows_json, rows_to_csv, rows_to_json
+from repro.util.errors import ReproError
+
+ROWS = [
+    {"algorithm": "a", "m": 2, "ratio": 1.5},
+    {"algorithm": "b", "m": 2, "ratio": 1.25, "extra": "x"},
+]
+
+
+class TestCsv:
+    def test_roundtrip_via_stdlib(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        rows_to_csv(ROWS, path)
+        with path.open() as fh:
+            back = list(csv.DictReader(fh))
+        assert back[0]["algorithm"] == "a"
+        assert float(back[1]["ratio"]) == 1.25
+        # Union of keys, first-appearance order.
+        assert list(back[0].keys()) == ["algorithm", "m", "ratio", "extra"]
+
+    def test_explicit_columns(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        rows_to_csv(ROWS, path, columns=["m", "ratio"])
+        header = path.read_text().splitlines()[0]
+        assert header == "m,ratio"
+
+    def test_rejects_empty(self, tmp_path):
+        with pytest.raises(ReproError, match="no rows"):
+            rows_to_csv([], tmp_path / "x.csv")
+
+
+class TestJson:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "rows.json"
+        rows_to_json(ROWS, path)
+        back = load_rows_json(path)
+        assert back[0] == ROWS[0]
+
+    def test_numpy_scalars_coerced(self, tmp_path):
+        path = tmp_path / "np.json"
+        rows_to_json([{"v": np.int64(5), "w": np.float64(1.5)}], path)
+        back = load_rows_json(path)
+        assert back == [{"v": 5, "w": 1.5}]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError, match="not found"):
+            load_rows_json(tmp_path / "nope.json")
+
+    def test_rejects_non_dict_rows(self, tmp_path):
+        with pytest.raises(ReproError, match="dicts"):
+            rows_to_json([1, 2], tmp_path / "x.json")

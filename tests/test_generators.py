@@ -1,0 +1,58 @@
+"""Tests for the paper-like mesh generators."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import MESH_GENERATORS, make_mesh, well_logging_like
+from repro.util.errors import MeshError
+
+
+class TestAllGenerators:
+    @pytest.mark.parametrize("name", sorted(MESH_GENERATORS))
+    def test_valid_and_named(self, name):
+        mesh = make_mesh(name, target_cells=400, seed=0)
+        mesh.validate()
+        assert mesh.n_cells > 50
+        assert name.split("2d")[0] in mesh.name or mesh.name.startswith(name)
+
+    @pytest.mark.parametrize("name", ["tetonly", "long", "prismtet"])
+    def test_cell_count_tracks_target(self, name):
+        small = make_mesh(name, target_cells=300, seed=0)
+        large = make_mesh(name, target_cells=1200, seed=0)
+        assert large.n_cells > 2 * small.n_cells
+
+    @pytest.mark.parametrize("name", sorted(MESH_GENERATORS))
+    def test_deterministic(self, name):
+        a = make_mesh(name, target_cells=300, seed=5)
+        b = make_mesh(name, target_cells=300, seed=5)
+        assert np.array_equal(a.adjacency, b.adjacency)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(MeshError, match="known:"):
+            make_mesh("bogus")
+
+
+class TestGeometricCharacter:
+    def test_long_is_elongated(self):
+        mesh = make_mesh("long", target_cells=400, seed=0)
+        extent = mesh.centroids.max(axis=0) - mesh.centroids.min(axis=0)
+        assert extent[0] > 5 * extent[1]
+
+    def test_well_logging_bore_is_empty(self):
+        mesh = well_logging_like(target_cells=800, seed=0, bore_radius=0.3)
+        rad = np.hypot(mesh.centroids[:, 0], mesh.centroids[:, 1])
+        assert rad.min() >= 0.3
+
+    def test_well_logging_rejects_bad_radii(self):
+        with pytest.raises(MeshError, match="bore_radius"):
+            well_logging_like(target_cells=200, bore_radius=2.0, outer_radius=1.0)
+
+    def test_prismtet_density_gradient(self):
+        mesh = make_mesh("prismtet", target_cells=800, seed=0)
+        lower = (mesh.centroids[:, 2] < 0.5).sum()
+        upper = (mesh.centroids[:, 2] >= 0.5).sum()
+        assert lower > 1.5 * upper  # fine region denser than coarse
+
+    def test_square2d_is_two_dimensional(self):
+        mesh = make_mesh("square2d", target_cells=100, seed=0)
+        assert mesh.dim == 2

@@ -1,0 +1,93 @@
+"""Tests for the SweepInstance model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import Dag, SweepInstance
+from repro.util.errors import InvalidInstanceError
+
+from .strategies import sweep_instances
+
+
+class TestShape:
+    def test_basic_counts(self, chain_instance):
+        assert chain_instance.n_cells == 4
+        assert chain_instance.k == 2
+        assert chain_instance.n_tasks == 8
+
+    def test_task_id_mapping_roundtrip(self, chain_instance):
+        for v in range(4):
+            for i in range(2):
+                tid = chain_instance.task_id(v, i)
+                assert chain_instance.task_cell(tid) == v
+                assert chain_instance.task_direction(tid) == i
+
+    def test_task_id_vectorised(self, chain_instance):
+        tids = np.arange(8)
+        cells = chain_instance.task_cell(tids)
+        dirs = chain_instance.task_direction(tids)
+        assert list(cells) == [0, 1, 2, 3, 0, 1, 2, 3]
+        assert list(dirs) == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_needs_at_least_one_dag(self):
+        with pytest.raises(InvalidInstanceError, match="at least one"):
+            SweepInstance(3, [])
+
+    def test_rejects_mismatched_dag_size(self):
+        g = Dag.from_edge_list(3, [(0, 1)])
+        with pytest.raises(InvalidInstanceError, match="direction 0"):
+            SweepInstance(4, [g])
+
+    def test_rejects_negative_cells(self):
+        with pytest.raises(InvalidInstanceError, match="n_cells"):
+            SweepInstance(-1, [Dag(0, [])])
+
+    def test_repr(self, chain_instance):
+        assert "n_cells=4" in repr(chain_instance)
+
+
+class TestDerivedStructure:
+    def test_union_dag_offsets_directions(self, chain_instance):
+        union = chain_instance.union_dag()
+        assert union.n == 8
+        assert union.num_edges == 6
+        edges = set(map(tuple, union.edges.tolist()))
+        assert (0, 1) in edges  # direction 0 chain
+        assert (4 + 3, 4 + 2) in edges  # direction 1 reversed chain
+
+    def test_union_dag_cached(self, chain_instance):
+        assert chain_instance.union_dag() is chain_instance.union_dag()
+
+    def test_task_levels(self, chain_instance):
+        lev = chain_instance.task_levels()
+        assert list(lev[:4]) == [0, 1, 2, 3]  # forward chain
+        assert list(lev[4:]) == [3, 2, 1, 0]  # backward chain
+
+    def test_depth(self, chain_instance):
+        assert chain_instance.depth() == 4
+
+    def test_derived_cell_edges_are_undirected_unique(self, chain_instance):
+        e = chain_instance.cell_graph_edges
+        # Both directions of the chain collapse to 3 undirected edges.
+        assert e.shape == (3, 2)
+        assert np.all(e[:, 0] < e[:, 1])
+
+    def test_explicit_cell_edges_kept(self):
+        g = Dag.from_edge_list(3, [(0, 1)])
+        custom = np.array([[0, 2]])
+        inst = SweepInstance(3, [g], cell_graph_edges=custom)
+        assert inst.cell_graph_edges.tolist() == [[0, 2]]
+
+    def test_validate_passes_on_good_instance(self, chain_instance):
+        chain_instance.validate()
+
+    @given(sweep_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_union_levels_dominate_direction_levels(self, inst):
+        """A task's union-DAG level is >= its level in its own direction
+        (the union adds constraints only through shared structure —
+        actually none here since directions are disjoint copies)."""
+        union_lev = inst.union_dag().level_of()
+        own = inst.task_levels()
+        assert np.array_equal(union_lev, own)

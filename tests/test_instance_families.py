@@ -1,0 +1,165 @@
+"""Tests for the non-geometric instance families."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    average_load_lb,
+    combined_lower_bound,
+    critical_path_lb,
+    random_delay_priority_schedule,
+)
+from repro.heuristics import ALGORITHMS
+from repro.instances import (
+    INSTANCE_FAMILIES,
+    fork_join,
+    identical_chains,
+    make_instance,
+    opposing_chains,
+    random_layered,
+    rotated_chains,
+    wide_shallow,
+)
+from repro.util.errors import ReproError
+
+
+class TestStructure:
+    def test_identical_chains_depth(self):
+        inst = identical_chains(10, 4)
+        assert inst.depth() == 10
+        assert inst.n_tasks == 40
+        # Every direction has the same edges.
+        for g in inst.dags[1:]:
+            assert np.array_equal(g.edges, inst.dags[0].edges)
+
+    def test_rotated_chains_distinct_starts(self):
+        inst = rotated_chains(12, 4)
+        starts = [int(g.roots()[0]) for g in inst.dags]
+        assert len(set(starts)) == 4
+
+    def test_opposing_chains_alternate(self):
+        inst = opposing_chains(6, 4)
+        assert inst.dags[0].level_of()[0] == 0
+        assert inst.dags[1].level_of()[0] == 5
+
+    def test_fork_join_shape(self):
+        inst = fork_join(3, 4, 2)
+        assert inst.n_cells == 3 * 5 + 1
+        g = inst.dags[0]
+        assert g.num_levels() == 2 * 3 + 1  # src, fan alternating, final join
+
+    def test_wide_shallow_depth_two(self):
+        inst = wide_shallow(40, 3, seed=0)
+        assert inst.depth() <= 2
+
+    def test_random_layered_within_layer_bound(self):
+        inst = random_layered(30, 2, 5, seed=0)
+        for g in inst.dags:
+            assert g.num_levels() <= 5
+
+    def test_all_families_valid(self):
+        for name in INSTANCE_FAMILIES:
+            inst = make_instance(name, n=30, k=4, seed=1)
+            inst.validate()
+            assert inst.n_cells >= 2
+
+    def test_errors(self):
+        with pytest.raises(ReproError, match="cells"):
+            identical_chains(1, 2)
+        with pytest.raises(ReproError, match="direction"):
+            rotated_chains(5, 0)
+        with pytest.raises(ReproError, match="n_layers"):
+            random_layered(5, 1, 0)
+        with pytest.raises(ReproError, match="unknown family"):
+            make_instance("nope")
+
+
+class TestSchedulingBehaviour:
+    @pytest.mark.parametrize("family", sorted(INSTANCE_FAMILIES))
+    def test_all_algorithms_feasible(self, family):
+        inst = make_instance(family, n=24, k=3, seed=0)
+        for name, algo in ALGORITHMS.items():
+            algo(inst, 3, seed=0).validate()
+
+    def test_identical_chains_is_contention_bound(self):
+        """All copies of the tail cell are ready simultaneously but share
+        one processor: OPT >= n + k - 1."""
+        n, k, m = 20, 6, 6
+        inst = identical_chains(n, k)
+        assert critical_path_lb(inst) == n
+        s = random_delay_priority_schedule(inst, m, seed=0)
+        assert s.makespan >= n + k - 1
+
+    def test_rotated_chains_pipeline_well(self):
+        """Staggered fronts: Algorithm 2 lands within 2x of nk/m."""
+        n, k, m = 60, 6, 6
+        inst = rotated_chains(n, k)
+        best = min(
+            random_delay_priority_schedule(inst, m, seed=s).makespan
+            for s in range(3)
+        )
+        assert best <= 2 * max(average_load_lb(inst, m), n)
+
+    def test_wide_shallow_near_perfect(self):
+        inst = wide_shallow(64, 4, seed=0)
+        m = 8
+        s = random_delay_priority_schedule(inst, m, seed=0)
+        assert s.makespan <= 2.2 * combined_lower_bound(inst, m)
+
+
+class TestTreeAndButterfly:
+    def test_tree_counts(self):
+        from repro.instances import tree_sweeps
+
+        inst = tree_sweeps(3, 2, branching=2)
+        assert inst.n_cells == 15  # complete binary tree, depth 3
+        # Out-tree (dir 0): root is the single source.
+        assert list(inst.dags[0].roots()) == [0]
+        # In-tree (dir 1): root is the single sink.
+        assert list(inst.dags[1].leaves()) == [0]
+
+    def test_tree_depth_is_tree_depth(self):
+        from repro.instances import tree_sweeps
+
+        inst = tree_sweeps(4, 1)
+        assert inst.dags[0].num_levels() == 5
+
+    def test_tree_errors(self):
+        import pytest as _pytest
+
+        from repro.instances import tree_sweeps
+        from repro.util.errors import ReproError
+
+        with _pytest.raises(ReproError):
+            tree_sweeps(0, 2)
+        with _pytest.raises(ReproError):
+            tree_sweeps(2, 2, branching=1)
+
+    def test_butterfly_counts(self):
+        from repro.instances import butterfly
+
+        inst = butterfly(3, 2)
+        assert inst.n_cells == 8 * 4  # 2^3 wide, 4 ranks
+        g = inst.dags[0]
+        assert g.num_levels() == 4
+        # Every non-final node has exactly 2 successors.
+        assert g.num_edges == 2 * 8 * 3
+
+    def test_butterfly_full_mixing(self):
+        """Every rank-0 node reaches every last-rank node (FFT mixing)."""
+        from repro.instances import butterfly
+
+        inst = butterfly(3, 1)
+        g = inst.dags[0]
+        reach = g.reachable_from(0)
+        last_rank = set(range(8 * 3, 8 * 4))
+        assert last_rank <= set(reach.tolist())
+
+    def test_butterfly_errors(self):
+        import pytest as _pytest
+
+        from repro.instances import butterfly
+        from repro.util.errors import ReproError
+
+        with _pytest.raises(ReproError):
+            butterfly(0, 2)

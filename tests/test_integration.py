@@ -1,0 +1,82 @@
+"""End-to-end integration: mesh -> directions -> DAGs -> schedule -> costs.
+
+Exercises the full pipeline the way the experiments do, across every
+generator, and cross-checks module boundaries (schedule validity, cost
+sandwiches, block assignment consistency).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import summarize_schedule
+from repro.comm import c2_cost, interprocessor_edges, rounds_cost
+from repro.core import average_load_lb, block_assignment
+from repro.heuristics import ALGORITHMS
+from repro.mesh import MESH_GENERATORS, make_mesh
+from repro.partition import block_sizes, partition_mesh_blocks
+from repro.sweeps import build_instance, directions_for_mesh
+
+
+@pytest.mark.slow
+class TestFullPipeline:
+    @pytest.mark.parametrize("mesh_name", sorted(MESH_GENERATORS))
+    def test_pipeline_on_every_mesh(self, mesh_name):
+        mesh = make_mesh(mesh_name, target_cells=300, seed=0)
+        mesh.validate()
+        dirs = directions_for_mesh(mesh.dim, 8 if mesh.dim == 3 else 4)
+        inst = build_instance(mesh, dirs)
+        inst.validate()
+        m = 8
+        for algo_name in ("random_delay", "random_delay_priority", "dfds"):
+            sched = ALGORITHMS[algo_name](inst, m, seed=0)
+            sched.validate()
+            summary = summarize_schedule(sched)
+            assert summary.makespan >= summary.lower_bound
+            assert 0 <= summary.c2 <= summary.c1
+
+    def test_block_pipeline(self):
+        mesh = make_mesh("tetonly", target_cells=600, seed=1)
+        dirs = directions_for_mesh(3, 8)
+        inst = build_instance(mesh, dirs)
+        m = 4
+        blocks = partition_mesh_blocks(mesh.n_cells, mesh.adjacency, 32, seed=0)
+        assert block_sizes(blocks).sum() == mesh.n_cells
+        assignment = block_assignment(blocks, m, seed=0)
+
+        per_cell = ALGORITHMS["random_delay_priority"](inst, m, seed=0)
+        blocked = ALGORITHMS["random_delay_priority"](
+            inst, m, seed=0, assignment=assignment
+        )
+        blocked.validate()
+        # The paper's Fig 2(b) shape: blocking cuts C1 substantially.
+        c1_cell = interprocessor_edges(inst, per_cell.assignment)
+        c1_block = interprocessor_edges(inst, blocked.assignment)
+        assert c1_block < 0.75 * c1_cell
+
+    def test_comm_cost_sandwich_on_real_schedule(self):
+        mesh = make_mesh("well_logging", target_cells=400, seed=0)
+        inst = build_instance(mesh, directions_for_mesh(3, 8))
+        sched = ALGORITHMS["random_delay_priority"](inst, 4, seed=0)
+        c2 = c2_cost(sched)
+        rc = rounds_cost(sched)
+        c1 = interprocessor_edges(inst, sched.assignment)
+        assert c2 <= rc <= c1
+
+    def test_headline_bound_small_scale(self):
+        """makespan <= 3 nk/m for Algorithm 2 (paper's key observation),
+        checked across meshes at m where nk/m dominates the bound."""
+        for mesh_name in ("tetonly", "long"):
+            mesh = make_mesh(mesh_name, target_cells=500, seed=0)
+            inst = build_instance(mesh, directions_for_mesh(3, 8))
+            for m in (4, 16):
+                sched = ALGORITHMS["random_delay_priority"](inst, m, seed=0)
+                assert sched.makespan <= 3 * max(
+                    average_load_lb(inst, m), inst.depth()
+                )
+
+    def test_schedules_reproducible_across_pipeline(self):
+        mesh = make_mesh("prismtet", target_cells=300, seed=2)
+        inst = build_instance(mesh, directions_for_mesh(3, 8))
+        a = ALGORITHMS["improved_random_delay"](inst, 8, seed=5)
+        b = ALGORITHMS["improved_random_delay"](inst, 8, seed=5)
+        assert np.array_equal(a.start, b.start)

@@ -1,0 +1,69 @@
+"""Tests for the KBA structured-grid scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.core import average_load_lb
+from repro.heuristics import kba_assignment, kba_schedule
+from repro.mesh import Mesh
+from repro.sweeps import build_instance, circle_directions, level_symmetric
+from repro.util.errors import InvalidScheduleError
+
+
+class TestKbaAssignment:
+    def test_2d_columns(self):
+        mesh = Mesh.structured_grid((4, 3))
+        a = kba_assignment(mesh.cell_coords, (2, 1))
+        # x in {0,1} -> proc 0; x in {2,3} -> proc 1; independent of y.
+        for cid, (x, _y) in enumerate(mesh.cell_coords):
+            assert a[cid] == (0 if x < 2 else 1)
+
+    def test_3d_columns_ignore_z(self):
+        mesh = Mesh.structured_grid((2, 2, 3))
+        a = kba_assignment(mesh.cell_coords, (2, 2))
+        for cid, (x, y, _z) in enumerate(mesh.cell_coords):
+            assert a[cid] == x * 2 + y
+
+    def test_uneven_split(self):
+        mesh = Mesh.structured_grid((5, 1))
+        a = kba_assignment(mesh.cell_coords, (2, 1))
+        assert sorted(np.bincount(a).tolist()) == [2, 3]
+
+    def test_rejects_2d_with_y_procs(self):
+        mesh = Mesh.structured_grid((4, 4))
+        with pytest.raises(InvalidScheduleError, match="px, 1"):
+            kba_assignment(mesh.cell_coords, (2, 2))
+
+    def test_rejects_bad_grid(self):
+        mesh = Mesh.structured_grid((4, 4))
+        with pytest.raises(InvalidScheduleError, match="positive"):
+            kba_assignment(mesh.cell_coords, (0, 1))
+
+    def test_rejects_bad_coords(self):
+        with pytest.raises(InvalidScheduleError, match="cell_coords"):
+            kba_assignment(np.zeros((5, 4)), (2, 2))
+
+
+class TestKbaSchedule:
+    def test_feasible_2d(self):
+        mesh = Mesh.structured_grid((8, 8))
+        inst = build_instance(mesh, circle_directions(4, offset=0.3))
+        s = kba_schedule(inst, mesh.cell_coords, (4, 1))
+        s.validate()
+        assert s.meta["algorithm"] == "kba"
+
+    def test_feasible_3d(self):
+        mesh = Mesh.structured_grid((4, 4, 4))
+        inst = build_instance(mesh, level_symmetric(2))
+        s = kba_schedule(inst, mesh.cell_coords, (2, 2))
+        s.validate()
+
+    def test_kba_near_optimal_on_regular_grid(self):
+        """KBA's pipelining should land within ~2.5x of nk/m on a regular
+        grid — the regime where it is known to be essentially optimal."""
+        mesh = Mesh.structured_grid((12, 12, 4))
+        inst = build_instance(mesh, level_symmetric(2))
+        m = 16
+        s = kba_schedule(inst, mesh.cell_coords, (4, 4))
+        s.validate()
+        assert s.makespan <= 2.5 * average_load_lb(inst, m)

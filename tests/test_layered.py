@@ -1,0 +1,83 @@
+"""Tests for the layer-sequential schedule construction (Alg 1/3 step 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import Dag, SweepInstance
+from repro.core.layered import layer_makespans, schedule_layers_sequentially
+from repro.core.random_delay import delayed_task_layers
+from repro.util.errors import InvalidScheduleError
+
+from .strategies import sweep_instances
+
+
+class TestLayerMakespans:
+    def test_single_layer_counts_max_per_proc(self):
+        layers = np.array([0, 0, 0])
+        procs = np.array([0, 0, 1])
+        assert list(layer_makespans(layers, procs, 2)) == [2]
+
+    def test_empty_layers_cost_zero(self):
+        layers = np.array([0, 2])
+        procs = np.array([0, 0])
+        assert list(layer_makespans(layers, procs, 1)) == [1, 0, 1]
+
+    def test_empty_input(self):
+        out = layer_makespans(np.array([], dtype=int), np.array([], dtype=int), 3)
+        assert out.size == 0
+
+
+class TestLayeredSchedule:
+    def test_layers_processed_strictly_in_order(self, chain_instance):
+        layers = delayed_task_layers(chain_instance, np.array([0, 0]))
+        assignment = np.array([0, 0, 1, 1])
+        s = schedule_layers_sequentially(chain_instance, 2, layers, assignment)
+        s.validate()
+        # Every task in layer r finishes before any task of layer r+1 starts.
+        for r in range(int(layers.max())):
+            in_r = s.start[layers == r]
+            in_next = s.start[layers == r + 1]
+            if in_r.size and in_next.size:
+                assert in_r.max() < in_next.min()
+
+    def test_makespan_equals_sum_of_layer_maxima(self, tet_instance):
+        delays = np.zeros(tet_instance.k, dtype=np.int64)
+        layers = delayed_task_layers(tet_instance, delays)
+        m = 4
+        assignment = np.arange(tet_instance.n_cells) % m
+        s = schedule_layers_sequentially(tet_instance, m, layers, assignment)
+        s.validate()
+        proc = np.tile(assignment, tet_instance.k)
+        expected = int(layer_makespans(layers, proc, m).sum())
+        assert s.makespan == expected
+
+    def test_rejects_bad_layer_assignment(self, chain_instance):
+        bad_layers = np.zeros(8, dtype=np.int64)  # everything in layer 0
+        with pytest.raises(InvalidScheduleError, match="precedence"):
+            schedule_layers_sequentially(
+                chain_instance, 2, bad_layers, np.zeros(4, dtype=int)
+            )
+
+    def test_rejects_wrong_shape(self, chain_instance):
+        with pytest.raises(InvalidScheduleError, match="task_layer"):
+            schedule_layers_sequentially(
+                chain_instance, 2, np.zeros(3, dtype=int), np.zeros(4, dtype=int)
+            )
+
+    def test_check_layers_can_be_disabled(self):
+        inst = SweepInstance(2, [Dag(2, [])])
+        s = schedule_layers_sequentially(
+            inst, 1, np.zeros(2, dtype=int), np.zeros(2, dtype=int),
+            check_layers=False,
+        )
+        s.validate()
+
+    @given(sweep_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_always_feasible_with_level_layers(self, inst):
+        layers = inst.task_levels()
+        m = 2
+        assignment = np.arange(inst.n_cells) % m
+        s = schedule_layers_sequentially(inst, m, layers, assignment)
+        s.validate()

@@ -1,0 +1,149 @@
+"""Tests for the prioritized list-scheduling engines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    Dag,
+    SweepInstance,
+    list_schedule,
+    list_schedule_unassigned,
+)
+from repro.core.lower_bounds import average_load_lb, critical_path_lb
+from repro.util.errors import InvalidScheduleError
+
+from .strategies import sweep_instances
+
+
+class TestAssignedEngine:
+    def test_single_chain_sequential(self):
+        g = Dag.from_edge_list(3, [(0, 1), (1, 2)])
+        inst = SweepInstance(3, [g])
+        s = list_schedule(inst, 2, np.array([0, 1, 0]))
+        s.validate()
+        assert s.makespan == 3  # the chain forces full serialisation
+
+    def test_independent_tasks_pack_perfectly(self):
+        inst = SweepInstance(4, [Dag(4, [])])
+        s = list_schedule(inst, 2, np.array([0, 0, 1, 1]))
+        s.validate()
+        assert s.makespan == 2
+
+    def test_all_on_one_processor_serialises(self):
+        inst = SweepInstance(4, [Dag(4, [])])
+        s = list_schedule(inst, 3, np.zeros(4, dtype=int))
+        assert s.makespan == 4
+
+    def test_priority_order_respected_on_one_proc(self):
+        inst = SweepInstance(3, [Dag(3, [])])
+        prio = np.array([2, 0, 1])
+        s = list_schedule(inst, 1, np.zeros(3, dtype=int), priority=prio)
+        # Smallest priority first: task 1, then 2, then 0.
+        assert list(s.start) == [2, 0, 1]
+
+    def test_ties_break_by_task_id(self):
+        inst = SweepInstance(3, [Dag(3, [])])
+        s = list_schedule(inst, 1, np.zeros(3, dtype=int))
+        assert list(s.start) == [0, 1, 2]
+
+    def test_no_avoidable_idle_time(self, tet_instance):
+        """At every step before the end, every processor with a ready
+        assigned task is busy — i.e. work-conserving."""
+        m = 4
+        assignment = np.arange(tet_instance.n_cells) % m
+        s = list_schedule(tet_instance, m, assignment)
+        s.validate()
+        # Work-conserving implies makespan <= load of the busiest proc
+        # plus the critical path (Graham-style argument).
+        busiest = int(s.proc_loads().max())
+        assert s.makespan <= busiest + critical_path_lb(tet_instance)
+
+    def test_meta_is_attached(self):
+        inst = SweepInstance(1, [Dag(1, [])])
+        s = list_schedule(inst, 1, np.zeros(1, dtype=int), meta={"algorithm": "x"})
+        assert s.meta["algorithm"] == "x"
+
+    def test_rejects_bad_assignment_shape(self, chain_instance):
+        with pytest.raises(InvalidScheduleError, match="assignment"):
+            list_schedule(chain_instance, 2, np.zeros(7, dtype=int))
+
+    def test_rejects_out_of_range_assignment(self, chain_instance):
+        with pytest.raises(InvalidScheduleError, match="assignment"):
+            list_schedule(chain_instance, 2, np.array([0, 1, 2, 0]))
+
+    def test_rejects_bad_priority_shape(self, chain_instance):
+        with pytest.raises(InvalidScheduleError, match="priority"):
+            list_schedule(
+                chain_instance, 2, np.zeros(4, dtype=int), priority=np.zeros(3)
+            )
+
+    def test_cross_direction_same_cell_same_proc(self, chain_instance):
+        s = list_schedule(chain_instance, 2, np.array([0, 1, 0, 1]))
+        s.validate()
+        proc = s.task_proc()
+        for v in range(4):
+            assert proc[v] == proc[4 + v]
+
+    @given(sweep_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_always_feasible(self, inst):
+        m = 3
+        assignment = np.arange(inst.n_cells) % m
+        s = list_schedule(inst, m, assignment)
+        s.validate()
+
+    @given(sweep_instances(max_n=12, max_k=3))
+    @settings(max_examples=30, deadline=None)
+    def test_graham_bound_against_lower_bounds(self, inst):
+        """Work-conserving schedules satisfy makespan <= load_max + CP."""
+        m = 2
+        assignment = np.arange(inst.n_cells) % m
+        s = list_schedule(inst, m, assignment)
+        load_max = int(s.proc_loads().max())
+        assert s.makespan <= load_max + critical_path_lb(inst)
+
+
+class TestUnassignedEngine:
+    def test_packs_width_to_m(self):
+        inst = SweepInstance(6, [Dag(6, [])])
+        r = list_schedule_unassigned(inst, 3)
+        assert r.makespan == 2
+        # At most m tasks per step.
+        counts = np.bincount(r.start)
+        assert counts.max() <= 3
+
+    def test_respects_precedence(self, chain_instance):
+        r = list_schedule_unassigned(chain_instance, 2)
+        union = chain_instance.union_dag()
+        for u, v in union.edges:
+            assert r.start[u] < r.start[v]
+
+    def test_machines_distinct_per_step(self, tet_instance):
+        r = list_schedule_unassigned(tet_instance, 4)
+        key = r.start * 4 + r.machine
+        assert np.unique(key).size == tet_instance.n_tasks
+
+    def test_graham_two_approx_vs_lb(self, tet_instance):
+        """Greedy <= 2x the trivial lower bounds of the relaxed problem."""
+        m = 4
+        r = list_schedule_unassigned(tet_instance, m)
+        lb = max(average_load_lb(tet_instance, m), critical_path_lb(tet_instance))
+        assert r.makespan <= 2 * lb
+
+    def test_priorities_steer_order(self):
+        inst = SweepInstance(2, [Dag(2, [])])
+        r = list_schedule_unassigned(inst, 1, priority=np.array([5, 1]))
+        assert r.start[1] < r.start[0]
+
+    def test_rejects_nonpositive_m(self, chain_instance):
+        with pytest.raises(InvalidScheduleError, match="positive"):
+            list_schedule_unassigned(chain_instance, 0)
+
+    @given(sweep_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_every_layer_at_most_m(self, inst):
+        m = 2
+        r = list_schedule_unassigned(inst, m)
+        counts = np.bincount(r.start)
+        assert counts.max() <= m

@@ -1,0 +1,61 @@
+"""Tests for the lower-bound calculators."""
+
+import pytest
+
+from repro.core import (
+    Dag,
+    SweepInstance,
+    average_load_lb,
+    combined_lower_bound,
+    copies_lb,
+    critical_path_lb,
+    graham_relaxation_lb,
+    random_delay_priority_schedule,
+)
+from repro.heuristics import fifo_schedule
+
+
+class TestFormulas:
+    def test_average_load_rounds_up(self, chain_instance):
+        # 8 tasks over 3 processors -> ceil(8/3) = 3.
+        assert average_load_lb(chain_instance, 3) == 3
+
+    def test_average_load_exact_division(self, chain_instance):
+        assert average_load_lb(chain_instance, 4) == 2
+
+    def test_copies_lb_is_k(self, chain_instance):
+        assert copies_lb(chain_instance) == 2
+
+    def test_critical_path_chain(self, chain_instance):
+        assert critical_path_lb(chain_instance) == 4
+
+    def test_combined_takes_max(self, chain_instance):
+        # m=1: avg load 8 dominates.
+        assert combined_lower_bound(chain_instance, 1) == 8
+        # m=8: critical path 4 dominates.
+        assert combined_lower_bound(chain_instance, 8) == 4
+
+    def test_empty_instance(self):
+        inst = SweepInstance(0, [Dag(0, [])])
+        assert average_load_lb(inst, 4) == 0
+        assert copies_lb(inst) == 0
+        assert critical_path_lb(inst) == 0
+        assert graham_relaxation_lb(inst, 4) == 0
+
+
+class TestSoundness:
+    """Every lower bound must be <= the makespan of any feasible schedule."""
+
+    @pytest.mark.parametrize("m", [1, 4, 16])
+    def test_bounds_below_feasible_makespans(self, tet_instance, m):
+        lb = combined_lower_bound(tet_instance, m)
+        glb = graham_relaxation_lb(tet_instance, m)
+        for algo in (random_delay_priority_schedule, fifo_schedule):
+            s = algo(tet_instance, m, seed=0)
+            assert lb <= s.makespan
+            assert glb <= s.makespan
+
+    def test_graham_lb_at_least_trivial_over_two(self, tet_instance):
+        m = 4
+        glb = graham_relaxation_lb(tet_instance, m)
+        assert glb >= average_load_lb(tet_instance, m) // 2

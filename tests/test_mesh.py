@@ -1,0 +1,164 @@
+"""Tests for the Mesh container and builders."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import Mesh, load_mesh, save_mesh
+from repro.util.errors import MeshError
+
+
+class TestStructuredGrid:
+    def test_2d_counts(self):
+        mesh = Mesh.structured_grid((3, 2))
+        assert mesh.n_cells == 6
+        # Interior faces: 2*2 along x + 3*1 along y = 7.
+        assert mesh.n_faces == 7
+
+    def test_3d_counts(self):
+        mesh = Mesh.structured_grid((2, 2, 2))
+        assert mesh.n_cells == 8
+        # 4 per axis * 3 axes.
+        assert mesh.n_faces == 12
+
+    def test_normals_are_axis_vectors(self):
+        mesh = Mesh.structured_grid((2, 2))
+        for n in mesh.face_normals:
+            assert sorted(np.abs(n)) == [0.0, 1.0]
+
+    def test_cell_coords_present(self):
+        mesh = Mesh.structured_grid((3, 2))
+        assert mesh.cell_coords.shape == (6, 2)
+        assert mesh.cell_coords.max(axis=0).tolist() == [2, 1]
+
+    def test_adjacency_orientation_matches_normals(self):
+        """Normal points from adjacency[:,0] toward adjacency[:,1]."""
+        mesh = Mesh.structured_grid((3, 1))
+        for (u, v), n in zip(mesh.adjacency, mesh.face_normals):
+            d = mesh.centroids[v] - mesh.centroids[u]
+            assert np.dot(d, n) > 0
+
+    def test_single_cell(self):
+        mesh = Mesh.structured_grid((1, 1))
+        assert mesh.n_cells == 1
+        assert mesh.n_faces == 0
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(MeshError, match="shape"):
+            Mesh.structured_grid((0, 3))
+        with pytest.raises(MeshError, match="shape"):
+            Mesh.structured_grid((2,))
+
+
+class TestDelaunay:
+    def test_2d_mesh_valid(self, tri_mesh):
+        tri_mesh.validate()
+        assert tri_mesh.dim == 2
+        assert tri_mesh.n_cells > 10
+
+    def test_3d_mesh_valid(self, tet_mesh):
+        tet_mesh.validate()
+        assert tet_mesh.dim == 3
+        assert tet_mesh.cells.shape[1] == 4
+
+    def test_adjacency_pairs_share_a_face(self, tet_mesh):
+        """Adjacent tets share exactly 3 vertices."""
+        for u, v in tet_mesh.adjacency[:50]:
+            shared = set(tet_mesh.cells[u]) & set(tet_mesh.cells[v])
+            assert len(shared) == 3
+
+    def test_normals_point_toward_second_cell(self, tet_mesh):
+        d = tet_mesh.centroids[tet_mesh.adjacency[:, 1]] - tet_mesh.centroids[
+            tet_mesh.adjacency[:, 0]
+        ]
+        dots = np.einsum("fd,fd->f", d, tet_mesh.face_normals)
+        # The normal lies in the shared face plane oriented outward from
+        # cell 0; the centroid difference must have positive component.
+        assert np.all(dots > 0)
+
+    def test_keep_filter_removes_cells(self):
+        rng = np.random.default_rng(0)
+        pts = rng.random((80, 2))
+        full = Mesh.from_delaunay(pts)
+        half = Mesh.from_delaunay(pts, keep=lambda c: c[:, 0] < 0.5)
+        assert 0 < half.n_cells < full.n_cells
+        assert np.all(half.centroids[:, 0] < 0.5)
+        half.validate()
+
+    def test_keep_filter_rejects_empty_result(self):
+        rng = np.random.default_rng(0)
+        pts = rng.random((30, 2))
+        with pytest.raises(MeshError, match="every cell"):
+            Mesh.from_delaunay(pts, keep=lambda c: np.zeros(len(c), dtype=bool))
+
+    def test_rejects_bad_points_shape(self):
+        with pytest.raises(MeshError, match="points"):
+            Mesh.from_delaunay(np.zeros((10, 4)))
+
+
+class TestValidate:
+    def test_catches_out_of_range_adjacency(self, grid_mesh):
+        bad = Mesh(
+            points=grid_mesh.points,
+            cells=None,
+            adjacency=np.array([[0, 99]]),
+            face_normals=np.array([[1.0, 0.0]]),
+            centroids=grid_mesh.centroids,
+        )
+        with pytest.raises(MeshError, match="out of range"):
+            bad.validate()
+
+    def test_catches_self_adjacency(self, grid_mesh):
+        bad = Mesh(
+            points=grid_mesh.points,
+            cells=None,
+            adjacency=np.array([[1, 1]]),
+            face_normals=np.array([[1.0, 0.0]]),
+            centroids=grid_mesh.centroids,
+        )
+        with pytest.raises(MeshError, match="itself"):
+            bad.validate()
+
+    def test_catches_non_unit_normals(self, grid_mesh):
+        bad = Mesh(
+            points=grid_mesh.points,
+            cells=None,
+            adjacency=np.array([[0, 1]]),
+            face_normals=np.array([[2.0, 0.0]]),
+            centroids=grid_mesh.centroids,
+        )
+        with pytest.raises(MeshError, match="unit"):
+            bad.validate()
+
+    def test_catches_duplicate_pairs(self, grid_mesh):
+        bad = Mesh(
+            points=grid_mesh.points,
+            cells=None,
+            adjacency=np.array([[0, 1], [1, 0]]),
+            face_normals=np.array([[1.0, 0.0], [-1.0, 0.0]]),
+            centroids=grid_mesh.centroids,
+        )
+        with pytest.raises(MeshError, match="duplicate"):
+            bad.validate()
+
+
+class TestIO:
+    def test_roundtrip_structured(self, tmp_path, grid_mesh):
+        path = tmp_path / "grid.npz"
+        save_mesh(grid_mesh, path)
+        loaded = load_mesh(path)
+        assert loaded.n_cells == grid_mesh.n_cells
+        assert np.array_equal(loaded.adjacency, grid_mesh.adjacency)
+        assert np.array_equal(loaded.cell_coords, grid_mesh.cell_coords)
+        assert loaded.meta == grid_mesh.meta
+
+    def test_roundtrip_delaunay(self, tmp_path, tet_mesh):
+        path = tmp_path / "tet.npz"
+        save_mesh(tet_mesh, path)
+        loaded = load_mesh(path)
+        assert np.allclose(loaded.face_normals, tet_mesh.face_normals)
+        assert np.array_equal(loaded.cells, tet_mesh.cells)
+        assert loaded.name == tet_mesh.name
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(MeshError, match="not found"):
+            load_mesh(tmp_path / "nope.npz")

@@ -1,0 +1,88 @@
+"""Tests for vectorised mesh geometry primitives."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.geometry import (
+    face_normals_outward,
+    simplex_centroids,
+    simplex_volumes,
+)
+from repro.util.errors import MeshError
+
+
+@pytest.fixture()
+def unit_triangle():
+    points = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+    cells = np.array([[0, 1, 2]])
+    return points, cells
+
+
+@pytest.fixture()
+def unit_tet():
+    points = np.array(
+        [[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]]
+    )
+    cells = np.array([[0, 1, 2, 3]])
+    return points, cells
+
+
+class TestCentroidsAndVolumes:
+    def test_triangle_centroid(self, unit_triangle):
+        points, cells = unit_triangle
+        c = simplex_centroids(points, cells)
+        assert np.allclose(c, [[1 / 3, 1 / 3]])
+
+    def test_triangle_area(self, unit_triangle):
+        points, cells = unit_triangle
+        assert simplex_volumes(points, cells)[0] == pytest.approx(0.5)
+
+    def test_tet_volume(self, unit_tet):
+        points, cells = unit_tet
+        assert simplex_volumes(points, cells)[0] == pytest.approx(1 / 6)
+
+    def test_volume_translation_invariant(self, unit_tet):
+        points, cells = unit_tet
+        v0 = simplex_volumes(points, cells)[0]
+        v1 = simplex_volumes(points + 100.0, cells)[0]
+        assert v0 == pytest.approx(v1)
+
+    def test_volume_orientation_independent(self, unit_tet):
+        points, cells = unit_tet
+        flipped = cells[:, [1, 0, 2, 3]]
+        assert simplex_volumes(points, flipped)[0] == pytest.approx(1 / 6)
+
+    def test_wrong_simplex_arity_rejected(self, unit_tet):
+        points, _ = unit_tet
+        with pytest.raises(MeshError, match="vertices"):
+            simplex_volumes(points, np.array([[0, 1, 2]]))
+
+
+class TestFaceNormals:
+    def test_2d_normal_points_away_from_reference(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0]])
+        face = np.array([[0, 1]])
+        inside = np.array([[0.5, -1.0]])  # below the x-axis edge
+        n = face_normals_outward(points, face, inside)
+        assert np.allclose(n, [[0.0, 1.0]])
+
+    def test_3d_normal_unit_and_outward(self):
+        points = np.array(
+            [[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]]
+        )
+        face = np.array([[0, 1, 2]])
+        inside = np.array([[0.2, 0.2, -1.0]])
+        n = face_normals_outward(points, face, inside)
+        assert np.allclose(np.linalg.norm(n, axis=1), 1.0)
+        assert n[0, 2] > 0  # away from the z<0 reference
+
+    def test_degenerate_face_rejected(self):
+        points = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [2.0, 0.0, 0.0]])
+        face = np.array([[0, 1, 2]])  # collinear: zero area
+        with pytest.raises(MeshError, match="degenerate"):
+            face_normals_outward(points, face, np.zeros((1, 3)))
+
+    def test_unsupported_dimension_rejected(self):
+        points = np.zeros((3, 4))
+        with pytest.raises(MeshError, match="2-D and 3-D"):
+            face_normals_outward(points, np.array([[0, 1, 2]]), np.zeros((1, 4)))

@@ -1,0 +1,94 @@
+"""Tests for schedule metrics and theory-validation measurements."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    approx_ratio,
+    efficiency,
+    lemma2_max_copies_per_layer,
+    lemma3_max_tasks_per_proc_layer,
+    speedup,
+    summarize_schedule,
+)
+from repro.core import (
+    average_load_lb,
+    random_cell_assignment,
+    random_delay_priority_schedule,
+)
+from repro.core.random_delay import draw_delays
+from repro.util.rng import as_rng
+
+
+@pytest.fixture(scope="module")
+def sched(tet_instance):
+    return random_delay_priority_schedule(tet_instance, 8, seed=0)
+
+
+class TestRatios:
+    def test_avg_load_ratio(self, sched, tet_instance):
+        expected = sched.makespan / average_load_lb(tet_instance, 8)
+        assert approx_ratio(sched) == pytest.approx(expected)
+
+    def test_combined_ratio_at_most_avg_load_ratio(self, sched):
+        assert approx_ratio(sched, bound="combined") <= approx_ratio(sched)
+
+    def test_unknown_bound_rejected(self, sched):
+        with pytest.raises(ValueError, match="unknown bound"):
+            approx_ratio(sched, bound="nope")
+
+    def test_speedup_and_efficiency(self, sched, tet_instance):
+        assert speedup(sched) == pytest.approx(tet_instance.n_tasks / sched.makespan)
+        assert efficiency(sched) == pytest.approx(speedup(sched) / 8)
+        assert 0 < efficiency(sched) <= 1.0
+
+
+class TestSummary:
+    def test_fields_populated(self, sched, tet_instance):
+        s = summarize_schedule(sched)
+        assert s.algorithm == "random_delay_priority"
+        assert s.n_cells == tet_instance.n_cells
+        assert s.k == tet_instance.k
+        assert s.m == 8
+        assert s.makespan == sched.makespan
+        assert s.ratio == pytest.approx(approx_ratio(sched))
+        assert 0 <= s.c1_fraction <= 1
+        assert s.c2 <= s.c1
+
+    def test_without_comm(self, sched):
+        s = summarize_schedule(sched, with_comm=False)
+        assert s.c1 == 0 and s.c2 == 0
+
+    def test_as_dict(self, sched):
+        d = summarize_schedule(sched).as_dict()
+        assert d["m"] == 8
+
+
+class TestLemmaMeasurements:
+    def test_lemma2_upper_bounded_by_k(self, tet_instance, rng):
+        delays = draw_delays(tet_instance.k, rng)
+        copies = lemma2_max_copies_per_layer(tet_instance, delays)
+        assert 1 <= copies <= tet_instance.k
+
+    def test_lemma2_zero_delays_put_all_copies_nowhere_special(self, chain_instance):
+        """With zero delays, cell 0 has level 0 in dir 0 and level 3 in
+        dir 1 -> max copies per layer is 1 on the chain."""
+        copies = lemma2_max_copies_per_layer(chain_instance, np.array([0, 0]))
+        assert copies == 1
+
+    def test_lemma3_at_least_lemma2_ceiling(self, tet_instance, rng):
+        m = 4
+        delays = draw_delays(tet_instance.k, rng)
+        assignment = random_cell_assignment(tet_instance.n_cells, m, rng)
+        per_proc = lemma3_max_tasks_per_proc_layer(
+            tet_instance, delays, assignment, m
+        )
+        assert per_proc >= 1
+
+    def test_lemma3_single_proc_equals_layer_size(self, chain_instance):
+        delays = np.array([0, 0])
+        per_proc = lemma3_max_tasks_per_proc_layer(
+            chain_instance, delays, np.zeros(4, dtype=int), 1
+        )
+        # Layers each hold 2 tasks (one from each chain direction).
+        assert per_proc == 2

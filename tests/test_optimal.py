@@ -1,0 +1,110 @@
+"""Tests for the exact optimal scheduler, and OPT-anchored verification
+of every algorithm and lower bound on tiny instances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import Dag, SweepInstance, combined_lower_bound, graham_relaxation_lb
+from repro.core.optimal import (
+    optimal_makespan,
+    optimal_makespan_for_assignment,
+    _set_partitions,
+)
+from repro.heuristics import ALGORITHMS
+from repro.util.errors import ReproError
+
+from .strategies import sweep_instances
+
+
+class TestExactSolver:
+    def test_independent_tasks(self):
+        inst = SweepInstance(4, [Dag(4, [])])
+        assert optimal_makespan(inst, 2) == 2
+        assert optimal_makespan(inst, 4) == 1
+
+    def test_chain_forces_serialisation(self):
+        g = Dag.from_edge_list(4, [(0, 1), (1, 2), (2, 3)])
+        inst = SweepInstance(4, [g])
+        assert optimal_makespan(inst, 4) == 4
+
+    def test_two_opposing_chains(self, chain_instance):
+        # 4 cells, 2 opposite chains, 8 tasks.  With m=2 OPT is known to
+        # be >= nk/m = 4 and a hand schedule of 5 exists; check exact.
+        opt = optimal_makespan(chain_instance, 2)
+        assert 4 <= opt <= 6
+        assert opt == optimal_makespan(chain_instance, 2)  # deterministic
+
+    def test_same_proc_constraint_binds(self):
+        """k copies of one cell must serialise on one processor."""
+        inst = SweepInstance(1, [Dag(1, []), Dag(1, []), Dag(1, [])])
+        assert optimal_makespan(inst, 3) == 3
+
+    def test_fixed_assignment_variant(self):
+        inst = SweepInstance(2, [Dag(2, [])])
+        # Both cells on one proc: 2 steps; split: 1 step.
+        assert optimal_makespan_for_assignment(inst, 2, np.array([0, 0])) == 2
+        assert optimal_makespan_for_assignment(inst, 2, np.array([0, 1])) == 1
+
+    def test_size_caps_enforced(self):
+        big = SweepInstance(20, [Dag(20, [])])
+        with pytest.raises(ReproError, match="caps"):
+            optimal_makespan(big, 2)
+        with pytest.raises(ReproError, match="caps"):
+            optimal_makespan_for_assignment(big, 2, np.zeros(20, dtype=int))
+
+    def test_empty_instance(self):
+        inst = SweepInstance(0, [Dag(0, [])])
+        assert optimal_makespan(inst, 2) == 0
+
+
+class TestSetPartitions:
+    def test_counts_bell_numbers(self):
+        # Partitions of 3 items into <= 3 groups: Bell(3) = 5.
+        assert len(list(_set_partitions(3, 3))) == 5
+        # Into <= 2 groups: 4 (drop the all-singletons one).
+        assert len(list(_set_partitions(3, 2))) == 4
+
+    def test_canonical_form(self):
+        for p in _set_partitions(4, 3):
+            assert p[0] == 0  # item 0 anchors group 0
+            # Restricted growth: each new label is at most max-so-far + 1.
+            seen = 0
+            for g in p:
+                assert g <= seen
+                seen = max(seen, g + 1)
+
+
+class TestAlgorithmsAgainstOPT:
+    """The point of the oracle: verify the whole stack on tiny instances."""
+
+    @given(sweep_instances(max_n=5, max_k=2))
+    @settings(max_examples=15, deadline=None)
+    def test_lower_bounds_below_opt(self, inst):
+        m = 2
+        opt = optimal_makespan(inst, m)
+        assert combined_lower_bound(inst, m) <= opt
+        assert graham_relaxation_lb(inst, m) <= opt
+
+    @given(sweep_instances(max_n=5, max_k=2))
+    @settings(max_examples=10, deadline=None)
+    def test_all_algorithms_at_least_opt(self, inst):
+        m = 2
+        opt = optimal_makespan(inst, m)
+        for name, algo in ALGORITHMS.items():
+            s = algo(inst, m, seed=0)
+            assert s.makespan >= opt, f"{name} beat OPT — invalid schedule?"
+
+    @given(sweep_instances(max_n=5, max_k=2))
+    @settings(max_examples=10, deadline=None)
+    def test_priority_algorithm_within_small_factor_of_opt(self, inst):
+        """The paper observes ratios < 3 in practice; on tiny instances
+        Algorithm 2 should stay within 3x of the true optimum across a
+        few seeds (take the best — the guarantee is probabilistic)."""
+        m = 2
+        opt = optimal_makespan(inst, m)
+        best = min(
+            ALGORITHMS["random_delay_priority"](inst, m, seed=s).makespan
+            for s in range(3)
+        )
+        assert best <= max(3 * opt, opt + 2)

@@ -1,0 +1,95 @@
+"""Tests for the baseline block partitioners and quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import Mesh
+from repro.partition import (
+    balance,
+    bfs_blocks,
+    block_sizes,
+    edge_cut,
+    geometric_blocks,
+    random_blocks,
+)
+from repro.util.errors import PartitionError
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return Mesh.structured_grid((10, 10))
+
+
+class TestRandomBlocks:
+    def test_balanced(self):
+        blocks = random_blocks(100, 10, seed=0)
+        sizes = block_sizes(blocks)
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_block_count(self):
+        blocks = random_blocks(100, 7, seed=0)
+        assert blocks.max() + 1 == 15  # ceil(100/7)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(PartitionError):
+            random_blocks(10, 0)
+
+
+class TestBfsBlocks:
+    def test_covers_all_cells(self, grid):
+        blocks = bfs_blocks(grid.n_cells, grid.adjacency, 10, seed=0)
+        assert (blocks >= 0).all()
+        assert block_sizes(blocks).sum() == 100
+
+    def test_blocks_are_contiguous_in_graph(self, grid):
+        """Most BFS blocks induce connected subgraphs (locality)."""
+        blocks = bfs_blocks(grid.n_cells, grid.adjacency, 10, seed=0)
+        cut = edge_cut(blocks, grid.adjacency)
+        rnd = edge_cut(random_blocks(100, 10, seed=0), grid.adjacency)
+        assert cut < rnd
+
+    def test_handles_disconnected_graph(self):
+        blocks = bfs_blocks(6, np.array([[0, 1], [2, 3]]), 2, seed=0)
+        assert (blocks >= 0).all()
+
+    def test_exact_sizes_when_divisible(self, grid):
+        blocks = bfs_blocks(grid.n_cells, grid.adjacency, 25, seed=0)
+        assert sorted(block_sizes(blocks).tolist()) == [25, 25, 25, 25]
+
+
+class TestGeometricBlocks:
+    def test_covers_all(self, grid):
+        blocks = geometric_blocks(grid.centroids, 20)
+        assert block_sizes(blocks).sum() == 100
+
+    def test_sorts_along_longest_axis(self):
+        cent = np.stack([np.arange(10.0), np.zeros(10)], axis=1)
+        blocks = geometric_blocks(cent, 5)
+        assert blocks.tolist() == [0] * 5 + [1] * 5
+
+    def test_empty(self):
+        assert geometric_blocks(np.empty((0, 3)), 4).size == 0
+
+
+class TestQualityMetrics:
+    def test_edge_cut_counts_cross_edges(self):
+        labels = np.array([0, 0, 1, 1])
+        edges = np.array([[0, 1], [1, 2], [2, 3]])
+        assert edge_cut(labels, edges) == 1
+
+    def test_edge_cut_empty(self):
+        assert edge_cut(np.array([0, 1]), np.empty((0, 2))) == 0
+
+    def test_balance_perfect(self):
+        assert balance(np.array([0, 0, 1, 1])) == 1.0
+
+    def test_balance_skewed(self):
+        assert balance(np.array([0, 0, 0, 1])) == pytest.approx(1.5)
+
+    def test_balance_ignores_empty_labels(self):
+        # Labels 0 and 5 occur; the gap does not count as empty blocks.
+        assert balance(np.array([0, 5])) == 1.0
+
+    def test_block_sizes_rejects_negative(self):
+        with pytest.raises(PartitionError):
+            block_sizes(np.array([-1, 0]))

@@ -1,0 +1,59 @@
+"""Tests for the PartGraph container."""
+
+import numpy as np
+import pytest
+
+from repro.partition import PartGraph
+from repro.util.errors import PartitionError
+
+
+class TestFromEdges:
+    def test_symmetric_csr(self):
+        g = PartGraph.from_edges(3, np.array([[0, 1], [1, 2]]))
+        assert sorted(g.neighbors(1).tolist()) == [0, 2]
+        assert g.neighbors(0).tolist() == [1]
+        assert g.num_undirected_edges == 2
+
+    def test_parallel_edges_merge_weights(self):
+        g = PartGraph.from_edges(2, np.array([[0, 1], [1, 0], [0, 1]]))
+        assert g.num_undirected_edges == 1
+        assert g.edge_weights_of(0).tolist() == [3]
+
+    def test_self_loops_dropped(self):
+        g = PartGraph.from_edges(2, np.array([[0, 0], [0, 1]]))
+        assert g.num_undirected_edges == 1
+
+    def test_custom_weights(self):
+        g = PartGraph.from_edges(
+            3,
+            np.array([[0, 1], [1, 2]]),
+            edge_weights=np.array([5, 7]),
+            node_weights=np.array([1, 2, 3]),
+        )
+        assert g.total_vertex_weight == 6
+        idx = g.neighbors(1).tolist().index(2)
+        assert g.edge_weights_of(1)[idx] == 7
+
+    def test_degree(self):
+        g = PartGraph.from_edges(3, np.array([[0, 1], [0, 2]]))
+        assert g.degree(0) == 2
+        assert g.degree(1) == 1
+
+    def test_empty_graph(self):
+        g = PartGraph.from_edges(4, np.empty((0, 2)))
+        assert g.num_undirected_edges == 0
+        assert g.total_vertex_weight == 4
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(PartitionError, match="endpoints"):
+            PartGraph.from_edges(2, np.array([[0, 5]]))
+
+    def test_rejects_bad_weight_shapes(self):
+        with pytest.raises(PartitionError, match="edge_weights"):
+            PartGraph.from_edges(2, np.array([[0, 1]]), edge_weights=np.array([1, 2]))
+        with pytest.raises(PartitionError, match="node_weights"):
+            PartGraph.from_edges(2, np.array([[0, 1]]), node_weights=np.array([1]))
+
+    def test_repr(self):
+        g = PartGraph.from_edges(3, np.array([[0, 1]]))
+        assert "n=3" in repr(g)

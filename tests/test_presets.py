@@ -1,0 +1,42 @@
+"""Tests for experiment presets and the full-scale driver wiring."""
+
+import pytest
+
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.presets import CI_SCALE, PAPER_SCALE, get_preset
+
+
+class TestPresets:
+    def test_paper_scale_matches_paper_meshes(self):
+        assert PAPER_SCALE["fig2a"].target_cells == 31481
+        assert PAPER_SCALE["fig2c"].target_cells == 61737
+        assert PAPER_SCALE["fig3c"].target_cells == 43012
+        assert PAPER_SCALE["headline"].target_cells == 118211
+
+    def test_paper_block_sizes(self):
+        assert PAPER_SCALE["fig2a"].block_sizes == (1, 64, 256)
+        assert PAPER_SCALE["fig3c"].block_sizes == (128,)
+
+    def test_all_presets_are_configs(self):
+        for table in (CI_SCALE, PAPER_SCALE):
+            for config in table.values():
+                assert isinstance(config, ExperimentConfig)
+                assert config.seeds
+
+    def test_get_preset(self):
+        assert get_preset("paper", "fig2c").mesh == "long"
+        assert get_preset("ci", "fig2c").target_cells < 10_000
+        with pytest.raises(KeyError, match="no paper preset"):
+            get_preset("paper", "nope")
+
+    def test_ci_preset_runs(self):
+        """The CI preset must actually execute end to end (scaled down)."""
+        from dataclasses import replace
+
+        from repro.experiments.runner import run_grid
+
+        config = replace(
+            get_preset("ci", "fig2c"), target_cells=300, m_values=(4,), seeds=(0,)
+        )
+        rows = run_grid(config, with_comm=False)
+        assert len(rows) == 2

@@ -1,0 +1,77 @@
+"""Tests for Algorithm 2 (Random Delays with Priorities)."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core import (
+    random_delay_priority_schedule,
+    random_delay_schedule,
+)
+
+from .strategies import sweep_instances
+
+
+class TestAlgorithm2:
+    def test_feasible(self, tet_instance):
+        s = random_delay_priority_schedule(tet_instance, 8, seed=0)
+        s.validate()
+
+    def test_deterministic(self, tet_instance):
+        a = random_delay_priority_schedule(tet_instance, 8, seed=3)
+        b = random_delay_priority_schedule(tet_instance, 8, seed=3)
+        assert np.array_equal(a.start, b.start)
+
+    def test_meta(self, chain_instance):
+        s = random_delay_priority_schedule(chain_instance, 2, seed=0)
+        assert s.meta["algorithm"] == "random_delay_priority"
+
+    def test_compaction_never_loses_to_algorithm1(self, tet_instance):
+        """With identical randomness (same delays, same assignment), the
+        prioritized list schedule compacts Algorithm 1's layer schedule:
+        it should never be worse on real meshes."""
+        rng = np.random.default_rng(0)
+        delays = rng.integers(0, tet_instance.k, size=tet_instance.k)
+        assignment = rng.integers(0, 8, size=tet_instance.n_cells)
+        a1 = random_delay_schedule(
+            tet_instance, 8, delays=delays, assignment=assignment
+        )
+        a2 = random_delay_priority_schedule(
+            tet_instance, 8, delays=delays, assignment=assignment
+        )
+        assert a2.makespan <= a1.makespan
+
+    def test_improvement_grows_with_m(self, tet_instance):
+        """Paper Fig. 2(c): the gap between Alg 1 and Alg 2 widens as m
+        grows (up to ~4x there).  Check the ratio is at least monotone
+        non-trivially at the two extremes we can afford."""
+        gaps = []
+        for m in (4, 32):
+            rng = np.random.default_rng(1)
+            delays = rng.integers(0, tet_instance.k, size=tet_instance.k)
+            assignment = rng.integers(0, m, size=tet_instance.n_cells)
+            a1 = random_delay_schedule(
+                tet_instance, m, delays=delays, assignment=assignment
+            )
+            a2 = random_delay_priority_schedule(
+                tet_instance, m, delays=delays, assignment=assignment
+            )
+            gaps.append(a1.makespan / a2.makespan)
+        assert gaps[1] > gaps[0]
+
+    @given(sweep_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_always_feasible(self, inst):
+        s = random_delay_priority_schedule(inst, 3, seed=0)
+        s.validate()
+
+    @given(sweep_instances(max_n=12, max_k=3))
+    @settings(max_examples=20, deadline=None)
+    def test_compaction_property_randomised(self, inst):
+        rng = np.random.default_rng(0)
+        delays = rng.integers(0, inst.k, size=inst.k)
+        assignment = rng.integers(0, 2, size=inst.n_cells)
+        a1 = random_delay_schedule(inst, 2, delays=delays, assignment=assignment)
+        a2 = random_delay_priority_schedule(
+            inst, 2, delays=delays, assignment=assignment
+        )
+        assert a2.makespan <= a1.makespan

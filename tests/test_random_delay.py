@@ -1,0 +1,94 @@
+"""Tests for Algorithm 1 (Random Delay)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    Dag,
+    SweepInstance,
+    draw_delays,
+    random_delay_schedule,
+)
+from repro.core.random_delay import delayed_task_layers
+from repro.util.errors import InvalidScheduleError
+
+from .strategies import sweep_instances
+
+
+class TestDelays:
+    def test_delays_in_range(self, rng):
+        x = draw_delays(10, rng)
+        assert x.shape == (10,)
+        assert x.min() >= 0 and x.max() <= 9
+
+    def test_single_direction_delay_zero(self, rng):
+        assert list(draw_delays(1, rng)) == [0]
+
+    def test_delayed_layers_shift_by_direction(self, chain_instance):
+        layers = delayed_task_layers(chain_instance, np.array([0, 5]))
+        assert list(layers[:4]) == [0, 1, 2, 3]
+        assert list(layers[4:]) == [8, 7, 6, 5]
+
+    def test_delayed_layers_rejects_bad_shape(self, chain_instance):
+        with pytest.raises(InvalidScheduleError, match="delays"):
+            delayed_task_layers(chain_instance, np.array([1, 2, 3]))
+
+
+class TestAlgorithm1:
+    def test_schedule_is_feasible(self, tet_instance):
+        s = random_delay_schedule(tet_instance, 8, seed=0)
+        s.validate()
+
+    def test_deterministic_for_fixed_seed(self, tet_instance):
+        a = random_delay_schedule(tet_instance, 8, seed=7)
+        b = random_delay_schedule(tet_instance, 8, seed=7)
+        assert np.array_equal(a.start, b.start)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_different_seeds_differ(self, tet_instance):
+        a = random_delay_schedule(tet_instance, 8, seed=1)
+        b = random_delay_schedule(tet_instance, 8, seed=2)
+        assert not np.array_equal(a.start, b.start)
+
+    def test_meta_records_algorithm_and_delays(self, chain_instance):
+        s = random_delay_schedule(chain_instance, 2, seed=0)
+        assert s.meta["algorithm"] == "random_delay"
+        assert s.meta["delays"].shape == (2,)
+
+    def test_explicit_delays_respected(self, chain_instance):
+        delays = np.array([0, 3])
+        s = random_delay_schedule(chain_instance, 2, seed=0, delays=delays)
+        assert list(s.meta["delays"]) == [0, 3]
+        s.validate()
+
+    def test_explicit_assignment_respected(self, chain_instance):
+        assignment = np.array([1, 1, 0, 0])
+        s = random_delay_schedule(chain_instance, 2, seed=0, assignment=assignment)
+        assert np.array_equal(s.assignment, assignment)
+        s.validate()
+
+    def test_single_processor_serialises(self, chain_instance):
+        s = random_delay_schedule(chain_instance, 1, seed=0)
+        assert s.makespan == chain_instance.n_tasks
+
+    def test_zero_delay_single_direction(self):
+        g = Dag.from_edge_list(3, [(0, 1), (1, 2)])
+        inst = SweepInstance(3, [g])
+        s = random_delay_schedule(inst, 2, seed=0)
+        s.validate()
+        assert s.makespan >= 3
+
+    @given(sweep_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_always_feasible(self, inst):
+        for m in (1, 3):
+            s = random_delay_schedule(inst, m, seed=0)
+            s.validate()
+
+    @given(sweep_instances(max_n=15, max_k=3))
+    @settings(max_examples=20, deadline=None)
+    def test_makespan_at_most_serial(self, inst):
+        s = random_delay_schedule(inst, 2, seed=0)
+        # Layer-sequential never exceeds fully serial execution.
+        assert s.makespan <= inst.n_tasks

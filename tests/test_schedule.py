@@ -1,0 +1,100 @@
+"""Tests for the Schedule container and independent validator."""
+
+import numpy as np
+import pytest
+
+from repro.core import Dag, Schedule, SweepInstance
+from repro.util.errors import InvalidScheduleError
+
+
+def make_schedule(inst, start, assignment, m=2):
+    return Schedule(
+        instance=inst,
+        m=m,
+        start=np.asarray(start, dtype=np.int64),
+        assignment=np.asarray(assignment, dtype=np.int64),
+    )
+
+
+@pytest.fixture()
+def two_cell_instance():
+    g = Dag.from_edge_list(2, [(0, 1)])
+    return SweepInstance(2, [g])
+
+
+class TestScheduleProperties:
+    def test_makespan(self, two_cell_instance):
+        s = make_schedule(two_cell_instance, [0, 1], [0, 1])
+        assert s.makespan == 2
+
+    def test_makespan_empty(self):
+        inst = SweepInstance(0, [Dag(0, [])])
+        s = make_schedule(inst, [], [])
+        assert s.makespan == 0
+        s.validate()
+
+    def test_task_proc_tiles_assignment(self, chain_instance):
+        s = make_schedule(
+            chain_instance, np.zeros(8), [0, 1, 0, 1], m=2
+        )
+        assert list(s.task_proc()) == [0, 1, 0, 1, 0, 1, 0, 1]
+
+    def test_proc_loads(self, chain_instance):
+        s = make_schedule(chain_instance, np.arange(8), [0, 0, 0, 1], m=2)
+        assert list(s.proc_loads()) == [6, 2]
+
+    def test_idle_fraction(self, two_cell_instance):
+        # 2 tasks, 2 procs, makespan 2 -> 2 busy of 4 slots.
+        s = make_schedule(two_cell_instance, [0, 1], [0, 1])
+        assert s.idle_fraction() == pytest.approx(0.5)
+
+    def test_repr_contains_makespan(self, two_cell_instance):
+        s = make_schedule(two_cell_instance, [0, 1], [0, 0])
+        assert "makespan=2" in repr(s)
+
+
+class TestValidator:
+    def test_valid_schedule_passes(self, two_cell_instance):
+        make_schedule(two_cell_instance, [0, 1], [0, 0]).validate()
+
+    def test_precedence_violation_caught(self, two_cell_instance):
+        with pytest.raises(InvalidScheduleError, match="violated"):
+            make_schedule(two_cell_instance, [1, 0], [0, 1]).validate()
+
+    def test_equal_start_on_edge_caught(self, two_cell_instance):
+        with pytest.raises(InvalidScheduleError, match="violated"):
+            make_schedule(two_cell_instance, [0, 0], [0, 1]).validate()
+
+    def test_capacity_violation_caught(self):
+        g = Dag(2, [])
+        inst = SweepInstance(2, [g])
+        with pytest.raises(InvalidScheduleError, match="slot"):
+            make_schedule(inst, [0, 0], [0, 0]).validate()
+
+    def test_missing_start_caught(self, two_cell_instance):
+        with pytest.raises(InvalidScheduleError, match="no start"):
+            make_schedule(two_cell_instance, [0, -1], [0, 0]).validate()
+
+    def test_assignment_out_of_range_caught(self, two_cell_instance):
+        with pytest.raises(InvalidScheduleError, match="assignment"):
+            make_schedule(two_cell_instance, [0, 1], [0, 5]).validate()
+
+    def test_wrong_start_shape_caught(self, two_cell_instance):
+        with pytest.raises(InvalidScheduleError, match="start has shape"):
+            make_schedule(two_cell_instance, [0, 1, 2], [0, 0]).validate()
+
+    def test_wrong_assignment_shape_caught(self, two_cell_instance):
+        with pytest.raises(InvalidScheduleError, match="assignment has shape"):
+            make_schedule(two_cell_instance, [0, 1], [0]).validate()
+
+    def test_nonpositive_m_caught(self, two_cell_instance):
+        s = make_schedule(two_cell_instance, [0, 1], [0, 0], m=0)
+        with pytest.raises(InvalidScheduleError, match="positive"):
+            s.validate()
+
+    def test_same_proc_constraint_is_structural(self, chain_instance):
+        """Every copy of a cell shares its processor by construction."""
+        s = make_schedule(chain_instance, [0, 1, 2, 3, 4, 5, 6, 7], [0, 1, 0, 1])
+        proc = s.task_proc()
+        for v in range(4):
+            assert proc[v] == proc[4 + v]

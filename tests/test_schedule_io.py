@@ -1,0 +1,54 @@
+"""Tests for schedule persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    load_schedule,
+    random_delay_priority_schedule,
+    save_schedule,
+)
+from repro.util.errors import ReproError
+
+
+class TestRoundtrip:
+    def test_exact_roundtrip(self, tmp_path, tet_instance):
+        sched = random_delay_priority_schedule(tet_instance, 4, seed=0)
+        path = tmp_path / "s.npz"
+        save_schedule(sched, path)
+        loaded = load_schedule(path)
+        assert loaded.m == 4
+        assert np.array_equal(loaded.start, sched.start)
+        assert np.array_equal(loaded.assignment, sched.assignment)
+        assert loaded.makespan == sched.makespan
+        assert loaded.instance.n_cells == tet_instance.n_cells
+        assert loaded.instance.k == tet_instance.k
+        assert loaded.meta["algorithm"] == "random_delay_priority"
+
+    def test_meta_delays_survive_as_lists(self, tmp_path, chain_instance):
+        sched = random_delay_priority_schedule(chain_instance, 2, seed=3)
+        path = tmp_path / "s.npz"
+        save_schedule(sched, path)
+        loaded = load_schedule(path)
+        assert loaded.meta["delays"] == sched.meta["delays"].tolist()
+
+    def test_dag_structure_preserved(self, tmp_path, chain_instance):
+        sched = random_delay_priority_schedule(chain_instance, 2, seed=0)
+        path = tmp_path / "s.npz"
+        save_schedule(sched, path)
+        loaded = load_schedule(path)
+        for g_in, g_out in zip(chain_instance.dags, loaded.instance.dags):
+            assert np.array_equal(g_in.edges, g_out.edges)
+
+    def test_load_validates(self, tmp_path, chain_instance):
+        """A tampered file fails the feasibility check on load."""
+        sched = random_delay_priority_schedule(chain_instance, 2, seed=0)
+        sched.start[:] = 0  # precedence + capacity violations
+        path = tmp_path / "bad.npz"
+        save_schedule(sched, path)
+        with pytest.raises(Exception):
+            load_schedule(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError, match="not found"):
+            load_schedule(tmp_path / "nope.npz")

@@ -1,0 +1,40 @@
+"""Smoke tests for the repository scripts."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.mark.slow
+class TestScripts:
+    def test_regenerate_experiments_tiny(self):
+        """The one-shot regeneration script runs end to end at tiny scale
+        and emits every experiment's table."""
+        out = subprocess.run(
+            [sys.executable, "scripts/regenerate_experiments.py", "--cells", "250"],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert out.returncode == 0, out.stderr[-2000:]
+        for marker in ("Fig 2(a)", "Fig 3(c)", "E9 block size",
+                       "E16 latency", "E18 hetero costs"):
+            assert marker in out.stdout
+
+    def test_run_full_scale_single_small(self):
+        """The full-scale driver accepts a single preset (we shrink the
+        work by patching nothing — fig2c at paper scale runs in ~5 s)."""
+        out = subprocess.run(
+            [sys.executable, "scripts/run_full_scale.py", "fig2c"],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert out.returncode == 0, out.stderr[-2000:]
+        assert "ratio to nk/m" in out.stdout

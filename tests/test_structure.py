@@ -1,0 +1,64 @@
+"""Tests for instance structure statistics."""
+
+import numpy as np
+
+from repro.analysis import (
+    direction_stats,
+    instance_stats,
+    parallelism_profile,
+)
+from repro.core import Dag, SweepInstance
+
+
+class TestDirectionStats:
+    def test_chain(self, chain_instance):
+        s = direction_stats(chain_instance, 0)
+        assert s.depth == 4
+        assert s.max_width == 1
+        assert s.mean_width == 1.0
+        assert s.edges == 3
+
+    def test_flat_dag(self):
+        inst = SweepInstance(5, [Dag(5, [])])
+        s = direction_stats(inst, 0)
+        assert s.depth == 1
+        assert s.max_width == 5
+
+
+class TestParallelismProfile:
+    def test_sums_to_tasks(self, tet_instance):
+        prof = parallelism_profile(tet_instance)
+        assert prof.sum() == tet_instance.n_tasks
+
+    def test_chain_instance_profile(self, chain_instance):
+        # Two opposite 4-chains: at union level j, one task from each
+        # direction -> width 2 at every level.
+        prof = parallelism_profile(chain_instance)
+        assert prof.tolist() == [2, 2, 2, 2]
+
+
+class TestInstanceStats:
+    def test_fields(self, tet_instance):
+        s = instance_stats(tet_instance)
+        assert s.n_cells == tet_instance.n_cells
+        assert s.n_tasks == tet_instance.n_tasks
+        assert s.depth == tet_instance.depth()
+        assert s.max_parallelism >= s.n_tasks // max(s.depth, 1) // 2
+        assert s.intrinsic_parallelism > 1.0
+        assert s.as_dict()["k"] == tet_instance.k
+
+    def test_chain_limits(self, chain_instance):
+        s = instance_stats(chain_instance)
+        assert s.depth == 4
+        assert s.intrinsic_parallelism == 2.0  # 8 tasks / 4 union levels
+        assert s.serial_direction_limit == 2.0
+
+    def test_long_mesh_is_deeper_than_cube(self):
+        from repro.mesh import long_like, tetonly_like
+        from repro.sweeps import build_instance, level_symmetric
+
+        dirs = level_symmetric(2)
+        cube = instance_stats(build_instance(tetonly_like(500, seed=0), dirs))
+        bar = instance_stats(build_instance(long_like(500, seed=0), dirs))
+        # The elongated bar sweeps through more levels per cell.
+        assert bar.depth / bar.n_cells > cube.depth / cube.n_cells

@@ -1,0 +1,179 @@
+"""Tests for the latency/cost-aware event scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Dag,
+    SweepInstance,
+    latency_list_schedule,
+    list_schedule,
+)
+from repro.core.random_delay import delayed_task_layers, draw_delays
+from repro.util.errors import InvalidScheduleError
+
+from .strategies import sweep_instances
+
+
+class TestReductionToStandardEngine:
+    def test_zero_latency_unit_cost_matches_list_schedule(self, tet_instance):
+        """With unique priorities both engines make identical choices."""
+        m = 4
+        assignment = np.arange(tet_instance.n_cells) % m
+        prio = np.arange(tet_instance.n_tasks)  # strictly unique
+        a = list_schedule(tet_instance, m, assignment, priority=prio)
+        b = latency_list_schedule(tet_instance, m, assignment, priority=prio)
+        b.validate()
+        assert np.array_equal(a.start, b.start)
+
+    def test_delayed_priorities_match_too(self, tet_instance):
+        m = 4
+        rng = np.random.default_rng(0)
+        assignment = rng.integers(0, m, size=tet_instance.n_cells)
+        gamma = delayed_task_layers(tet_instance, draw_delays(tet_instance.k, rng))
+        # Make ties unique so both engines agree exactly.
+        prio = gamma * tet_instance.n_tasks + np.arange(tet_instance.n_tasks)
+        a = list_schedule(tet_instance, m, assignment, priority=prio)
+        b = latency_list_schedule(tet_instance, m, assignment, priority=prio)
+        assert a.makespan == b.makespan
+
+
+class TestLatency:
+    def test_cross_proc_chain_pays_latency(self):
+        g = Dag.from_edge_list(2, [(0, 1)])
+        inst = SweepInstance(2, [g])
+        s = latency_list_schedule(
+            inst, 2, np.array([0, 1]), comm_latency=5
+        )
+        s.validate()
+        assert s.start[1] == 6  # 1 (task 0) + 5 latency
+
+    def test_same_proc_chain_pays_nothing(self):
+        g = Dag.from_edge_list(2, [(0, 1)])
+        inst = SweepInstance(2, [g])
+        s = latency_list_schedule(inst, 2, np.array([0, 0]), comm_latency=5)
+        assert s.start[1] == 1
+
+    def test_makespan_monotone_in_latency(self, tet_instance):
+        m = 4
+        assignment = np.arange(tet_instance.n_cells) % m
+        spans = [
+            latency_list_schedule(
+                tet_instance, m, assignment, comm_latency=c
+            ).makespan
+            for c in (0, 1, 4, 16)
+        ]
+        assert spans == sorted(spans)
+
+    def test_block_assignment_wins_under_high_latency(self, tet_mesh, tet_instance):
+        """The Section 5.1 trade-off: fewer cut edges beats better balance
+        once communication is expensive."""
+        from repro.core import block_assignment
+        from repro.partition import partition_mesh_blocks
+
+        m = 4
+        rng = np.random.default_rng(0)
+        per_cell = rng.integers(0, m, size=tet_instance.n_cells)
+        blocks = partition_mesh_blocks(
+            tet_mesh.n_cells, tet_mesh.adjacency, 32, seed=0
+        )
+        blocked = block_assignment(blocks, m, seed=0, balanced=True)
+        c = 20
+        span_cell = latency_list_schedule(
+            tet_instance, m, per_cell, comm_latency=c
+        ).makespan
+        span_block = latency_list_schedule(
+            tet_instance, m, blocked, comm_latency=c
+        ).makespan
+        assert span_block < span_cell
+
+    def test_rejects_negative_latency(self, chain_instance):
+        with pytest.raises(InvalidScheduleError, match="latency"):
+            latency_list_schedule(
+                chain_instance, 2, np.zeros(4, dtype=int), comm_latency=-1
+            )
+
+
+class TestCosts:
+    def test_weighted_serial_sum(self):
+        inst = SweepInstance(3, [Dag(3, [])])
+        s = latency_list_schedule(
+            inst, 1, np.zeros(3, dtype=int), task_cost=np.array([2, 3, 5])
+        )
+        s.validate()
+        assert s.makespan == 10
+
+    def test_weighted_chain(self):
+        g = Dag.from_edge_list(2, [(0, 1)])
+        inst = SweepInstance(2, [g])
+        s = latency_list_schedule(
+            inst, 2, np.array([0, 1]), task_cost=np.array([4, 2])
+        )
+        assert s.start[1] == 4
+        assert s.makespan == 6
+
+    def test_long_task_does_not_block_other_proc(self):
+        inst = SweepInstance(2, [Dag(2, [])])
+        s = latency_list_schedule(
+            inst, 2, np.array([0, 1]), task_cost=np.array([10, 1])
+        )
+        assert s.start[1] == 0
+
+    def test_rejects_nonpositive_cost(self, chain_instance):
+        with pytest.raises(InvalidScheduleError, match="positive"):
+            latency_list_schedule(
+                chain_instance, 2, np.zeros(4, dtype=int),
+                task_cost=np.zeros(8, dtype=int),
+            )
+
+    def test_rejects_bad_cost_shape(self, chain_instance):
+        with pytest.raises(InvalidScheduleError, match="task_cost"):
+            latency_list_schedule(
+                chain_instance, 2, np.zeros(4, dtype=int),
+                task_cost=np.ones(3, dtype=int),
+            )
+
+
+class TestTimedValidator:
+    def test_catches_overlap(self, chain_instance):
+        s = latency_list_schedule(chain_instance, 2, np.zeros(4, dtype=int))
+        s.duration = s.duration.copy()
+        s.duration[0] = 10  # now overlaps the next task on its proc
+        with pytest.raises(InvalidScheduleError, match="overlap"):
+            s.validate()
+
+    def test_catches_latency_violation(self):
+        g = Dag.from_edge_list(2, [(0, 1)])
+        inst = SweepInstance(2, [g])
+        s = latency_list_schedule(inst, 2, np.array([0, 1]), comm_latency=0)
+        s.comm_latency = 3  # claim a latency the schedule never honoured
+        with pytest.raises(InvalidScheduleError, match="latency"):
+            s.validate()
+
+    def test_catches_zero_duration(self, chain_instance):
+        s = latency_list_schedule(chain_instance, 2, np.zeros(4, dtype=int))
+        s.duration = s.duration.copy()
+        s.duration[0] = 0
+        with pytest.raises(InvalidScheduleError, match="positive"):
+            s.validate()
+
+
+class TestPropertyFeasibility:
+    @given(
+        sweep_instances(max_n=12, max_k=3),
+        st.integers(0, 6),
+        st.integers(1, 3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_always_feasible(self, inst, latency, max_cost):
+        rng = np.random.default_rng(0)
+        m = 2
+        assignment = rng.integers(0, m, size=inst.n_cells)
+        costs = rng.integers(1, max_cost + 1, size=inst.n_tasks)
+        s = latency_list_schedule(
+            inst, m, assignment, task_cost=costs, comm_latency=latency
+        )
+        s.validate()
+        assert s.makespan >= int(costs.sum()) // m

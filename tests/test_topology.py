@@ -1,0 +1,91 @@
+"""Tests for torus topology and locality-aware processor mapping."""
+
+import numpy as np
+import pytest
+
+from repro.comm import TorusTopology, hop_weighted_c1, locality_mapping
+from repro.comm.cost import interprocessor_edges
+from repro.core import block_assignment
+from repro.mesh import tetonly_like
+from repro.partition import partition_mesh_blocks
+from repro.sweeps import build_instance, level_symmetric
+from repro.util.errors import ReproError
+
+
+class TestTorus:
+    def test_coords_and_size(self):
+        t = TorusTopology((2, 3))
+        assert t.m == 6
+        assert t.coords.shape == (6, 2)
+
+    def test_hop_distance_wraps(self):
+        t = TorusTopology((4,))
+        # 0 and 3 are adjacent around the ring.
+        assert t.hops(0, 3) == 1
+        assert t.hops(0, 2) == 2
+
+    def test_hops_vectorised_and_symmetric(self):
+        t = TorusTopology((3, 3))
+        a = np.arange(9)
+        b = (a + 4) % 9
+        assert np.array_equal(t.hops(a, b), t.hops(b, a))
+
+    def test_diameter(self):
+        assert TorusTopology((4, 6)).diameter == 2 + 3
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ReproError):
+            TorusTopology((0, 2))
+
+
+class TestHopWeightedC1:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        mesh = tetonly_like(600, seed=0)
+        inst = build_instance(mesh, level_symmetric(2))
+        blocks = partition_mesh_blocks(mesh.n_cells, mesh.adjacency, 16, seed=0)
+        return mesh, inst, blocks
+
+    def test_at_least_plain_c1(self, setup):
+        _mesh, inst, blocks = setup
+        topo = TorusTopology((4, 4))
+        assignment = block_assignment(blocks, topo.m, seed=0)
+        hop = hop_weighted_c1(inst, assignment, topo)
+        plain = interprocessor_edges(inst, assignment)
+        assert plain <= hop <= plain * topo.diameter
+
+    def test_zero_on_one_proc(self, setup):
+        _mesh, inst, _blocks = setup
+        topo = TorusTopology((1, 1))
+        assignment = np.zeros(inst.n_cells, dtype=np.int64)
+        assert hop_weighted_c1(inst, assignment, topo) == 0
+
+    def test_rejects_out_of_torus_assignment(self, setup):
+        _mesh, inst, _blocks = setup
+        topo = TorusTopology((2, 2))
+        assignment = np.full(inst.n_cells, 7)
+        with pytest.raises(ReproError, match="outside the torus"):
+            hop_weighted_c1(inst, assignment, topo)
+
+    def test_locality_mapping_beats_random(self, setup):
+        """RCB block->torus mapping must cut hop-weighted C1 vs a random
+        block->processor draw (same blocks, same torus)."""
+        mesh, inst, blocks = setup
+        topo = TorusTopology((4, 4))
+        nb = int(blocks.max()) + 1
+        centers = np.zeros((nb, 3))
+        np.add.at(centers, blocks, mesh.centroids)
+        centers /= np.maximum(np.bincount(blocks, minlength=nb), 1)[:, None]
+
+        block_to_proc = locality_mapping(centers, topo)
+        smart = block_to_proc[blocks]
+        rand = block_assignment(blocks, topo.m, seed=3)
+        assert (
+            hop_weighted_c1(inst, smart, topo)
+            < hop_weighted_c1(inst, rand, topo)
+        )
+
+    def test_locality_mapping_needs_enough_blocks(self):
+        topo = TorusTopology((4, 4))
+        with pytest.raises(ReproError, match="at least one block"):
+            locality_mapping(np.zeros((3, 2)), topo)

@@ -1,0 +1,84 @@
+"""Tests for schedule traces (utilization, timelines, Gantt)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    direction_progress,
+    gantt_text,
+    processor_timeline,
+    utilization_profile,
+)
+from repro.core import Dag, Schedule, SweepInstance, random_delay_priority_schedule
+from repro.util.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def sched(tet_instance):
+    return random_delay_priority_schedule(tet_instance, 4, seed=0)
+
+
+class TestUtilization:
+    def test_sums_to_task_count(self, sched, tet_instance):
+        prof = utilization_profile(sched)
+        assert prof.sum() == tet_instance.n_tasks
+        assert prof.shape == (sched.makespan,)
+
+    def test_never_exceeds_m(self, sched):
+        assert utilization_profile(sched).max() <= sched.m
+
+    def test_empty_schedule(self):
+        inst = SweepInstance(0, [Dag(0, [])])
+        s = Schedule(inst, 2, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert utilization_profile(s).size == 0
+
+
+class TestTimeline:
+    def test_covers_proc_tasks_exactly(self, sched):
+        tl = processor_timeline(sched, 0)
+        busy = tl[tl >= 0]
+        assert busy.size == int(sched.proc_loads()[0])
+        # Every listed task really runs on proc 0 at that step.
+        proc = sched.task_proc()
+        for t, tid in enumerate(tl):
+            if tid >= 0:
+                assert proc[tid] == 0
+                assert sched.start[tid] == t
+
+    def test_out_of_range_proc_rejected(self, sched):
+        with pytest.raises(ReproError, match="out of range"):
+            processor_timeline(sched, 99)
+
+
+class TestDirectionProgress:
+    def test_totals_per_direction(self, sched, tet_instance):
+        prog = direction_progress(sched)
+        assert prog.shape == (sched.makespan, tet_instance.k)
+        assert np.all(prog.sum(axis=0) == tet_instance.n_cells)
+
+    def test_per_step_total_matches_utilization(self, sched):
+        prog = direction_progress(sched)
+        assert np.array_equal(prog.sum(axis=1), utilization_profile(sched))
+
+
+class TestGantt:
+    def test_dimensions_and_markers(self, sched):
+        text = gantt_text(sched, max_steps=40, max_procs=4)
+        lines = text.splitlines()
+        body = [l for l in lines if l.startswith("P")]
+        assert len(body) == 4
+        # Row width: "Pn   " prefix + 40 cells.
+        assert all(len(l) == 5 + 40 for l in body)
+
+    def test_truncation_note(self, sched):
+        text = gantt_text(sched, max_steps=10, max_procs=2)
+        assert "truncated" in text
+
+    def test_idle_shown_as_dot(self):
+        # Chain on 2 procs: proc 1 idles while the chain runs on proc 0.
+        g = Dag.from_edge_list(3, [(0, 1), (1, 2)])
+        inst = SweepInstance(3, [g])
+        s = Schedule(inst, 2, np.array([0, 1, 2]), np.array([0, 0, 0]))
+        text = gantt_text(s)
+        assert "P1   ..." in text
+        assert "P0   000" in text

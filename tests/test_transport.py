@@ -1,0 +1,264 @@
+"""Tests for the discrete-ordinates transport solver."""
+
+import numpy as np
+import pytest
+
+from repro.core import random_delay_priority_schedule
+from repro.mesh import Mesh, tetonly_like
+from repro.sweeps import build_instance
+from repro.transport import (
+    Quadrature,
+    TransportProblem,
+    build_geometry,
+    direction_balance,
+    schedule_orders,
+    solve,
+    solve_with_schedule,
+    sweep_direction,
+)
+from repro.util.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def grid_setup():
+    mesh = Mesh.structured_grid((5, 5, 5))
+    quad = Quadrature.sn(2)
+    inst = build_instance(mesh, quad.directions)
+    sched = random_delay_priority_schedule(inst, 4, seed=0)
+    return mesh, quad, inst, sched
+
+
+@pytest.fixture(scope="module")
+def tet_setup():
+    mesh = tetonly_like(250, seed=0)
+    quad = Quadrature.sn(2)
+    inst = build_instance(mesh, quad.directions)
+    sched = random_delay_priority_schedule(inst, 4, seed=1)
+    return mesh, quad, inst, sched
+
+
+class TestQuadrature:
+    def test_sn_weights_sum_to_one(self):
+        q = Quadrature.sn(4)
+        assert q.k == 24
+        assert q.weights.sum() == pytest.approx(1.0)
+
+    def test_symmetric_first_moment_vanishes(self):
+        for q in (Quadrature.sn(2), Quadrature.sn(4), Quadrature.fan2d(8)):
+            assert np.linalg.norm(q.first_moment()) < 1e-12
+
+    def test_fibonacci_nearly_balanced(self):
+        q = Quadrature.fib(64)
+        assert np.linalg.norm(q.first_moment()) < 0.05
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ReproError, match="sum to 1"):
+            Quadrature(np.eye(3), np.array([0.5, 0.5, 0.5]))
+        with pytest.raises(ReproError, match="one weight"):
+            Quadrature(np.eye(3), np.array([1.0]))
+        with pytest.raises(ReproError, match="positive"):
+            Quadrature(np.eye(2)[:, :2], np.array([1.5, -0.5]))
+
+
+class TestProblemValidation:
+    def test_rejects_abstract_mesh(self):
+        mesh = Mesh.structured_grid((3, 3))
+        mesh.face_areas = None
+        with pytest.raises(ReproError, match="geometry"):
+            TransportProblem(mesh, Quadrature.fan2d(4), 1.0, 0.0, 1.0)
+
+    def test_rejects_dimension_mismatch(self):
+        mesh = Mesh.structured_grid((3, 3))
+        with pytest.raises(ReproError, match="dimension"):
+            TransportProblem(mesh, Quadrature.sn(2), 1.0, 0.0, 1.0)
+
+    def test_rejects_unstable_scattering(self):
+        mesh = Mesh.structured_grid((3, 3))
+        with pytest.raises(ReproError, match="stable"):
+            TransportProblem(mesh, Quadrature.fan2d(4), 1.0, 1.0, 1.0)
+
+    def test_rejects_nonpositive_sigma_t(self):
+        mesh = Mesh.structured_grid((3, 3))
+        with pytest.raises(ReproError, match="sigma_t"):
+            TransportProblem(mesh, Quadrature.fan2d(4), 0.0, 0.0, 1.0)
+
+    def test_rejects_unknown_boundary(self):
+        mesh = Mesh.structured_grid((3, 3))
+        with pytest.raises(ReproError, match="boundary"):
+            TransportProblem(mesh, Quadrature.fan2d(4), 1.0, 0.0, 1.0, boundary="magic")
+
+    def test_scalar_cross_sections_broadcast(self):
+        mesh = Mesh.structured_grid((3, 3))
+        p = TransportProblem(mesh, Quadrature.fan2d(4), 2.0, 0.5, 1.0)
+        assert p.sigma_t.shape == (9,)
+        assert p.sigma_s[0] == 0.5
+
+
+class TestManufacturedSolution:
+    def test_single_direction_sweep_exact(self, grid_setup):
+        """Pick an arbitrary psi*, derive the source that makes it exact,
+        and check the sweep reproduces psi* to round-off."""
+        mesh, quad, inst, sched = grid_setup
+        problem = TransportProblem(mesh, quad, 1.3, 0.0, 1.0)
+        orders = schedule_orders(sched)
+        geos, _ = build_geometry(problem, orders)
+        geo = geos[0]
+        rng = np.random.default_rng(0)
+        psi_star = rng.random(mesh.n_cells) + 0.5
+        # Per-cell source from the balance: removal psi* - inflow psi*_up.
+        vol_q = geo.removal * psi_star
+        np.subtract.at(
+            vol_q,
+            np.repeat(np.arange(mesh.n_cells), np.diff(geo.in_offsets)),
+            geo.in_coeffs * psi_star[geo.in_neighbors],
+        )
+        emission = vol_q / mesh.cell_volumes
+        psi = sweep_direction(problem, geo, emission)
+        assert np.allclose(psi, psi_star, rtol=1e-12, atol=1e-12)
+
+
+class TestInfiniteMedium:
+    """White boundary + symmetric quadrature reproduces phi = q/(st - ss)
+    exactly on any mesh (divergence theorem; see solver module docs)."""
+
+    def test_structured_grid(self, grid_setup):
+        mesh, quad, inst, sched = grid_setup
+        p = TransportProblem(mesh, quad, 1.0, 0.5, 2.0, boundary="white")
+        res = solve_with_schedule(p, sched, tol=1e-11)
+        assert res.converged
+        assert np.allclose(res.phi, 4.0, atol=1e-7)
+
+    def test_unstructured_tets(self, tet_setup):
+        mesh, quad, inst, sched = tet_setup
+        p = TransportProblem(mesh, quad, 2.0, 1.0, 3.0, boundary="white")
+        res = solve_with_schedule(p, sched, tol=1e-11)
+        assert res.converged
+        assert np.allclose(res.phi, 3.0, atol=1e-6)
+
+    def test_pure_absorber_white(self, grid_setup):
+        mesh, quad, inst, sched = grid_setup
+        p = TransportProblem(mesh, quad, 2.0, 0.0, 2.0, boundary="white")
+        res = solve_with_schedule(p, sched, tol=1e-11)
+        assert np.allclose(res.phi, 1.0, atol=1e-8)
+
+
+class TestVacuum:
+    def test_flux_below_infinite_medium(self, tet_setup):
+        mesh, quad, inst, sched = tet_setup
+        p = TransportProblem(mesh, quad, 2.0, 1.0, 1.0, boundary="vacuum")
+        res = solve_with_schedule(p, sched)
+        assert res.converged
+        assert res.phi.max() < 1.0  # leakage strictly lowers the flux
+        assert res.phi.min() > 0.0  # positivity
+
+    def test_interior_flux_exceeds_boundary(self, grid_setup):
+        mesh, quad, inst, sched = grid_setup
+        p = TransportProblem(mesh, quad, 1.0, 0.0, 1.0, boundary="vacuum")
+        res = solve_with_schedule(p, sched)
+        center = res.phi.argmax()
+        assert np.all(
+            np.abs(mesh.centroids[center] - 2.5) < 1.5
+        )  # peak near the middle of the 5x5x5 box
+
+    def test_conservation_per_direction(self, tet_setup):
+        """source == collision + leakage to round-off (vacuum)."""
+        mesh, quad, inst, sched = tet_setup
+        p = TransportProblem(mesh, quad, 1.5, 0.0, 1.0, boundary="vacuum")
+        orders = schedule_orders(sched)
+        geos, _ = build_geometry(p, orders)
+        emission = p.source.copy()
+        for geo in geos[:3]:
+            psi = sweep_direction(p, geo, emission)
+            bal = direction_balance(p, geo, emission, psi)
+            assert bal["source"] + bal["inflow"] == pytest.approx(
+                bal["collision"] + bal["leakage"], rel=1e-10
+            )
+
+    def test_more_absorption_less_flux(self, grid_setup):
+        mesh, quad, inst, sched = grid_setup
+        lo = solve_with_schedule(
+            TransportProblem(mesh, quad, 1.0, 0.0, 1.0), sched
+        )
+        hi = solve_with_schedule(
+            TransportProblem(mesh, quad, 3.0, 0.0, 1.0), sched
+        )
+        assert np.all(hi.phi < lo.phi)
+
+
+class TestScheduleIntegration:
+    def test_any_feasible_schedule_gives_same_answer(self, tet_setup):
+        """The flux must be schedule-independent: scheduling changes only
+        the execution order, not the math."""
+        mesh, quad, inst, _ = tet_setup
+        p = TransportProblem(mesh, quad, 2.0, 0.8, 1.0, boundary="vacuum")
+        from repro.heuristics import ALGORITHMS
+
+        results = []
+        for name in ("random_delay", "dfds", "fifo"):
+            sched = ALGORITHMS[name](inst, 4, seed=0)
+            results.append(solve_with_schedule(p, sched, tol=1e-10).phi)
+        assert np.allclose(results[0], results[1], atol=1e-9)
+        assert np.allclose(results[0], results[2], atol=1e-9)
+
+    def test_infeasible_order_detected(self, grid_setup):
+        mesh, quad, inst, sched = grid_setup
+        p = TransportProblem(mesh, quad, 1.0, 0.0, 1.0)
+        orders = schedule_orders(sched)
+        orders[0] = orders[0][::-1].copy()  # reverse: violates upwinding
+        with pytest.raises(ReproError, match="infeasible"):
+            solve(p, orders, max_iterations=1)
+
+    def test_mismatched_schedule_rejected(self, grid_setup, tet_setup):
+        mesh, quad, _, _ = grid_setup
+        _, _, _, tet_sched = tet_setup
+        p = TransportProblem(mesh, quad, 1.0, 0.0, 1.0)
+        with pytest.raises(ReproError, match="does not match"):
+            solve_with_schedule(p, tet_sched)
+
+    def test_bad_order_permutation_rejected(self, grid_setup):
+        mesh, quad, inst, sched = grid_setup
+        p = TransportProblem(mesh, quad, 1.0, 0.0, 1.0)
+        orders = schedule_orders(sched)
+        orders[0] = np.zeros_like(orders[0])
+        with pytest.raises(ReproError, match="permutation"):
+            solve(p, orders)
+
+
+class TestConvergence:
+    def test_scattering_ratio_drives_iteration_count(self, grid_setup):
+        """Higher sigma_s/sigma_t means slower source iteration."""
+        mesh, quad, inst, sched = grid_setup
+        iters = []
+        for ss in (0.1, 0.5, 0.9):
+            p = TransportProblem(mesh, quad, 1.0, ss, 1.0, boundary="vacuum")
+            iters.append(solve_with_schedule(p, sched, tol=1e-8).iterations)
+        assert iters[0] < iters[1] < iters[2]
+
+    def test_max_iterations_cap(self, grid_setup):
+        mesh, quad, inst, sched = grid_setup
+        p = TransportProblem(mesh, quad, 1.0, 0.9, 1.0)
+        res = solve_with_schedule(p, sched, tol=1e-14, max_iterations=3)
+        assert not res.converged
+        assert res.iterations == 3
+
+    def test_residual_history_monotone_tail(self, grid_setup):
+        mesh, quad, inst, sched = grid_setup
+        p = TransportProblem(mesh, quad, 1.0, 0.5, 1.0, boundary="vacuum")
+        res = solve_with_schedule(p, sched, tol=1e-10)
+        tail = res.residual_history[2:]
+        assert all(b <= a * 1.01 for a, b in zip(tail, tail[1:]))
+
+    def test_rejects_bad_solver_args(self, grid_setup):
+        mesh, quad, inst, sched = grid_setup
+        p = TransportProblem(mesh, quad, 1.0, 0.0, 1.0)
+        with pytest.raises(ReproError, match="positive"):
+            solve_with_schedule(p, sched, tol=-1)
+
+    def test_2d_problem_solves(self):
+        mesh = Mesh.structured_grid((6, 6))
+        quad = Quadrature.fan2d(8)
+        inst = build_instance(mesh, quad.directions)
+        sched = random_delay_priority_schedule(inst, 4, seed=0)
+        p = TransportProblem(mesh, quad, 1.0, 0.4, 1.0, boundary="white")
+        res = solve_with_schedule(p, sched, tol=1e-10)
+        assert np.allclose(res.phi, 1.0 / 0.6, atol=1e-7)

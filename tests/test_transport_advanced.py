@@ -1,0 +1,175 @@
+"""Tests for Krylov-accelerated and multigroup transport, plus the
+linear-operator properties of the one-group solver."""
+
+import numpy as np
+import pytest
+
+from repro.core import random_delay_priority_schedule
+from repro.mesh import Mesh
+from repro.sweeps import build_instance
+from repro.transport import (
+    MultigroupProblem,
+    Quadrature,
+    TransportProblem,
+    si_vs_krylov_sweeps,
+    solve_krylov_with_schedule,
+    solve_multigroup_with_schedule,
+    solve_with_schedule,
+)
+from repro.util.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def setup():
+    mesh = Mesh.structured_grid((5, 5, 4))
+    quad = Quadrature.sn(2)
+    inst = build_instance(mesh, quad.directions)
+    sched = random_delay_priority_schedule(inst, 4, seed=0)
+    return mesh, quad, sched
+
+
+class TestLinearity:
+    """Transport with vacuum boundaries is a linear operator in q."""
+
+    def test_scaling(self, setup):
+        mesh, quad, sched = setup
+        a = solve_with_schedule(
+            TransportProblem(mesh, quad, 1.0, 0.5, 1.0), sched, tol=1e-11
+        ).phi
+        b = solve_with_schedule(
+            TransportProblem(mesh, quad, 1.0, 0.5, 3.0), sched, tol=1e-11
+        ).phi
+        assert np.allclose(b, 3.0 * a, rtol=1e-7)
+
+    def test_additivity(self, setup):
+        mesh, quad, sched = setup
+        rng = np.random.default_rng(0)
+        q1 = rng.random(mesh.n_cells) + 0.1
+        q2 = rng.random(mesh.n_cells) + 0.1
+
+        def phi(q):
+            return solve_with_schedule(
+                TransportProblem(mesh, quad, 1.0, 0.4, q), sched, tol=1e-11
+            ).phi
+
+        assert np.allclose(phi(q1 + q2), phi(q1) + phi(q2), rtol=1e-6)
+
+
+class TestKrylov:
+    def test_agrees_with_source_iteration(self, setup):
+        mesh, quad, sched = setup
+        p = TransportProblem(mesh, quad, 1.0, 0.7, 1.0, boundary="vacuum")
+        si = solve_with_schedule(p, sched, tol=1e-10)
+        kr = solve_krylov_with_schedule(p, sched, tol=1e-10)
+        assert kr.converged
+        assert np.allclose(kr.phi, si.phi, atol=1e-7)
+
+    def test_beats_source_iteration_at_high_scattering(self, setup):
+        mesh, quad, sched = setup
+        p = TransportProblem(mesh, quad, 1.0, 0.95, 1.0, boundary="vacuum")
+        stats = si_vs_krylov_sweeps(p, sched, tol=1e-9)
+        assert stats["si_converged"] and stats["krylov_converged"]
+        assert stats["krylov_sweeps"] < stats["si_sweeps"]
+        assert stats["max_diff"] < 1e-6
+
+    def test_rejects_white_boundary(self, setup):
+        mesh, quad, sched = setup
+        p = TransportProblem(mesh, quad, 1.0, 0.5, 1.0, boundary="white")
+        with pytest.raises(ReproError, match="vacuum"):
+            solve_krylov_with_schedule(p, sched)
+
+    def test_rejects_bad_args(self, setup):
+        mesh, quad, sched = setup
+        p = TransportProblem(mesh, quad, 1.0, 0.5, 1.0)
+        with pytest.raises(ReproError, match="positive"):
+            solve_krylov_with_schedule(p, sched, tol=0)
+
+
+class TestMultigroup:
+    def test_two_group_downscatter_exact(self, setup):
+        """Analytic fixed point with white boundaries:
+        phi1 = q1/(st1-ss11); phi2 = (q2 + ss12*phi1)/(st2-ss22)."""
+        mesh, quad, sched = setup
+        scatter = np.array([[0.3, 0.2], [0.0, 0.4]])
+        p = MultigroupProblem(
+            mesh, quad,
+            sigma_t=np.array([1.0, 1.0]),
+            scatter=scatter,
+            source=np.array([2.0, 1.0]),
+            boundary="white",
+        )
+        res = solve_multigroup_with_schedule(p, sched, tol=1e-9)
+        assert res.converged
+        phi1 = 2.0 / (1.0 - 0.3)
+        phi2 = (1.0 + 0.2 * phi1) / (1.0 - 0.4)
+        assert np.allclose(res.phi[0], phi1, atol=1e-6)
+        assert np.allclose(res.phi[1], phi2, atol=1e-6)
+
+    def test_downscatter_single_outer_pass(self, setup):
+        mesh, quad, sched = setup
+        p = MultigroupProblem(
+            mesh, quad,
+            sigma_t=np.array([1.0, 1.0]),
+            scatter=np.array([[0.2, 0.3], [0.0, 0.2]]),
+            source=np.array([1.0, 0.0]),
+        )
+        res = solve_multigroup_with_schedule(p, sched)
+        assert res.converged
+        assert res.outer_iterations <= 2
+
+    def test_upscatter_converges(self, setup):
+        mesh, quad, sched = setup
+        p = MultigroupProblem(
+            mesh, quad,
+            sigma_t=np.array([1.0, 1.0]),
+            scatter=np.array([[0.2, 0.3], [0.25, 0.2]]),
+            source=np.array([1.0, 0.5]),
+            boundary="white",
+        )
+        assert p.has_upscatter()
+        res = solve_multigroup_with_schedule(p, sched, tol=1e-8)
+        assert res.converged
+        assert res.outer_iterations > 2
+        # Cross-check the coupled fixed point analytically:
+        # phi = (I - S^T)^-1 q with S the scatter matrix (white boundary,
+        # uniform infinite medium, sigma_t = 1).
+        a = np.eye(2) - p.scatter.T
+        exact = np.linalg.solve(a, p.source)
+        assert np.allclose(res.phi[0], exact[0], atol=1e-5)
+        assert np.allclose(res.phi[1], exact[1], atol=1e-5)
+
+    def test_validation_errors(self, setup):
+        mesh, quad, _ = setup
+        with pytest.raises(ReproError, match="subcritical"):
+            MultigroupProblem(
+                mesh, quad,
+                sigma_t=np.array([1.0]),
+                scatter=np.array([[1.0]]),
+                source=np.array([1.0]),
+            )
+        with pytest.raises(ReproError, match="scatter must be"):
+            MultigroupProblem(
+                mesh, quad,
+                sigma_t=np.array([1.0, 1.0]),
+                scatter=np.zeros((2, 3)),
+                source=np.array([1.0, 1.0]),
+            )
+        with pytest.raises(ReproError, match="nonnegative"):
+            MultigroupProblem(
+                mesh, quad,
+                sigma_t=np.array([1.0]),
+                scatter=np.array([[-0.1]]),
+                source=np.array([1.0]),
+            )
+
+    def test_sweep_accounting(self, setup):
+        mesh, quad, sched = setup
+        p = MultigroupProblem(
+            mesh, quad,
+            sigma_t=np.array([1.0, 1.0]),
+            scatter=np.array([[0.2, 0.1], [0.0, 0.2]]),
+            source=np.array([1.0, 0.0]),
+        )
+        res = solve_multigroup_with_schedule(p, sched)
+        # Sweeps accumulate over groups and outers.
+        assert res.total_sweeps >= 2 * res.outer_iterations

@@ -1,0 +1,113 @@
+"""Failure injection: the validator must catch every class of corruption.
+
+Each mutation takes a known-good schedule, breaks exactly one
+feasibility property, and asserts :func:`validate_schedule` rejects it.
+This is the guard against the classic reproduction failure mode — a
+checker that silently agrees with the code it is supposed to check.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import random_delay_priority_schedule, validate_schedule
+from repro.util.errors import InvalidScheduleError
+
+from .strategies import sweep_instances
+
+
+@pytest.fixture()
+def good(tet_instance):
+    return random_delay_priority_schedule(tet_instance, 4, seed=0)
+
+
+def clone(s):
+    from copy import copy
+
+    out = copy(s)
+    out.start = s.start.copy()
+    out.assignment = s.assignment.copy()
+    return out
+
+
+class TestMutations:
+    def test_reversing_an_edge_start_pair_caught(self, good):
+        union = good.instance.union_dag()
+        u, v = union.edges[0]
+        bad = clone(good)
+        bad.start[u], bad.start[v] = bad.start[v], bad.start[u]
+        with pytest.raises(InvalidScheduleError):
+            validate_schedule(bad)
+
+    def test_slot_collision_caught(self, good):
+        proc = good.task_proc()
+        same_proc = np.flatnonzero(proc == proc[0])
+        a, b = same_proc[0], same_proc[1]
+        bad = clone(good)
+        bad.start[b] = bad.start[a]
+        with pytest.raises(InvalidScheduleError):
+            validate_schedule(bad)
+
+    def test_unscheduled_task_caught(self, good):
+        bad = clone(good)
+        bad.start[3] = -1
+        with pytest.raises(InvalidScheduleError):
+            validate_schedule(bad)
+
+    def test_proc_out_of_range_caught(self, good):
+        bad = clone(good)
+        bad.assignment[0] = bad.m
+        with pytest.raises(InvalidScheduleError):
+            validate_schedule(bad)
+
+    def test_truncated_start_caught(self, good):
+        bad = clone(good)
+        bad.start = bad.start[:-1]
+        with pytest.raises(InvalidScheduleError):
+            validate_schedule(bad)
+
+    def test_reassigning_one_cell_collides_or_passes_feasibly(self, good):
+        """Moving one cell to another processor keeps the same-processor
+        constraint (it moves all its copies) — so the result is invalid
+        only if it creates a slot collision; the validator must agree
+        with a direct slot check."""
+        bad = clone(good)
+        bad.assignment[0] = (bad.assignment[0] + 1) % bad.m
+        proc = bad.task_proc()
+        slots = proc * (int(bad.start.max()) + 1) + bad.start
+        has_collision = np.unique(slots).size != slots.size
+        if has_collision:
+            with pytest.raises(InvalidScheduleError):
+                validate_schedule(bad)
+        else:
+            validate_schedule(bad)
+
+
+class TestRandomisedMutations:
+    @given(sweep_instances(max_n=10, max_k=3), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_random_start_shuffle_never_validates_wrongly(self, inst, seed):
+        """Shuffling all start times yields either a still-feasible
+        schedule (possible for instances with no edges) or a validator
+        error — never a crash, and never acceptance of a precedence
+        violation."""
+        s = random_delay_priority_schedule(inst, 2, seed=0)
+        rng = np.random.default_rng(seed)
+        bad = clone(s)
+        rng.shuffle(bad.start)
+        union = inst.union_dag()
+        breaks_precedence = bool(
+            union.num_edges
+            and np.any(
+                bad.start[union.edges[:, 0]] >= bad.start[union.edges[:, 1]]
+            )
+        )
+        proc = bad.task_proc()
+        slots = proc * (int(bad.start.max()) + 1) + bad.start
+        collides = np.unique(slots).size != slots.size
+        if breaks_precedence or collides:
+            with pytest.raises(InvalidScheduleError):
+                validate_schedule(bad)
+        else:
+            validate_schedule(bad)

@@ -1,0 +1,93 @@
+"""Tests for MMS sweep verification and the tournament harness."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_tournament, tournament
+from repro.core import random_delay_priority_schedule
+from repro.mesh import Mesh, tetonly_like
+from repro.sweeps import build_instance
+from repro.transport import (
+    Quadrature,
+    TransportProblem,
+    manufactured_emission,
+    schedule_orders,
+    verify_sweep,
+)
+from repro.transport.sweep_solver import build_geometry
+from repro.util.errors import ReproError
+
+
+class TestMMS:
+    @pytest.mark.parametrize("mesh_kind", ["grid", "tets"])
+    def test_verify_sweep_at_roundoff(self, mesh_kind):
+        if mesh_kind == "grid":
+            mesh = Mesh.structured_grid((5, 5, 3))
+        else:
+            mesh = tetonly_like(200, seed=0)
+        quad = Quadrature.sn(2)
+        inst = build_instance(mesh, quad.directions)
+        sched = random_delay_priority_schedule(inst, 4, seed=0)
+        p = TransportProblem(mesh, quad, 1.7, 0.0, 1.0)
+        err = verify_sweep(p, schedule_orders(sched))
+        assert err < 1e-10
+
+    def test_manufactured_emission_inverts_sweep(self):
+        mesh = Mesh.structured_grid((4, 4))
+        quad = Quadrature.fan2d(4)
+        inst = build_instance(mesh, quad.directions)
+        sched = random_delay_priority_schedule(inst, 2, seed=0)
+        p = TransportProblem(mesh, quad, 2.0, 0.0, 1.0)
+        geos, _ = build_geometry(p, schedule_orders(sched))
+        rng = np.random.default_rng(1)
+        psi_star = rng.random(mesh.n_cells) + 1.0
+        emission = manufactured_emission(p, geos[0], psi_star)
+        from repro.transport import sweep_direction
+
+        psi = sweep_direction(p, geos[0], emission)
+        assert np.allclose(psi, psi_star, atol=1e-12)
+
+    def test_rejects_white_boundary(self):
+        mesh = Mesh.structured_grid((3, 3))
+        quad = Quadrature.fan2d(4)
+        p = TransportProblem(mesh, quad, 1.0, 0.0, 1.0, boundary="white")
+        with pytest.raises(ReproError, match="vacuum"):
+            verify_sweep(p, [np.arange(9)] * 4)
+
+    def test_rejects_bad_psi_shape(self):
+        mesh = Mesh.structured_grid((3, 3))
+        quad = Quadrature.fan2d(4)
+        inst = build_instance(mesh, quad.directions)
+        sched = random_delay_priority_schedule(inst, 2, seed=0)
+        p = TransportProblem(mesh, quad, 1.0, 0.0, 1.0)
+        geos, _ = build_geometry(p, schedule_orders(sched))
+        with pytest.raises(ReproError, match="per cell"):
+            manufactured_emission(p, geos[0], np.ones(5))
+
+
+class TestTournament:
+    def test_ranking_and_matrix(self, tet_instance):
+        result = tournament(
+            tet_instance,
+            ["random_delay", "random_delay_priority", "fifo"],
+            m=8,
+            n_seeds=5,
+        )
+        names = [n for n, _ in result["ranking"]]
+        assert set(names) == {"random_delay", "random_delay_priority", "fifo"}
+        # Algorithm 2 must rank strictly above Algorithm 1.
+        assert names.index("random_delay_priority") < names.index("random_delay")
+        assert len(result["matrix"]) == 3  # C(3,2) pairs
+
+    def test_format(self, tet_instance):
+        result = tournament(
+            tet_instance, ["random_delay", "random_delay_priority"], m=8,
+            n_seeds=5,
+        )
+        text = format_tournament(result)
+        assert "ranking" in text
+        assert "beats" in text  # Alg 2 vs Alg 1 is a significant edge
+
+    def test_needs_two_algorithms(self, tet_instance):
+        with pytest.raises(ReproError, match="two"):
+            tournament(tet_instance, ["fifo"], m=2)
