@@ -1,0 +1,96 @@
+"""Regenerate (or check) the registry golden snapshots.
+
+``tests/goldens/registry_goldens.json`` pins makespan / C1 / C2 for
+every registered scheduler on three small fixed-seed instances.  The
+golden test (``tests/test_goldens.py``) fails on any drift, which turns
+silent behaviour changes — a reordered heap, a changed tie-break, an
+RNG-stream shift — into explicit, reviewable diffs.
+
+Usage::
+
+    PYTHONPATH=src python scripts/regenerate_goldens.py          # check only
+    PYTHONPATH=src python scripts/regenerate_goldens.py --write  # rewrite
+
+Run with ``--write`` only when a behaviour change is *intended*, and
+commit the JSON diff alongside the code that caused it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+GOLDEN_PATH = ROOT / "tests" / "goldens" / "registry_goldens.json"
+
+#: (label, family, kwargs, m) — three small, structurally distinct cases.
+GOLDEN_CASES = [
+    ("rotated_chains_n12_k3_m3", "rotated_chains", {"n": 12, "k": 3, "seed": 7}, 3),
+    ("fork_join_n16_k2_m4", "fork_join", {"n": 16, "k": 2, "seed": 1}, 4),
+    ("wide_shallow_n18_k4_m4", "wide_shallow", {"n": 18, "k": 4, "seed": 5}, 4),
+]
+
+#: Seed handed to every algorithm (the registry contract is that equal
+#: seeds give bit-identical schedules; see tests/test_determinism_properties.py).
+ALGO_SEED = 0
+
+
+def compute_goldens() -> dict:
+    """Run every registry algorithm on every golden case; return the table."""
+    from repro.comm.cost import c2_cost, interprocessor_edges
+    from repro.heuristics import ALGORITHMS
+    from repro.instances import make_instance
+
+    table: dict = {}
+    for label, family, kwargs, m in GOLDEN_CASES:
+        inst = make_instance(family, **kwargs)
+        row = {}
+        for name, fn in sorted(ALGORITHMS.items()):
+            sched = fn(inst, m, seed=ALGO_SEED)
+            row[name] = {
+                "makespan": int(sched.makespan),
+                "c1": int(interprocessor_edges(inst, sched.assignment)),
+                "c2": int(c2_cost(sched)),
+            }
+        table[label] = row
+    return table
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write", action="store_true",
+        help="rewrite the golden file instead of checking against it",
+    )
+    args = parser.parse_args(argv)
+
+    goldens = compute_goldens()
+    if args.write:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(goldens, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {GOLDEN_PATH.relative_to(ROOT)}")
+        return 0
+
+    if not GOLDEN_PATH.exists():
+        print(f"missing {GOLDEN_PATH.relative_to(ROOT)} — run with --write")
+        return 1
+    stored = json.loads(GOLDEN_PATH.read_text())
+    if stored == goldens:
+        print("goldens match current code")
+        return 0
+    for case, row in goldens.items():
+        for algo, vals in row.items():
+            old = stored.get(case, {}).get(algo)
+            if old != vals:
+                print(f"DRIFT {case} / {algo}: stored={old} current={vals}")
+    print("goldens differ — rerun with --write if the change is intended")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

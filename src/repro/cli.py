@@ -7,6 +7,7 @@ Commands
 ``mesh``       generate a mesh and report/save it
 ``partition``  partition a mesh into blocks, report cut/balance
 ``transport``  run the S_n transport solve in schedule order
+``fuzz``       differential fuzzing of every registered scheduler
 
 All commands take ``--seed`` and print deterministic output.  The CLI is
 a thin veneer over the library — every command body is a few calls into
@@ -122,6 +123,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-k", "--directions", type=int, default=8)
     p.add_argument("-m", "--processors", type=int, default=8)
     p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing of every registered scheduler",
+        description=(
+            "Generate adversarial instances, run every registry algorithm "
+            "on each, and check the invariant-oracle pack (feasibility, "
+            "lower bounds, C1/C2 consistency, theory ratios).  Failures "
+            "are shrunk and persisted to the corpus as reproducible JSON."
+        ),
+    )
+    p.add_argument("--seeds", type=int, default=None,
+                   help="number of fuzz cases (default 100 without a time budget)")
+    p.add_argument("--time-budget", type=float, default=None,
+                   help="stop generating after this many seconds")
+    p.add_argument("--seed", type=int, default=0, help="campaign root seed")
+    p.add_argument("--replay", action="store_true",
+                   help="re-run the persisted corpus instead of fuzzing")
+    p.add_argument("--corpus", default="corpus",
+                   help="corpus directory (default ./corpus)")
+    p.add_argument("--no-corpus", action="store_true",
+                   help="do not persist failures")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="persist failures without minimising them")
+    p.add_argument("--algorithms", nargs="*", default=[],
+                   choices=algorithm_names(), metavar="ALGO",
+                   help="restrict to these registry algorithms")
+    p.add_argument("--quiet", action="store_true",
+                   help="only print the final summary")
     return parser
 
 
@@ -292,6 +322,35 @@ def _cmd_families(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz import replay_corpus, run_fuzz
+    from repro.heuristics import ALGORITHMS
+
+    algorithms = (
+        {name: ALGORITHMS[name] for name in args.algorithms}
+        if args.algorithms
+        else None
+    )
+    log = None if args.quiet else print
+    if args.replay:
+        report = replay_corpus(args.corpus, algorithms=algorithms, log=log)
+        print(report.summary())
+        if report.cases_run == 0:
+            print(f"(no corpus entries under {args.corpus})")
+        return 0 if report.ok else 1
+    report = run_fuzz(
+        n_seeds=args.seeds,
+        time_budget=args.time_budget,
+        seed=args.seed,
+        corpus_dir=None if args.no_corpus else args.corpus,
+        algorithms=algorithms,
+        shrink=not args.no_shrink,
+        log=log,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "schedule": _cmd_schedule,
     "figures": _cmd_figures,
@@ -301,6 +360,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "tournament": _cmd_tournament,
     "families": _cmd_families,
+    "fuzz": _cmd_fuzz,
 }
 
 

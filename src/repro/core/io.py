@@ -1,9 +1,14 @@
-"""Schedule persistence.
+"""Schedule and instance persistence.
 
 A schedule is start times + assignment + the instance's DAG structure;
 ``.npz`` holds it all, so expensive schedules (or externally produced
 ones to be validated/compared) round-trip exactly.  The instance is
 rebuilt from its stored edge arrays on load.
+
+Instances alone also round-trip through plain JSON-compatible dicts
+(:func:`instance_to_jsonable` / :func:`instance_from_jsonable`).  That
+form is deliberately text-based: the fuzzing corpus stores shrunken
+failing instances as human-diffable JSON files.
 """
 
 from __future__ import annotations
@@ -18,7 +23,12 @@ from repro.core.instance import SweepInstance
 from repro.core.schedule import Schedule
 from repro.util.errors import ReproError
 
-__all__ = ["save_schedule", "load_schedule"]
+__all__ = [
+    "save_schedule",
+    "load_schedule",
+    "instance_to_jsonable",
+    "instance_from_jsonable",
+]
 
 _FORMAT_VERSION = 1
 
@@ -80,3 +90,37 @@ def load_schedule(path) -> Schedule:
         )
     schedule.validate()
     return schedule
+
+
+def instance_to_jsonable(inst: SweepInstance) -> dict:
+    """Represent an instance as a JSON-compatible dict (exact round-trip).
+
+    Edge arrays become nested lists; the derived cell graph is stored too
+    so instances whose mesh adjacency differs from the DAG-edge union
+    (e.g. block-partitioned meshes) survive the trip.
+    """
+    return {
+        "n_cells": int(inst.n_cells),
+        "name": str(inst.name),
+        "dag_edges": [g.edges.tolist() for g in inst.dags],
+        "cell_graph_edges": inst.cell_graph_edges.tolist(),
+    }
+
+
+def instance_from_jsonable(data: dict) -> SweepInstance:
+    """Rebuild an instance written by :func:`instance_to_jsonable`."""
+    try:
+        n = int(data["n_cells"])
+        dag_edges = data["dag_edges"]
+        cell_edges = data["cell_graph_edges"]
+    except (KeyError, TypeError) as exc:
+        raise ReproError(f"malformed instance payload: {exc}") from None
+    dags = [
+        Dag(n, np.asarray(e, dtype=np.int64).reshape(-1, 2)) for e in dag_edges
+    ]
+    return SweepInstance(
+        n,
+        dags,
+        cell_graph_edges=np.asarray(cell_edges, dtype=np.int64).reshape(-1, 2),
+        name=str(data.get("name", "instance")),
+    )

@@ -1,0 +1,68 @@
+"""Differential fuzzing and invariant oracles for the scheduler registry.
+
+The subsystem has five moving parts, one module each:
+
+* :mod:`repro.fuzz.spec` — seeded, JSON-serialisable adversarial case
+  generators (degenerate, chain, wide, disconnected, heterogeneous,
+  mesh, ... families);
+* :mod:`repro.fuzz.oracles` — the invariant pack every schedule must
+  pass (feasibility, same-processor, lower bounds, C1/C2 consistency);
+* :mod:`repro.fuzz.differential` — runs every registered algorithm per
+  case, checks determinism, and turns the population minimum makespan
+  into an OPT upper bound for the paper's Theorem 1–3 ratio checks;
+* :mod:`repro.fuzz.shrinker` — greedy minimisation of failing cases;
+* :mod:`repro.fuzz.corpus` / :mod:`repro.fuzz.runner` — persistence of
+  failures as reproducible JSON, campaign and replay orchestration.
+
+CLI: ``python -m repro fuzz --seeds 200`` (see ``docs/testing.md``).
+"""
+
+from repro.fuzz.spec import CASE_FAMILIES, build_case, random_spec, spec_label
+from repro.fuzz.oracles import ORACLES, OracleContext, Violation, check_schedule
+from repro.fuzz.differential import (
+    PROVABLE_ALGORITHMS,
+    CaseResult,
+    proven_ratio_bound,
+    run_case,
+    run_instance,
+    run_schedulers,
+)
+from repro.fuzz.shrinker import shrink_case
+from repro.fuzz.corpus import (
+    CORPUS_FORMAT_VERSION,
+    entry_from_result,
+    entry_path,
+    iter_corpus,
+    load_entry,
+    replay_entry,
+    save_entry,
+)
+from repro.fuzz.runner import FuzzReport, replay_corpus, run_fuzz
+
+__all__ = [
+    "CASE_FAMILIES",
+    "build_case",
+    "random_spec",
+    "spec_label",
+    "ORACLES",
+    "OracleContext",
+    "Violation",
+    "check_schedule",
+    "PROVABLE_ALGORITHMS",
+    "CaseResult",
+    "proven_ratio_bound",
+    "run_case",
+    "run_instance",
+    "run_schedulers",
+    "shrink_case",
+    "CORPUS_FORMAT_VERSION",
+    "entry_from_result",
+    "entry_path",
+    "iter_corpus",
+    "load_entry",
+    "replay_entry",
+    "save_entry",
+    "FuzzReport",
+    "replay_corpus",
+    "run_fuzz",
+]

@@ -1,0 +1,146 @@
+"""Failure corpus: reproducible JSON records of every bug the fuzzer found.
+
+Each corpus entry is one JSON file holding
+
+* the generator **spec** (family + seed + m + params) that first
+  produced the failure — always sufficient to regenerate the original
+  case bit-for-bit;
+* the first **violation** (oracle, algorithm, message) observed;
+* optionally the **shrunken** instance (via
+  :func:`repro.core.io.instance_to_jsonable`) and reduced processor
+  count, when the shrinker managed to minimise the case.
+
+Filenames are content-addressed (``<family>-<seed>-<digest>.json``) so
+re-finding a known bug is idempotent: the fuzzer never writes the same
+failure twice, and CI can fail on *any new file* appearing under
+``corpus/``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.core.io import instance_from_jsonable, instance_to_jsonable
+from repro.fuzz.differential import CaseResult, run_case, run_instance
+from repro.fuzz.oracles import Violation
+from repro.util.errors import ReproError
+
+__all__ = [
+    "CORPUS_FORMAT_VERSION",
+    "entry_from_result",
+    "entry_path",
+    "save_entry",
+    "load_entry",
+    "iter_corpus",
+    "replay_entry",
+]
+
+CORPUS_FORMAT_VERSION = 1
+
+
+def entry_from_result(
+    result: CaseResult,
+    shrunk_instance=None,
+    shrunk_m: int | None = None,
+) -> dict:
+    """Build a JSON-ready corpus entry from a failing case result."""
+    if result.ok:
+        raise ReproError("cannot build a corpus entry from a clean case")
+    first = result.violations[0]
+    entry = {
+        "format_version": CORPUS_FORMAT_VERSION,
+        "spec": dict(result.spec),
+        "violations": [
+            {"oracle": v.oracle, "algorithm": v.algorithm, "message": v.message}
+            for v in result.violations
+        ],
+        "makespans": dict(result.makespans),
+        "oracle": first.oracle,
+        "algorithm": first.algorithm,
+    }
+    if shrunk_instance is not None:
+        entry["shrunk"] = {
+            "instance": instance_to_jsonable(shrunk_instance),
+            "m": int(shrunk_m if shrunk_m is not None else result.spec.get("m", 2)),
+        }
+    return entry
+
+
+def _digest(entry: dict) -> str:
+    ident = json.dumps(
+        {
+            "spec": entry["spec"],
+            "oracle": entry["oracle"],
+            "algorithm": entry["algorithm"],
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(ident.encode()).hexdigest()[:10]
+
+
+def entry_path(corpus_dir, entry: dict) -> Path:
+    """Deterministic content-addressed path for ``entry``."""
+    spec = entry["spec"]
+    name = f"{spec.get('family', 'raw')}-{spec.get('seed', 0)}-{_digest(entry)}.json"
+    return Path(corpus_dir) / name
+
+
+def save_entry(corpus_dir, entry: dict) -> Path:
+    """Write ``entry`` under ``corpus_dir`` (created on demand).
+
+    Returns the path; an already-present identical failure is not
+    rewritten, keeping corpus timestamps stable for CI diffing.
+    """
+    path = entry_path(corpus_dir, entry)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not path.exists():
+        path.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_entry(path) -> dict:
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"corpus entry not found: {path}")
+    try:
+        entry = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"corrupt corpus entry {path}: {exc}") from None
+    version = entry.get("format_version")
+    if version != CORPUS_FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported corpus format version {version!r} in {path} "
+            f"(this build reads {CORPUS_FORMAT_VERSION})"
+        )
+    return entry
+
+
+def iter_corpus(corpus_dir) -> list[Path]:
+    """All corpus entry files, sorted for reproducible replay order."""
+    root = Path(corpus_dir)
+    if not root.is_dir():
+        return []
+    return sorted(root.glob("*.json"))
+
+
+def replay_entry(entry: dict, algorithms: dict | None = None) -> CaseResult:
+    """Re-run a corpus entry through the current differential battery.
+
+    Prefers the shrunken instance when present (smaller and exact); falls
+    back to regenerating from the spec.  Either way the return value says
+    whether the historical bug still reproduces on today's code.
+    """
+    spec = entry.get("spec", {})
+    shrunk = entry.get("shrunk")
+    if shrunk is not None:
+        inst = instance_from_jsonable(shrunk["instance"])
+        return run_instance(
+            inst,
+            int(shrunk["m"]),
+            int(spec.get("seed", 0)),
+            algorithms=algorithms,
+            spec=spec,
+        )
+    return run_case(spec, algorithms=algorithms)

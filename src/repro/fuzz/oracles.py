@@ -1,0 +1,227 @@
+"""The oracle pack: every independent invariant a schedule must satisfy.
+
+Each oracle is a pure function ``(schedule, ctx) -> list[str]`` returning
+human-readable violation messages (empty list = clean).  The pack goes
+beyond :func:`repro.core.schedule.validate_schedule`:
+
+* ``feasibility`` — the validator itself (shape, capacity, precedence);
+* ``same_processor`` — all k copies of every cell on one processor,
+  recomputed from the task→processor map rather than trusted from the
+  assignment array's by-construction guarantee;
+* ``serial_bound`` — makespan ≤ n·k: a serial schedule is always
+  feasible, so any scheduler worse than serial is broken;
+* ``lower_bounds`` — makespan ≥ every lower bound in
+  :mod:`repro.core.lower_bounds` (average load, k copies, critical path,
+  and the Graham relaxation bound);
+* ``comm_consistency`` — the C1/C2 numbers reported by
+  :mod:`repro.analysis.metrics` must equal the ones computed by
+  :mod:`repro.comm.cost`, the three accountings must satisfy the
+  documented sandwich ``C2 ≤ rounds ≤ C1``, and
+  :func:`repro.comm.simulator.estimate_wall_clock` must decompose as
+  ``p·makespan + c·steps`` under every accounting mode.
+
+:class:`OracleContext` caches the per-(instance, m) lower bounds so the
+differential runner pays for the Graham relaxation once per case, not
+once per algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.metrics import summarize_schedule
+from repro.comm.cost import c2_cost, interprocessor_edges, per_step_send_counts
+from repro.comm.rounds import rounds_cost
+from repro.comm.simulator import CommModel, estimate_wall_clock
+from repro.core.instance import SweepInstance
+from repro.core.lower_bounds import (
+    average_load_lb,
+    copies_lb,
+    critical_path_lb,
+    graham_relaxation_lb,
+)
+from repro.core.schedule import Schedule, validate_schedule
+from repro.util.errors import InvalidScheduleError
+
+__all__ = ["Violation", "OracleContext", "ORACLES", "check_schedule"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One oracle failure: which check, which algorithm, what happened."""
+
+    oracle: str
+    algorithm: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.oracle}] {self.algorithm}: {self.message}"
+
+
+class OracleContext:
+    """Per-(instance, m) precomputed facts shared by all oracle runs."""
+
+    def __init__(self, inst: SweepInstance, m: int, with_graham: bool = True):
+        self.inst = inst
+        self.m = m
+        self.avg_load_lb = average_load_lb(inst, m)
+        self.copies_lb = copies_lb(inst)
+        self.critical_path_lb = critical_path_lb(inst)
+        self.graham_lb = graham_relaxation_lb(inst, m) if with_graham else 0
+
+    @property
+    def combined_lb(self) -> int:
+        return max(
+            self.avg_load_lb, self.copies_lb, self.critical_path_lb, self.graham_lb
+        )
+
+
+def _oracle_feasibility(s: Schedule, ctx: OracleContext) -> list[str]:
+    try:
+        validate_schedule(s)
+    except InvalidScheduleError as exc:
+        return [f"validate_schedule rejected the schedule: {exc}"]
+    except Exception as exc:  # noqa: BLE001 — a crash in the validator is itself a bug
+        return [f"validate_schedule crashed: {type(exc).__name__}: {exc}"]
+    return []
+
+
+def _oracle_same_processor(s: Schedule, ctx: OracleContext) -> list[str]:
+    inst = s.instance
+    msgs = []
+    proc = np.asarray(s.task_proc())
+    if proc.shape != (inst.n_tasks,):
+        return [
+            f"task_proc has shape {proc.shape}, expected ({inst.n_tasks},)"
+        ]
+    if inst.n_cells:
+        by_copy = proc.reshape(inst.k, inst.n_cells)
+        split = np.flatnonzero((by_copy != by_copy[0]).any(axis=0))
+        if split.size:
+            v = int(split[0])
+            msgs.append(
+                f"cell {v} runs on processors {sorted(set(by_copy[:, v].tolist()))} "
+                f"across its {inst.k} copies (same-processor constraint)"
+            )
+        if proc.min() < 0 or proc.max() >= s.m:
+            msgs.append(
+                f"task processors lie in [{proc.min()}, {proc.max()}], "
+                f"outside [0, {s.m})"
+            )
+    return msgs
+
+
+def _oracle_serial_bound(s: Schedule, ctx: OracleContext) -> list[str]:
+    n_tasks = s.instance.n_tasks
+    if s.makespan > n_tasks:
+        return [
+            f"makespan {s.makespan} exceeds the serial schedule length "
+            f"{n_tasks} — worse than running every task on one processor"
+        ]
+    return []
+
+
+def _oracle_lower_bounds(s: Schedule, ctx: OracleContext) -> list[str]:
+    msgs = []
+    bounds = {
+        "average-load nk/m": ctx.avg_load_lb,
+        "k copies": ctx.copies_lb,
+        "critical path": ctx.critical_path_lb,
+        "Graham relaxation": ctx.graham_lb,
+    }
+    for name, lb in bounds.items():
+        if s.makespan < lb:
+            msgs.append(
+                f"makespan {s.makespan} beats the {name} lower bound {lb} "
+                f"— impossible for a feasible schedule"
+            )
+    return msgs
+
+
+def _oracle_comm_consistency(s: Schedule, ctx: OracleContext) -> list[str]:
+    msgs = []
+    c1 = interprocessor_edges(s.instance, s.assignment)
+    c2 = c2_cost(s)
+    rounds = rounds_cost(s)
+    summary = summarize_schedule(s)
+    if summary.c1 != c1:
+        msgs.append(
+            f"metrics C1 {summary.c1} != comm C1 {c1} (analysis/comm disagree)"
+        )
+    if summary.c2 != c2:
+        msgs.append(
+            f"metrics C2 {summary.c2} != comm C2 {c2} (analysis/comm disagree)"
+        )
+    if not (c2 <= rounds <= c1):
+        msgs.append(
+            f"accounting sandwich violated: C2={c2}, rounds={rounds}, C1={c1} "
+            f"(expected C2 <= rounds <= C1)"
+        )
+    if c2_cost(s, dedup=True) > c2:
+        msgs.append("deduplicated C2 exceeds plain C2")
+    steps = per_step_send_counts(s)
+    if steps.shape != (s.makespan,):
+        msgs.append(
+            f"per-step send counts have shape {steps.shape}, "
+            f"expected ({s.makespan},)"
+        )
+    elif int(steps.sum()) != c2:
+        msgs.append(f"per-step send counts sum {int(steps.sum())} != C2 {c2}")
+    # Wall-clock simulator must decompose exactly and order sensibly.
+    p, c = 1.0, 0.25
+    expected_steps = {"none": 0, "max_send": c2, "rounds": rounds, "total_edges": c1}
+    totals = {}
+    for mode, want in expected_steps.items():
+        est = estimate_wall_clock(s, CommModel(p=p, c=c, accounting=mode))
+        totals[mode] = est.total
+        if est.comm_steps != want:
+            msgs.append(
+                f"simulator accounting {mode!r} counted {est.comm_steps} "
+                f"comm steps, expected {want}"
+            )
+        if abs(est.total - (p * s.makespan + c * want)) > 1e-9:
+            msgs.append(
+                f"simulator total {est.total} != p*makespan + c*steps "
+                f"under accounting {mode!r}"
+            )
+    if not (
+        totals["none"] <= totals["max_send"] <= totals["rounds"]
+        <= totals["total_edges"] + 1e-9
+    ):
+        msgs.append(f"wall-clock totals not monotone across accountings: {totals}")
+    return msgs
+
+
+#: name -> oracle callable (schedule, ctx) -> list of violation messages.
+ORACLES = {
+    "feasibility": _oracle_feasibility,
+    "same_processor": _oracle_same_processor,
+    "serial_bound": _oracle_serial_bound,
+    "lower_bounds": _oracle_lower_bounds,
+    "comm_consistency": _oracle_comm_consistency,
+}
+
+
+def check_schedule(
+    s: Schedule,
+    algorithm: str = "?",
+    ctx: OracleContext | None = None,
+    oracles: dict | None = None,
+) -> list[Violation]:
+    """Run the full oracle pack on one schedule.
+
+    A crashing oracle is reported as a violation of that oracle rather
+    than propagated — a fuzzer must never die on the case it just found.
+    """
+    if ctx is None:
+        ctx = OracleContext(s.instance, s.m)
+    out: list[Violation] = []
+    for name, fn in (oracles or ORACLES).items():
+        try:
+            msgs = fn(s, ctx)
+        except Exception as exc:  # noqa: BLE001
+            msgs = [f"oracle crashed: {type(exc).__name__}: {exc}"]
+        out.extend(Violation(name, algorithm, m) for m in msgs)
+    return out

@@ -1,0 +1,187 @@
+"""Greedy case minimisation: keep only what the violation needs.
+
+Given a failing ``(instance, m)`` pair and a predicate that re-runs the
+failing check, the shrinker tries successively smaller variants and
+keeps any reduction under which the violation persists:
+
+1. drop whole directions (k shrinks toward 1);
+2. drop blocks of cells — halves, then quarters, ... down to single
+   cells — relabelling the survivors densely;
+3. drop blocks of DAG edges the same way;
+4. reduce the processor count (1, m/2, m-1).
+
+Every accepted reduction restarts the pass list, so the result is a
+local minimum: no single remaining direction, cell block, edge block, or
+processor reduction can be removed without losing the bug.  The
+predicate-evaluation budget caps worst-case work; shrinking is best
+effort, never required for corpus entry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dag import Dag
+from repro.core.instance import SweepInstance
+
+__all__ = ["shrink_case"]
+
+
+def _relabel(edges: np.ndarray, new_id: np.ndarray) -> np.ndarray:
+    """Map old cell ids through ``new_id`` and drop edges touching -1."""
+    if edges.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    mapped = new_id[edges]
+    keep = (mapped >= 0).all(axis=1)
+    return mapped[keep].astype(np.int64)
+
+
+def _without_cells(inst: SweepInstance, drop: np.ndarray) -> SweepInstance | None:
+    """Remove the cells in ``drop`` (boolean mask), densely relabelled."""
+    keep = ~drop
+    n_new = int(keep.sum())
+    if n_new < 1:
+        return None
+    new_id = np.full(inst.n_cells, -1, dtype=np.int64)
+    new_id[keep] = np.arange(n_new)
+    dags = [Dag(n_new, _relabel(g.edges, new_id)) for g in inst.dags]
+    return SweepInstance(
+        n_new,
+        dags,
+        cell_graph_edges=_relabel(inst.cell_graph_edges, new_id),
+        name=inst.name + "#shrunk",
+    )
+
+
+def _without_direction(inst: SweepInstance, i: int) -> SweepInstance | None:
+    if inst.k <= 1:
+        return None
+    dags = [g for j, g in enumerate(inst.dags) if j != i]
+    return SweepInstance(
+        inst.n_cells,
+        dags,
+        cell_graph_edges=inst.cell_graph_edges,
+        name=inst.name + "#shrunk",
+    )
+
+
+def _without_edges(inst: SweepInstance, i: int, drop: np.ndarray) -> SweepInstance:
+    dags = list(inst.dags)
+    g = dags[i]
+    dags[i] = Dag(g.n, g.edges[~drop])
+    return SweepInstance(
+        inst.n_cells,
+        dags,
+        cell_graph_edges=inst.cell_graph_edges,
+        name=inst.name + "#shrunk",
+    )
+
+
+def _block_masks(size: int, chunk: int):
+    """Boolean drop-masks covering ``size`` items in blocks of ``chunk``."""
+    for lo in range(0, size, chunk):
+        mask = np.zeros(size, dtype=bool)
+        mask[lo : lo + chunk] = True
+        yield mask
+
+
+class _Budget:
+    def __init__(self, max_evals: int):
+        self.remaining = max_evals
+
+    def spend(self) -> bool:
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        return True
+
+
+def shrink_case(
+    inst: SweepInstance,
+    m: int,
+    fails,
+    max_evals: int = 300,
+) -> tuple[SweepInstance, int, int]:
+    """Minimise a failing case.
+
+    Parameters
+    ----------
+    inst, m:
+        The failing case.  ``fails(inst, m) -> bool`` must return ``True``
+        for it (and for any reduction that preserves the bug).
+    fails:
+        The violation predicate; called up to ``max_evals`` times.
+    max_evals:
+        Predicate-evaluation budget (shrinking stops when exhausted).
+
+    Returns ``(instance, m, evals_used)`` for the smallest variant found.
+    """
+    budget = _Budget(max_evals)
+
+    def still_fails(candidate: SweepInstance | None, cm: int) -> bool:
+        if candidate is None or not budget.spend():
+            return False
+        try:
+            return bool(fails(candidate, cm))
+        except Exception:  # noqa: BLE001 — a crashing predicate keeps the parent
+            return False
+
+    progress = True
+    while progress and budget.remaining > 0:
+        progress = False
+
+        # Pass 1: drop directions.
+        i = 0
+        while i < inst.k and inst.k > 1:
+            candidate = _without_direction(inst, i)
+            if still_fails(candidate, m):
+                inst = candidate
+                progress = True
+            else:
+                i += 1
+
+        # Pass 2: drop cell blocks, coarse to fine.
+        chunk = max(inst.n_cells // 2, 1)
+        while chunk >= 1:
+            changed = True
+            while changed and inst.n_cells > 1:
+                changed = False
+                for mask in _block_masks(inst.n_cells, chunk):
+                    if mask.all():
+                        continue
+                    candidate = _without_cells(inst, mask)
+                    if still_fails(candidate, m):
+                        inst = candidate
+                        progress = changed = True
+                        break
+            if chunk == 1:
+                break
+            chunk //= 2
+
+        # Pass 3: drop edge blocks per direction, coarse to fine.
+        for i in range(inst.k):
+            n_edges = inst.dags[i].num_edges
+            chunk = max(n_edges // 2, 1)
+            while n_edges and chunk >= 1:
+                changed = True
+                while changed:
+                    changed = False
+                    n_edges = inst.dags[i].num_edges
+                    for mask in _block_masks(n_edges, chunk):
+                        candidate = _without_edges(inst, i, mask)
+                        if still_fails(candidate, m):
+                            inst = candidate
+                            progress = changed = True
+                            break
+                if chunk == 1:
+                    break
+                chunk //= 2
+
+        # Pass 4: fewer processors.
+        for cm in (1, m // 2, m - 1):
+            if 0 < cm < m and still_fails(inst, cm):
+                m = cm
+                progress = True
+                break
+
+    return inst, m, max_evals - budget.remaining

@@ -1,0 +1,112 @@
+"""Hypothesis properties: engine determinism and the Graham relaxation.
+
+Two invariant classes the fuzzing subsystem leans on:
+
+* **determinism** — identical inputs produce bit-identical schedules
+  (same ``start`` and ``assignment`` arrays, element for element), for
+  the core list scheduler and for every registry algorithm under an
+  identical ``(instance, seed)`` pair.  The differential runner's
+  ``determinism`` oracle assumes this; these tests pin it at the source.
+* **relaxation soundness** — the naive claim "``list_schedule_unassigned``
+  makespan never exceeds the assigned variant" is *false*: greedy may
+  pick poorly among more than ``m`` ready tasks (see the pinned
+  counterexample below, where the relaxation yields 4 but an assignment
+  achieves 3).  The sound statement divides by Graham's ``(2 - 1/m)``
+  factor — ``ceil(T_unassigned / (2 - 1/m)) <= T_assigned`` for *every*
+  assignment — which is exactly :func:`graham_relaxation_lb`, the bound
+  the fuzz oracle pack enforces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Dag,
+    SweepInstance,
+    list_schedule,
+    list_schedule_unassigned,
+)
+from repro.core.lower_bounds import graham_relaxation_lb
+from repro.heuristics import ALGORITHMS, algorithm_names
+
+from .strategies import sweep_instances
+
+_NAMES = algorithm_names()
+
+
+def _random_assignment(inst, m, seed):
+    return np.random.default_rng(seed).integers(0, m, size=inst.n_cells)
+
+
+class TestDeterminism:
+    @given(sweep_instances(max_n=14, max_k=3), st.integers(1, 6),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_list_schedule_bit_identical(self, inst, m, seed):
+        """Same instance + assignment + priority -> bit-identical output."""
+        assignment = _random_assignment(inst, m, seed)
+        priority = np.random.default_rng(seed + 1).integers(
+            0, 100, size=inst.n_tasks
+        )
+        a = list_schedule(inst, m, assignment, priority=priority)
+        b = list_schedule(inst, m, assignment, priority=priority)
+        np.testing.assert_array_equal(a.start, b.start)
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+
+    @given(sweep_instances(max_n=12, max_k=3), st.integers(1, 5),
+           st.integers(0, 2**31 - 1),
+           st.integers(0, len(_NAMES) - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_registry_algorithm_bit_identical(self, inst, m, seed, which):
+        """Every registry algorithm: identical (instance, seed) pair gives
+        bit-identical schedules, not merely equal makespans."""
+        fn = ALGORITHMS[_NAMES[which]]
+        a = fn(inst, m, seed=seed)
+        b = fn(inst, m, seed=seed)
+        np.testing.assert_array_equal(a.start, b.start)
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+
+    @given(sweep_instances(max_n=14, max_k=3), st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_unassigned_deterministic(self, inst, m):
+        a = list_schedule_unassigned(inst, m)
+        b = list_schedule_unassigned(inst, m)
+        np.testing.assert_array_equal(a.start, b.start)
+
+
+class TestGrahamRelaxation:
+    def test_naive_unassigned_vs_assigned_counterexample(self):
+        """Pin why the tests below carry the (2 - 1/m) factor: greedy on
+        the relaxation can LOSE to an assigned schedule.  Chain 2->3->4
+        plus isolated cells {0, 1} on m=2: tie-by-id greedy burns step 0
+        on {0, 1} and takes 4 steps; assigning the chain to its own
+        processor takes 3."""
+        inst = SweepInstance(
+            5, [Dag(5, np.array([[2, 3], [3, 4]], dtype=np.int64))]
+        )
+        relaxed = list_schedule_unassigned(inst, 2).makespan
+        assigned = list_schedule(inst, 2, np.array([1, 1, 0, 0, 0])).makespan
+        assert relaxed == 4 and assigned == 3
+
+    @given(sweep_instances(max_n=16, max_k=3), st.integers(1, 6),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_discounted_relaxation_never_exceeds_assigned(self, inst, m, seed):
+        """ceil(T_unassigned / (2 - 1/m)) <= T_assigned for any assignment:
+        the relaxed OPT lower-bounds the constrained OPT, and greedy is a
+        (2 - 1/m)-approximation on the relaxation."""
+        assignment = _random_assignment(inst, m, seed)
+        assigned = list_schedule(inst, m, assignment).makespan
+        assert graham_relaxation_lb(inst, m) <= assigned
+
+    @given(sweep_instances(max_n=16, max_k=3), st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_unassigned_between_serial_and_trivial_bounds(self, inst, m):
+        """The relaxation is itself a feasible unit-task schedule: never
+        shorter than the critical path, never longer than serial."""
+        t = list_schedule_unassigned(inst, m).makespan
+        depth = max(g.critical_path_length() for g in inst.dags)
+        assert depth <= t <= inst.n_tasks

@@ -1,0 +1,399 @@
+"""Tests for the differential fuzzing subsystem (`repro.fuzz`).
+
+The load-bearing assertions:
+
+* the current code base is clean under a sizeable campaign (the fuzzer
+  gates regressions, so it must not cry wolf);
+* a deliberately broken scheduler — capacity check disabled — is caught
+  by the oracle pack, shrunk to a near-minimal case, persisted to the
+  corpus as reproducible JSON, and still fails on replay;
+* every case family builds, every spec round-trips through JSON, and
+  the shrinker's output still violates the original oracle.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import Schedule, list_schedule, validate_schedule
+from repro.core.io import instance_from_jsonable, instance_to_jsonable
+from repro.fuzz import (
+    CASE_FAMILIES,
+    OracleContext,
+    build_case,
+    check_schedule,
+    entry_from_result,
+    iter_corpus,
+    load_entry,
+    proven_ratio_bound,
+    random_spec,
+    replay_corpus,
+    replay_entry,
+    run_case,
+    run_fuzz,
+    run_instance,
+    save_entry,
+    shrink_case,
+    spec_label,
+)
+from repro.heuristics import ALGORITHMS
+from repro.instances import make_instance
+from repro.util.errors import InvalidScheduleError, ReproError
+
+
+def broken_capacity_schedule(inst, m, seed=None, assignment=None):
+    """A scheduler with the capacity check disabled: every task starts at
+    its DAG level, so tasks sharing a (processor, level) slot collide."""
+    if assignment is None:
+        assignment = np.arange(inst.n_cells, dtype=np.int64) % m
+    return Schedule(
+        instance=inst,
+        m=m,
+        start=inst.task_levels().copy(),
+        assignment=np.asarray(assignment, dtype=np.int64),
+        meta={"algorithm": "broken_capacity"},
+    )
+
+
+class TestSpecs:
+    def test_every_family_builds_and_round_trips(self):
+        rng = np.random.default_rng(7)
+        for i in range(len(CASE_FAMILIES)):
+            spec = random_spec(rng, index=i)
+            inst, m = build_case(spec)
+            assert inst.n_cells >= 1 and inst.k >= 1 and m >= 1
+            # Specs must survive JSON (that is what the corpus stores).
+            inst2, m2 = build_case(json.loads(json.dumps(spec)))
+            assert m2 == m
+            assert inst2.n_cells == inst.n_cells and inst2.k == inst.k
+            for g1, g2 in zip(inst.dags, inst2.dags):
+                np.testing.assert_array_equal(g1.edges, g2.edges)
+
+    def test_index_cycles_all_families(self):
+        rng = np.random.default_rng(0)
+        seen = {random_spec(rng, index=i)["family"]
+                for i in range(len(CASE_FAMILIES))}
+        assert seen == set(CASE_FAMILIES)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ReproError, match="unknown fuzz family"):
+            build_case({"family": "nope", "seed": 0, "m": 2})
+
+    def test_spec_label_mentions_family_and_seed(self):
+        assert "chain" in spec_label({"family": "chain", "seed": 5, "m": 2})
+
+
+class TestInstanceJson:
+    def test_round_trip_exact(self):
+        inst = make_instance("fork_join", n=16, k=3, seed=1)
+        back = instance_from_jsonable(
+            json.loads(json.dumps(instance_to_jsonable(inst)))
+        )
+        assert back.n_cells == inst.n_cells and back.k == inst.k
+        assert back.name == inst.name
+        for g1, g2 in zip(inst.dags, back.dags):
+            np.testing.assert_array_equal(g1.edges, g2.edges)
+        np.testing.assert_array_equal(
+            back.cell_graph_edges, inst.cell_graph_edges
+        )
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ReproError, match="malformed instance payload"):
+            instance_from_jsonable({"n_cells": 3})
+
+
+class TestOraclePack:
+    def test_clean_schedule_passes_all_oracles(self):
+        inst = make_instance("rotated_chains", n=20, k=4, seed=0)
+        sched = ALGORITHMS["random_delay_priority"](inst, 4, seed=0)
+        assert check_schedule(sched, algorithm="rdp") == []
+
+    def test_capacity_violation_caught(self):
+        inst = make_instance("identical_chains", n=10, k=3, seed=0)
+        bad = broken_capacity_schedule(inst, 2)
+        violations = check_schedule(bad, algorithm="broken")
+        assert any(v.oracle == "feasibility" for v in violations)
+
+    def test_impossibly_fast_schedule_caught_by_lower_bounds(self):
+        # Everything at step 0 on distinct slots is impossible; beyond the
+        # validator, the lower-bound oracle must flag it independently.
+        inst = make_instance("identical_chains", n=8, k=2, seed=0)
+        bad = broken_capacity_schedule(inst, 2)
+        bad.start = np.zeros(inst.n_tasks, dtype=np.int64)
+        names = {v.oracle for v in check_schedule(bad)}
+        assert "lower_bounds" in names
+
+    def test_same_processor_split_caught(self):
+        # The Schedule representation makes a split impossible, so emulate
+        # a broken representation by overriding task_proc.
+        inst = make_instance("rotated_chains", n=8, k=2, seed=0)
+        sched = ALGORITHMS["fifo"](inst, 2, seed=0)
+
+        class SplitSchedule(Schedule):
+            def task_proc(self):
+                proc = super().task_proc().copy()
+                proc[0] = (proc[0] + 1) % self.m  # move one copy only
+                return proc
+
+        bad = SplitSchedule(
+            instance=inst, m=2, start=sched.start, assignment=sched.assignment
+        )
+        violations = check_schedule(bad)
+        assert any(v.oracle == "same_processor" for v in violations)
+
+    def test_serial_bound_oracle(self):
+        inst = make_instance("identical_chains", n=6, k=2, seed=0)
+        sched = ALGORITHMS["fifo"](inst, 2, seed=0)
+        slow = Schedule(
+            instance=inst,
+            m=2,
+            start=sched.start + np.arange(inst.n_tasks) * 3,
+            assignment=sched.assignment,
+        )
+        assert any(
+            v.oracle == "serial_bound" for v in check_schedule(slow)
+        ) or slow.makespan <= inst.n_tasks
+
+    def test_oracle_context_caches_graham_bound(self):
+        inst = make_instance("fork_join", n=16, k=2, seed=0)
+        ctx = OracleContext(inst, 3)
+        assert ctx.graham_lb >= 1
+        assert ctx.combined_lb >= max(ctx.avg_load_lb, ctx.copies_lb)
+
+
+class TestDifferential:
+    def test_clean_case_across_registry(self):
+        spec = {"family": "chain", "seed": 11, "m": 3,
+                "params": {"n": 12, "k": 3, "variant": "rotated"}}
+        result = run_case(spec)
+        assert result.ok, result.describe()
+        assert set(result.makespans) == set(ALGORITHMS)
+        assert result.best_makespan >= 1
+
+    def test_broken_scheduler_flagged(self):
+        spec = {"family": "chain", "seed": 1, "m": 2,
+                "params": {"n": 8, "k": 2, "variant": "identical"}}
+        algos = dict(ALGORITHMS, broken_capacity=broken_capacity_schedule)
+        result = run_case(spec, algorithms=algos)
+        assert not result.ok
+        assert {v.algorithm for v in result.violations} == {"broken_capacity"}
+
+    def test_crashing_scheduler_reported_not_raised(self):
+        def boom(inst, m, seed=None, assignment=None):
+            raise RuntimeError("kaboom")
+
+        result = run_case(
+            {"family": "edgeless", "seed": 0, "m": 2, "params": {"n": 4, "k": 2}},
+            algorithms={"boom": boom},
+        )
+        assert [v.oracle for v in result.violations] == ["crash"]
+        assert "kaboom" in result.violations[0].message
+
+    def test_nondeterministic_scheduler_flagged(self):
+        calls = {"n": 0}
+
+        def flaky(inst, m, seed=None, assignment=None):
+            calls["n"] += 1
+            rng = np.random.default_rng(calls["n"])  # ignores the seed
+            return ALGORITHMS["random_delay_priority"](inst, m, seed=rng)
+
+        result = run_case(
+            {"family": "chain", "seed": 4, "m": 2,
+             "params": {"n": 10, "k": 3, "variant": "identical"}},
+            algorithms={"flaky": flaky},
+        )
+        assert any(v.oracle == "determinism" for v in result.violations)
+
+    def test_proven_ratio_bounds_exist_only_for_provable(self):
+        inst = make_instance("rotated_chains", n=16, k=4, seed=0)
+        assert proven_ratio_bound("random_delay", inst, 4) > 1
+        assert proven_ratio_bound("improved_random_delay", inst, 4) > 1
+        assert proven_ratio_bound("fifo", inst, 4) is None
+
+    def test_theory_bound_violation_detected(self):
+        # A fake "provable" algorithm that pads its makespan far beyond
+        # the Theorem 2 ratio must trip the cross-engine check.
+        def padded(inst, m, seed=None, assignment=None):
+            s = ALGORITHMS["random_delay_priority"](inst, m, seed=seed)
+            pad = 2000 + int(np.arange(inst.n_tasks).sum())
+            return Schedule(
+                instance=inst, m=m,
+                start=s.start + np.arange(inst.n_tasks) * 2,
+                assignment=s.assignment, meta=dict(s.meta),
+            )
+
+        algos = dict(ALGORITHMS)
+        algos["random_delay_priority"] = padded
+        result = run_case(
+            {"family": "edgeless", "seed": 9, "m": 2, "params": {"n": 12, "k": 2}},
+            algorithms=algos,
+        )
+        oracles = {v.oracle for v in result.violations}
+        assert "theory_bound" in oracles or "serial_bound" in oracles
+
+
+class TestShrinker:
+    def test_shrinks_capacity_bug_to_minimal_case(self):
+        inst = make_instance("rotated_chains", n=24, k=4, seed=3)
+
+        def fails(candidate, m):
+            bad = broken_capacity_schedule(candidate, m)
+            try:
+                validate_schedule(bad)
+            except InvalidScheduleError:
+                return True
+            return False
+
+        assert fails(inst, 4)
+        small, small_m, evals = shrink_case(inst, 4, fails, max_evals=400)
+        assert fails(small, small_m)  # violation preserved
+        assert small.n_tasks <= 4  # near-minimal: 2 tasks on 1 proc suffice
+        assert small_m == 1
+        assert evals > 0
+
+    def test_shrink_respects_budget(self):
+        inst = make_instance("rotated_chains", n=24, k=4, seed=3)
+        count = {"n": 0}
+
+        def fails(candidate, m):
+            count["n"] += 1
+            return True  # everything "fails": worst case for the budget
+
+        _, _, evals = shrink_case(inst, 4, fails, max_evals=25)
+        assert evals <= 25
+        assert count["n"] <= 25
+
+    def test_never_returns_nonfailing_case(self):
+        inst = make_instance("fork_join", n=16, k=2, seed=0)
+
+        def fails(candidate, m):
+            # Bug needs at least 10 cells and 2 directions to manifest.
+            return candidate.n_cells >= 10 and candidate.k >= 2
+
+        small, small_m, _ = shrink_case(inst, 3, fails, max_evals=300)
+        assert fails(small, small_m)
+        assert small.n_cells >= 10 and small.k >= 2
+
+
+class TestCorpusAndCampaign:
+    def test_broken_scheduler_end_to_end(self, tmp_path):
+        """Acceptance path: disabled capacity check -> caught, shrunk,
+        persisted as JSON, replayable, and idempotent on re-fuzz."""
+        corpus = tmp_path / "corpus"
+        algos = {"broken_capacity": broken_capacity_schedule}
+        report = run_fuzz(
+            n_seeds=4, seed=3, corpus_dir=corpus, algorithms=algos
+        )
+        assert not report.ok
+        assert report.corpus_paths
+        paths = iter_corpus(corpus)
+        assert paths == sorted(report.corpus_paths)
+
+        entry = load_entry(paths[0])
+        assert entry["format_version"] == 1
+        assert entry["oracle"] == "feasibility"
+        assert "shrunk" in entry  # the shrinker produced a witness
+        shrunk_n = entry["shrunk"]["instance"]["n_cells"]
+        assert shrunk_n <= 4
+
+        # Replay still fails on the broken scheduler...
+        replay = replay_corpus(corpus, algorithms=algos)
+        assert not replay.ok and replay.cases_run == len(paths)
+        # ...and is clean once the "fix" (real registry) lands.
+        fixed = replay_corpus(corpus)
+        assert fixed.ok and fixed.cases_run == len(paths)
+
+        # Re-running the same campaign adds no new corpus files.
+        report2 = run_fuzz(
+            n_seeds=4, seed=3, corpus_dir=corpus, algorithms=algos
+        )
+        assert sorted(report2.corpus_paths) == paths
+        assert iter_corpus(corpus) == paths
+
+    def test_campaign_clean_on_current_code(self):
+        report = run_fuzz(n_seeds=20, seed=123)
+        assert report.ok, "\n".join(r.describe() for r in report.failures)
+        assert report.cases_run == 20
+
+    def test_time_budget_stops_campaign(self):
+        report = run_fuzz(time_budget=0.0, seed=0)
+        assert report.cases_run == 0
+
+    def test_entry_from_clean_result_rejected(self):
+        result = run_case(
+            {"family": "edgeless", "seed": 0, "m": 2, "params": {"n": 4, "k": 2}}
+        )
+        with pytest.raises(ReproError, match="clean case"):
+            entry_from_result(result)
+
+    def test_replay_entry_without_shrunk_uses_spec(self):
+        spec = {"family": "edgeless", "seed": 5, "m": 2,
+                "params": {"n": 6, "k": 2}}
+        entry = {
+            "format_version": 1, "spec": spec, "oracle": "feasibility",
+            "algorithm": "broken", "violations": [], "makespans": {},
+        }
+        result = replay_entry(entry)  # current registry: must be clean
+        assert result.ok
+
+    def test_corrupt_corpus_entry_rejected(self, tmp_path):
+        bad = tmp_path / "x.json"
+        bad.write_text("{not json")
+        with pytest.raises(ReproError, match="corrupt corpus entry"):
+            load_entry(bad)
+        bad.write_text(json.dumps({"format_version": 99}))
+        with pytest.raises(ReproError, match="format version"):
+            load_entry(bad)
+
+
+@pytest.mark.fuzz_replay
+class TestFuzzCampaignLong:
+    """The acceptance-scale campaign; deselected from tier-1 by the
+    ``fuzz_replay`` marker (run with ``pytest -m fuzz_replay``)."""
+
+    def test_200_seed_campaign_clean(self, tmp_path):
+        report = run_fuzz(n_seeds=200, seed=2026, corpus_dir=tmp_path / "c")
+        assert report.ok, "\n".join(r.describe() for r in report.failures)
+        assert report.cases_run == 200
+        assert not report.corpus_paths
+
+
+class TestCliFuzz:
+    def run(self, capsys, *argv):
+        from repro.cli import main
+
+        code = main(list(argv))
+        out = capsys.readouterr()
+        return code, out.out
+
+    def test_fuzz_command_clean(self, capsys, tmp_path):
+        code, out = self.run(
+            capsys, "fuzz", "--seeds", "8", "--quiet",
+            "--corpus", str(tmp_path / "corpus"),
+        )
+        assert code == 0
+        assert "clean" in out
+
+    def test_fuzz_time_budget_mode(self, capsys, tmp_path):
+        code, out = self.run(
+            capsys, "fuzz", "--time-budget", "1", "--quiet", "--no-corpus",
+        )
+        assert code == 0
+        assert "case(s)" in out
+
+    def test_fuzz_replay_empty_corpus(self, capsys, tmp_path):
+        code, out = self.run(
+            capsys, "fuzz", "--replay", "--corpus", str(tmp_path / "empty"),
+        )
+        assert code == 0
+        assert "no corpus entries" in out
+
+    def test_fuzz_restricted_algorithms(self, capsys, tmp_path):
+        code, out = self.run(
+            capsys, "fuzz", "--seeds", "4", "--quiet", "--no-corpus",
+            "--algorithms", "fifo", "random_delay",
+        )
+        assert code == 0

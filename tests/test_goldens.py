@@ -1,0 +1,48 @@
+"""Golden-snapshot regression: every registry scheduler, pinned numbers.
+
+Three small fixed-seed instances run through every registered algorithm;
+makespan, C1, and C2 must match ``tests/goldens/registry_goldens.json``
+exactly.  Any intentional behaviour change must regenerate the goldens
+(``PYTHONPATH=src python scripts/regenerate_goldens.py --write``) and
+commit the JSON diff — see ``docs/testing.md``.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "scripts") not in sys.path:
+    sys.path.insert(0, str(ROOT / "scripts"))
+
+from regenerate_goldens import GOLDEN_CASES, GOLDEN_PATH, compute_goldens  # noqa: E402
+
+REGEN = "PYTHONPATH=src python scripts/regenerate_goldens.py --write"
+
+
+class TestGoldens:
+    def test_golden_file_exists_and_covers_registry(self):
+        from repro.heuristics import algorithm_names
+
+        stored = json.loads(GOLDEN_PATH.read_text())
+        assert set(stored) == {label for label, *_ in GOLDEN_CASES}
+        for label, row in stored.items():
+            assert set(row) == set(algorithm_names()), (
+                f"golden case {label!r} does not cover the registry — "
+                f"regenerate with: {REGEN}"
+            )
+
+    def test_registry_matches_goldens(self):
+        stored = json.loads(GOLDEN_PATH.read_text())
+        current = compute_goldens()
+        drifted = [
+            f"{case}/{algo}: stored={stored.get(case, {}).get(algo)} "
+            f"current={vals}"
+            for case, row in current.items()
+            for algo, vals in row.items()
+            if stored.get(case, {}).get(algo) != vals
+        ]
+        assert not drifted, (
+            "golden drift (if intended, regenerate with: " + REGEN + ")\n"
+            + "\n".join(drifted)
+        )

@@ -4,7 +4,26 @@ Each mutation takes a known-good schedule, breaks exactly one
 feasibility property, and asserts :func:`validate_schedule` rejects it.
 This is the guard against the classic reproduction failure mode — a
 checker that silently agrees with the code it is supposed to check.
+
+``TestMutationKill`` goes further: it enumerates every ``raise`` branch
+in :func:`validate_schedule` by its message pattern, and for each one
+crafts a corruption that *semantically* violates only that property —
+then asserts the raised message matches the targeted branch and none of
+the others.  Together with the branch-count census this proves no
+validator branch is dead and no corruption class is shadowed by an
+earlier check.
+
+The one infeasibility the validator cannot see — a cell whose copies run
+on *different* processors — is structurally impossible in the
+``Schedule`` representation (tasks inherit their cell's processor); the
+``same_processor`` oracle in :mod:`repro.fuzz.oracles` covers that class
+for hypothetical alternative representations, and
+``tests/test_fuzz.py::TestOraclePack::test_same_processor_split_caught``
+pins it.
 """
+
+import inspect
+import re
 
 import numpy as np
 import pytest
@@ -82,6 +101,109 @@ class TestMutations:
                 validate_schedule(bad)
         else:
             validate_schedule(bad)
+
+
+#: Every raise branch of validate_schedule, by unique message pattern.
+VALIDATOR_BRANCHES = {
+    "start_shape": r"start has shape",
+    "assignment_shape": r"assignment has shape",
+    "nonpositive_m": r"processor count must be positive",
+    "negative_start": r"tasks have no start time",
+    "assignment_range": r"assignment values must lie in",
+    "slot_collision": r"processor-step slot",
+    "precedence": r"violated: start",
+}
+
+
+class TestMutationKill:
+    """One corruption per validator branch; each must fire its own branch
+    and no other."""
+
+    def _assert_only_branch(self, bad, branch: str):
+        with pytest.raises(InvalidScheduleError) as exc_info:
+            validate_schedule(bad)
+        message = str(exc_info.value)
+        assert re.search(VALIDATOR_BRANCHES[branch], message), (
+            f"corruption targeting {branch!r} raised a different branch: "
+            f"{message}"
+        )
+        for other, pattern in VALIDATOR_BRANCHES.items():
+            if other != branch:
+                assert not re.search(pattern, message), (
+                    f"branch {other!r} also matched message {message!r}"
+                )
+
+    def test_branch_census_is_complete(self):
+        """No dead branches: the pattern table covers every raise in the
+        validator, so each entry below exercises a distinct live branch."""
+        source = inspect.getsource(validate_schedule)
+        n_raises = source.count("raise InvalidScheduleError")
+        assert n_raises == len(VALIDATOR_BRANCHES), (
+            f"validate_schedule has {n_raises} raise branches but the "
+            f"mutation-kill table lists {len(VALIDATOR_BRANCHES)} — "
+            f"update VALIDATOR_BRANCHES and add a targeted corruption"
+        )
+
+    def test_wrong_shape_start(self, good):
+        bad = clone(good)
+        bad.start = bad.start[:-1]
+        self._assert_only_branch(bad, "start_shape")
+
+    def test_wrong_shape_assignment(self, good):
+        bad = clone(good)
+        bad.assignment = np.concatenate([bad.assignment, [0]])
+        self._assert_only_branch(bad, "assignment_shape")
+
+    def test_nonpositive_processor_count(self, good):
+        bad = clone(good)
+        bad.m = 0
+        self._assert_only_branch(bad, "nonpositive_m")
+
+    def test_negative_start(self, good):
+        # Corrupt a task with no predecessors so that, semantically, only
+        # the "has a start time" property is broken.
+        union = good.instance.union_dag()
+        indeg = union.indegree()
+        tid = int(np.flatnonzero(indeg == 0)[0])
+        bad = clone(good)
+        bad.start[tid] = -1
+        self._assert_only_branch(bad, "negative_start")
+
+    def test_out_of_range_assignment(self, good):
+        bad = clone(good)
+        bad.assignment[0] = bad.m
+        self._assert_only_branch(bad, "assignment_range")
+        bad.assignment[0] = -1
+        self._assert_only_branch(bad, "assignment_range")
+
+    def test_slot_collision_without_precedence_break(self, good):
+        # Move a source task (no predecessors) *earlier* onto an occupied
+        # slot of its own processor: successors only get later relative
+        # starts, so precedence stays intact and only capacity breaks.
+        union = good.instance.union_dag()
+        indeg = union.indegree()
+        proc = good.task_proc()
+        sources = np.flatnonzero(indeg == 0)
+        for b in sources:
+            same = np.flatnonzero(
+                (proc == proc[b]) & (good.start < good.start[b])
+            )
+            if same.size:
+                a = int(same[0])
+                bad = clone(good)
+                bad.start[int(b)] = bad.start[a]
+                self._assert_only_branch(bad, "slot_collision")
+                return
+        pytest.fail("fixture has no source task with an earlier same-proc task")
+
+    def test_precedence_break_without_collision(self, good):
+        # Push an edge source beyond the makespan: its slot is fresh (no
+        # collision possible) but it now finishes after its successor.
+        union = good.instance.union_dag()
+        u = int(union.edges[0, 0])
+        bad = clone(good)
+        bad.start[u] = bad.start.max() + 5
+        self._assert_only_branch(bad, "precedence")
 
 
 class TestRandomisedMutations:
