@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""Regenerate the engine benchmark baseline (``BENCH_2.json``).
+
+Thin wrapper over ``repro bench`` so CI and docs have a stable script
+path.  Run from the repo root:
+
+    PYTHONPATH=src python scripts/run_bench.py            # full, ~a minute
+    PYTHONPATH=src python scripts/run_bench.py --smoke    # CI schema check
+
+Mesh size follows ``REPRO_BENCH_CELLS`` (default 2000) unless ``--cells``
+overrides it.  The full run is what the committed baseline at the repo
+root comes from; regenerate it on the same class of machine before
+comparing numbers.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import main  # noqa: E402
+
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

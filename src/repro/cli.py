@@ -8,6 +8,7 @@ Commands
 ``partition``  partition a mesh into blocks, report cut/balance
 ``transport``  run the S_n transport solve in schedule order
 ``fuzz``       differential fuzzing of every registered scheduler
+``bench``      time the heap vs bucket scheduling engines, write JSON
 
 All commands take ``--seed`` and print deterministic output.  The CLI is
 a thin veneer over the library — every command body is a few calls into
@@ -152,6 +153,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="restrict to these registry algorithms")
     p.add_argument("--quiet", action="store_true",
                    help="only print the final summary")
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark the heap vs bucket list-scheduling engines",
+        description=(
+            "Time both list-scheduling engines on the benchmark families "
+            "(large/standard mesh, chains, wide layers), cross-check that "
+            "they produce identical schedules, and write a schema-"
+            "versioned JSON report."
+        ),
+    )
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny sizes for CI schema validation (seconds)")
+    p.add_argument("--cells", type=int, default=None,
+                   help="mesh cell count (default $REPRO_BENCH_CELLS or 2000)")
+    p.add_argument("--repeats", type=int, default=None,
+                   help="timing repeats per engine (best-of; default 5, 1 in smoke)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None,
+                   help="output JSON path (default BENCH_<schema>.json; '-' for stdout)")
     return parser
 
 
@@ -351,6 +372,37 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_bench(args) -> int:
+    import json
+
+    from repro.experiments.bench import (
+        BENCH_SCHEMA_VERSION,
+        run_bench,
+        write_bench,
+    )
+
+    report = run_bench(
+        smoke=args.smoke, cells=args.cells, repeats=args.repeats,
+        seed=args.seed,
+    )
+    for case in report["cases"]:
+        heap = case["engines"]["heap"]
+        bucket = case["engines"]["bucket"]
+        print(
+            f"{case['family']:14s} n={case['n_tasks']:8d} m={case['m']:4d} "
+            f"heap {heap['wall_time_s'] * 1e3:8.1f}ms "
+            f"bucket {bucket['wall_time_s'] * 1e3:8.1f}ms "
+            f"speedup x{case['speedup']:.2f}"
+        )
+    out = args.out or f"BENCH_{BENCH_SCHEMA_VERSION}.json"
+    if out == "-":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        write_bench(report, out)
+        print(f"wrote {out}")
+    return 0
+
+
 _COMMANDS = {
     "schedule": _cmd_schedule,
     "figures": _cmd_figures,
@@ -361,6 +413,7 @@ _COMMANDS = {
     "tournament": _cmd_tournament,
     "families": _cmd_families,
     "fuzz": _cmd_fuzz,
+    "bench": _cmd_bench,
 }
 
 

@@ -33,6 +33,12 @@ def csr_from_edges(n: int, src: np.ndarray, dst: np.ndarray):
     Returns ``(offsets, targets)`` where the successors of ``v`` are
     ``targets[offsets[v]:offsets[v+1]]``.  Runs in O(E log E) (one argsort).
     """
+    src = np.asarray(src)
+    dst = np.asarray(dst)
+    if src.shape != dst.shape:
+        raise InvalidInstanceError(
+            f"src and dst must have matching shapes; got {src.shape} and {dst.shape}"
+        )
     order = np.argsort(src, kind="stable")
     targets = np.ascontiguousarray(dst[order])
     counts = np.bincount(src, minlength=n)
@@ -72,6 +78,12 @@ class Dag:
         "_num_levels",
         "_topo_order",
         "_b_level",
+        "_t_level",
+        "_desc_exact",
+        "_desc_approx",
+        "_succ_lists",
+        "_indeg_list",
+        "_padded",
     )
 
     def __init__(self, n: int, edges: np.ndarray, validate: bool = True):
@@ -96,6 +108,12 @@ class Dag:
         self._num_levels = None
         self._topo_order = None
         self._b_level = None
+        self._t_level = None
+        self._desc_exact = None
+        self._desc_approx = None
+        self._succ_lists = None
+        self._indeg_list = None
+        self._padded = None
         if validate:
             self._validate()
 
@@ -205,6 +223,57 @@ class Dag:
                 self._outdegree = np.zeros(self.n, dtype=np.int64)
         return self._outdegree.copy()
 
+    def successor_lists(self):
+        """Successor CSR as plain Python lists ``(offsets, targets)``.
+
+        The heap engine and the narrow bucket engine walk edges one at a
+        time in Python; indexing lists is ~3x faster than indexing numpy
+        scalars, and the conversion is worth caching because schedulers
+        run many times per instance (once per seed / per m).
+        """
+        if self._succ_lists is None:
+            off, tgt = self.successor_csr()
+            self._succ_lists = (off.tolist(), tgt.tolist())
+        return self._succ_lists
+
+    def indegree_list(self) -> list[int]:
+        """Indegree of every vertex as a plain Python list (fresh copy)."""
+        if self._indeg_list is None:
+            self._indeg_list = self.indegree().tolist()
+        return self._indeg_list.copy()
+
+    def padded_successors(self):
+        """Dense successor matrix for vectorised indegree decrements.
+
+        Returns ``(P, indeg0)`` where ``P`` has shape ``(n, maxdeg)`` with
+        row ``v`` holding the successors of ``v`` padded with the sentinel
+        vertex ``n``, and ``indeg0`` has length ``n + 1`` with a huge
+        sentinel count in slot ``n`` that absorbs decrements from padding
+        without ever reaching zero.  Callers must copy ``indeg0`` before
+        mutating it.
+
+        Returns ``None`` for ragged graphs where the dense matrix would
+        blow up memory (``maxdeg * n`` far beyond the edge count) — the
+        pool engine then falls back to CSR gathers.
+        """
+        if self._padded is None:
+            n = self.n
+            off, tgt = self.successor_csr()
+            deg = np.diff(off)
+            maxdeg = int(deg.max()) if n else 0
+            if maxdeg * n > max(4 * self.num_edges, 64 * n):
+                self._padded = (None,)
+            else:
+                P = np.full((n, max(maxdeg, 1)), n, dtype=np.int64)
+                rows = np.repeat(np.arange(n), deg)
+                cols = np.arange(len(tgt)) - np.repeat(off[:-1], deg)
+                P[rows, cols] = tgt
+                indeg0 = np.empty(n + 1, dtype=np.int64)
+                indeg0[:n] = self.indegree()
+                indeg0[n] = np.int64(1) << 60
+                self._padded = (P, indeg0)
+        return None if self._padded[0] is None else self._padded
+
     def roots(self) -> np.ndarray:
         """Vertices with indegree 0 (sources)."""
         return np.flatnonzero(self.indegree() == 0)
@@ -311,14 +380,16 @@ class Dag:
         for graphs whose edges only connect consecutive levels, but can be
         larger in general.
         """
-        t = np.ones(self.n, dtype=np.int64)
-        order = self.topological_order()
-        off, tgt = self.predecessor_csr()
-        for v in order:
-            p = tgt[off[v] : off[v + 1]]
-            if p.size:
-                t[v] = 1 + t[p].max()
-        return t
+        if self._t_level is None:
+            t = np.ones(self.n, dtype=np.int64)
+            order = self.topological_order()
+            off, tgt = self.predecessor_csr()
+            for v in order:
+                p = tgt[off[v] : off[v + 1]]
+                if p.size:
+                    t[v] = 1 + t[p].max()
+            self._t_level = t
+        return self._t_level.copy()
 
     def critical_path_length(self) -> int:
         """Number of vertices on the longest path in the DAG."""
@@ -342,14 +413,18 @@ class Dag:
         if exact is None:
             exact = self.n <= 20_000
         if not exact:
-            approx = np.zeros(self.n, dtype=np.int64)
-            order = self.topological_order()
-            off, tgt = self.successor_csr()
-            for v in order[::-1]:
-                s = tgt[off[v] : off[v + 1]]
-                if s.size:
-                    approx[v] = s.size + approx[s].sum()
-            return approx
+            if self._desc_approx is None:
+                approx = np.zeros(self.n, dtype=np.int64)
+                order = self.topological_order()
+                off, tgt = self.successor_csr()
+                for v in order[::-1]:
+                    s = tgt[off[v] : off[v + 1]]
+                    if s.size:
+                        approx[v] = s.size + approx[s].sum()
+                self._desc_approx = approx
+            return self._desc_approx.copy()
+        if self._desc_exact is not None:
+            return self._desc_exact.copy()
         words = (self.n + 63) // 64
         reach = np.zeros((self.n, words), dtype=np.uint64)
         order = self.topological_order()
@@ -363,8 +438,8 @@ class Dag:
                 row = reach[v]
                 np.bitwise_or.reduce(reach[s], axis=0, out=row)
                 np.bitwise_or.at(row, word_idx[s], bit[s])
-        counts = _popcount_rows(reach)
-        return counts
+        self._desc_exact = _popcount_rows(reach)
+        return self._desc_exact.copy()
 
     def reachable_from(self, v: int) -> np.ndarray:
         """All vertices reachable from ``v`` (excluding ``v``), via BFS."""

@@ -1,0 +1,531 @@
+"""Bucket-queue list-scheduling engine (the "fast" engine).
+
+A drop-in second engine behind :func:`repro.core.list_scheduler.list_schedule`
+and :func:`~repro.core.list_scheduler.list_schedule_unassigned`.  Every
+priority family this repository uses (levels, delayed levels, b-levels,
+DFDS keys, descendant counts, the lexicographic combinations) is a small
+integer range, so the engine replaces the heap engine's ``(priority, tid)``
+tuple comparisons with integer bucket arithmetic.  Two internal paths share
+the public entry points:
+
+* **sorted-pool path** (wide regime) — the entire ready set lives in one
+  sorted ``int64`` array of packed ``(processor, key, tid)`` codes.  Each
+  step's pops are a vectorised group-boundary mask (the first code of every
+  processor run is that processor's minimum), promotion is a dense padded
+  successor-matrix gather plus ``np.subtract.at``, and re-insertion is one
+  ``np.searchsorted`` + ``np.insert``.  No per-task Python at all; on wide
+  wavefronts (hundreds of pops per step) this is 1.5–3x the heap engine.
+* **bucket-queue path** (narrow regime) — per-processor monotone bucket
+  queues: a dict from bucket index to either a single task id (the common
+  case) or an int-heap of ids, plus a per-processor min-pointer that only
+  moves forward.  Promotion walks successor lists cached as plain Python
+  lists on the :class:`~repro.core.dag.Dag`.
+
+Key handling is shared: integer priorities with a small range are used
+directly (offset by the minimum); anything else numeric is rank compressed
+through ``np.unique``, which preserves order and equality and therefore
+the schedule, exactly.
+
+Both paths are *exactly equivalent* to the heap engine — same start times,
+same machine numbers, same tie-breaks, same errors — which
+``tests/test_engine_equivalence.py`` pins on every fuzz spec family, every
+registry golden, and the corpus.  Callers normally never import this
+module: they pass ``engine="bucket"`` (or keep the default ``"auto"``) to
+the public entry points.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+
+import numpy as np
+
+from repro.core.dag import _gather_csr
+from repro.core.instance import SweepInstance
+from repro.core.schedule import Schedule
+from repro.util.errors import InvalidScheduleError
+
+__all__ = [
+    "bucket_list_schedule",
+    "bucket_list_schedule_unassigned",
+    "bucket_supports",
+    "bucket_keys",
+    "bucket_preferred",
+]
+
+#: Integer priorities whose value range exceeds ``_DENSE_SLACK * N + 1024``
+#: go through rank compression instead of a direct offset, so bucket
+#: indices can never blow up on sparse keys like ``level * 10**9``.
+_DENSE_SLACK = 4
+
+#: The sorted-pool path needs enough pops per step to amortise numpy call
+#: overhead (~2us per ufunc here); below this effective width the heap
+#: engine's C heapq is faster and ``engine="auto"`` keeps using it.
+#: Calibrated on the tetonly-mesh benchmark family: at effective width 64
+#: the pool path breaks even, at 128+ it is 1.5-3x faster.
+_POOL_MIN_WIDTH = 64
+
+#: Test-only fault-injection point for the mutation-kill suite
+#: (``tests/test_engine_mutations.py``).  One of ``None`` (production),
+#: ``"bucket_off_by_one"`` (promoted tasks land one bucket too high),
+#: ``"skip_promotion"`` (all but the first newly-ready task of a batch is
+#: dropped), or ``"stale_minptr"`` (the min-pointer is not lowered when a
+#: smaller key is pushed).  Any non-``None`` value forces the bucket-queue
+#: path, where these faults live.  Never set outside tests.
+_MUTATION = None
+
+#: Test-only override of the internal path choice: ``None`` (use the width
+#: heuristic), ``"pool"``, or ``"bucket"``.  Lets the equivalence suite
+#: exercise both paths on every instance regardless of its width.
+_FORCE_PATH = None
+
+
+def bucket_supports(priority) -> bool:
+    """Can the bucket engine reproduce the heap engine on this priority?
+
+    ``None`` (uniform) and any real-numeric array without NaN qualify —
+    integer keys run through dense buckets directly, floats through exact
+    rank compression.  Object arrays (tuple keys) and NaN-bearing floats
+    fall back to the heap engine, whose comparison semantics they need.
+    """
+    if priority is None:
+        return True
+    arr = np.asarray(priority)
+    if arr.dtype == np.bool_ or np.issubdtype(arr.dtype, np.integer):
+        return True
+    if np.issubdtype(arr.dtype, np.floating):
+        return not bool(np.isnan(arr).any())
+    return False
+
+
+def bucket_keys(priority, n_tasks: int) -> np.ndarray:
+    """Dense ``int64`` bucket indices equivalent to ``priority`` ordering.
+
+    Preserves both relative order and equality of the original keys, so a
+    schedule built on the returned indices is bit-identical to one built
+    on the raw priorities.  Raises :class:`InvalidScheduleError` when the
+    priorities are not bucketable (see :func:`bucket_supports`).
+    """
+    if priority is None:
+        return np.zeros(n_tasks, dtype=np.int64)
+    if not bucket_supports(priority):
+        raise InvalidScheduleError(
+            "bucket engine requires numeric NaN-free priorities; "
+            "use engine='heap' for non-scalar keys"
+        )
+    arr = np.asarray(priority)
+    if arr.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if arr.dtype == np.bool_ or np.issubdtype(arr.dtype, np.integer):
+        lo = int(arr.min())
+        hi = int(arr.max())
+        if hi - lo <= _DENSE_SLACK * n_tasks + 1024:
+            return arr.astype(np.int64) - lo
+    # Sparse integers and floats: exact rank compression.  np.unique sorts
+    # and deduplicates, so equal keys share a rank and order is preserved.
+    _, inverse = np.unique(arr, return_inverse=True)
+    return inverse.astype(np.int64)
+
+
+def _effective_width(inst: SweepInstance, m: int) -> int:
+    """Average pops per step, capped by the processor count."""
+    union = inst.union_dag()
+    d = union.num_levels()
+    if d <= 0:
+        return 0
+    return min(m, inst.n_tasks // d)
+
+
+def bucket_preferred(inst: SweepInstance, m: int, priority) -> bool:
+    """Should ``engine="auto"`` pick the bucket engine here?
+
+    True when the priorities are bucketable *and* the instance is wide
+    enough (average wavefront of at least ``_POOL_MIN_WIDTH`` tasks per
+    step) for the sorted-pool path to beat C heapq.  In the narrow regime
+    every pure-Python scheme loses to the heap engine, so ``auto`` keeps
+    the heap there; an explicit ``engine="bucket"`` still runs this engine
+    regardless of width.
+    """
+    return bucket_supports(priority) and _effective_width(inst, m) >= _POOL_MIN_WIDTH
+
+
+def _use_pool(inst: SweepInstance, m: int) -> bool:
+    """Internal path choice: sorted pool (wide) or bucket queues (narrow)."""
+    if _MUTATION is not None:
+        return False  # the injected faults live in the bucket-queue path
+    if _FORCE_PATH is not None:
+        return _FORCE_PATH == "pool"
+    return _effective_width(inst, m) >= _POOL_MIN_WIDTH
+
+
+def _pool_codes(key: np.ndarray, n_tasks: int, m: int | None):
+    """Packed ``(proc?, key, tid)`` code parameters for the sorted pool.
+
+    Returns ``(key, logn, kb)`` where ``code = (key << logn) | tid`` fits a
+    signed int64 together with ``m`` processor values above it (when ``m``
+    is given).  Wide keys are rank compressed first; if even the compressed
+    key cannot fit, returns ``None`` and the caller falls back to the
+    bucket-queue path.
+    """
+    logn = max(1, (n_tasks - 1).bit_length()) if n_tasks > 1 else 1
+    logm = max(1, (m - 1).bit_length()) if m is not None else 0
+    kb = max(1, int(key.max()).bit_length()) if key.size else 1
+    if logn + kb + logm > 62:
+        _, inverse = np.unique(key, return_inverse=True)
+        key = inverse.astype(np.int64)
+        kb = max(1, int(key.max()).bit_length()) if key.size else 1
+        if logn + kb + logm > 62:
+            return None
+    return key, logn, kb
+
+
+def _decrement_and_promote(indeg: np.ndarray, off, tgt, executed: np.ndarray):
+    """Batch-decrement indegrees of all successors; return newly-ready ids.
+
+    One CSR gather plus one ``np.unique`` replace the heap engine's
+    per-edge Python loop; duplicate (parallel) edges decrement once per
+    occurrence via the returned counts.
+    """
+    succ = _gather_csr(off, tgt, executed)
+    if not succ.size:
+        return np.empty(0, dtype=np.int64)
+    uniq, counts = np.unique(succ, return_counts=True)
+    indeg[uniq] -= counts
+    return uniq[indeg[uniq] == 0]
+
+
+# ----------------------------------------------------------------------
+# sorted-pool path (wide regime)
+# ----------------------------------------------------------------------
+
+
+def _pool_promote(union, indeg, done):
+    """Newly-ready ids after executing ``done`` (may contain duplicates)."""
+    padded = union.padded_successors()
+    if padded is not None:
+        P = padded[0]
+        succ = P[done].ravel()
+        np.subtract.at(indeg, succ, 1)
+        return succ[indeg[succ] == 0]
+    off, tgt = union.successor_csr()
+    return _decrement_and_promote(indeg, off, tgt, done)
+
+
+def _pool_indegree(union):
+    """Working indegree array matching :func:`_pool_promote`'s layout."""
+    padded = union.padded_successors()
+    if padded is not None:
+        return padded[1].copy()
+    return union.indegree()
+
+
+def _pool_schedule(inst, m, assignment, key, logn, kb):
+    n_tasks = inst.n_tasks
+    union = inst.union_dag()
+    indeg = _pool_indegree(union)
+    proc_of = np.tile(np.asarray(assignment, dtype=np.int64), inst.k)
+    proc_shift = logn + kb
+    gcode_of = (proc_of << proc_shift) | (key << logn) | np.arange(
+        n_tasks, dtype=np.int64
+    )
+    tid_mask = (1 << logn) - 1
+
+    ready0 = np.flatnonzero(indeg[:n_tasks] == 0)
+    pool = np.sort(gcode_of[ready0])
+    start = np.full(n_tasks, -1, dtype=np.int64)
+    remaining = n_tasks
+    t = 0
+    # Reusable group-boundary mask: first[i] is True iff pool[i] is the
+    # first (= smallest) code of its processor's run in the sorted pool.
+    first = np.empty(n_tasks + 1, dtype=bool)
+    first[0] = True
+    while remaining:
+        r = pool.size
+        if not r:
+            raise InvalidScheduleError(
+                "no ready task but tasks remain — instance has a cycle"
+            )
+        pp = pool >> proc_shift
+        f = first[:r]
+        np.not_equal(pp[1:], pp[:-1], out=f[1:])
+        popped = pool[f]
+        done = popped & tid_mask
+        start[done] = t
+        remaining -= done.size
+        rest = pool[~f]
+        newly = _pool_promote(union, indeg, done)
+        if newly.size:
+            # Duplicate tids (several predecessors finished this step) map
+            # to identical codes; np.unique both dedups and sorts.
+            nc = np.unique(gcode_of[newly])
+            pool = np.insert(rest, np.searchsorted(rest, nc), nc)
+        else:
+            pool = rest
+        t += 1
+    return start
+
+
+def _pool_unassigned(inst, m, key, logn, kb):
+    n_tasks = inst.n_tasks
+    union = inst.union_dag()
+    indeg = _pool_indegree(union)
+    code_of = (key << logn) | np.arange(n_tasks, dtype=np.int64)
+    tid_mask = (1 << logn) - 1
+
+    ready0 = np.flatnonzero(indeg[:n_tasks] == 0)
+    pool = np.sort(code_of[ready0])
+    start = np.full(n_tasks, -1, dtype=np.int64)
+    machine = np.full(n_tasks, -1, dtype=np.int64)
+    remaining = n_tasks
+    t = 0
+    while remaining:
+        if not pool.size:
+            raise InvalidScheduleError(
+                "no ready task but tasks remain — instance has a cycle"
+            )
+        n_exec = min(m, pool.size)
+        popped = pool[:n_exec]
+        done = popped & tid_mask
+        start[done] = t
+        machine[done] = np.arange(n_exec, dtype=np.int64)
+        remaining -= n_exec
+        rest = pool[n_exec:]
+        newly = _pool_promote(union, indeg, done)
+        if newly.size:
+            nc = np.unique(code_of[newly])
+            pool = np.insert(rest, np.searchsorted(rest, nc), nc)
+        else:
+            pool = rest
+        t += 1
+    return start, machine
+
+
+# ----------------------------------------------------------------------
+# bucket-queue path (narrow regime; hosts the mutation hooks)
+# ----------------------------------------------------------------------
+
+
+def _bucket_schedule(inst, m, assignment, key):
+    n_tasks = inst.n_tasks
+    union = inst.union_dag()
+    off_l, tgt_l = union.successor_lists()
+    indeg = union.indegree_list()
+    proc_l = np.tile(np.asarray(assignment, dtype=np.int64), inst.k).tolist()
+    key_l = key.tolist()
+    n_buckets = (int(key.max()) + 1) if key.size else 1
+    mut = _MUTATION
+
+    # buckets[p] maps bucket index -> a single ready task id (the common
+    # case) or an int-heap of ids; the dict stays sparse so huge
+    # (m x range) tables are never allocated.
+    buckets: list[dict[int, int | list[int]]] = [{} for _ in range(m)]
+    minptr = [n_buckets] * m
+    nonempty: set[int] = set()
+
+    def push_batch(tids: list[int]) -> None:
+        if mut == "skip_promotion" and len(tids) > 1:
+            tids = tids[:1]
+        for tid in tids:
+            p = proc_l[tid]
+            b = key_l[tid]
+            if mut == "bucket_off_by_one":
+                b += 1
+            bp = buckets[p]
+            cur = bp.get(b)
+            if cur is None:
+                bp[b] = tid
+            elif type(cur) is int:
+                bp[b] = [cur, tid] if cur < tid else [tid, cur]
+            else:
+                heappush(cur, tid)
+            if b < minptr[p] and mut != "stale_minptr":
+                minptr[p] = b
+            nonempty.add(p)
+
+    # The initial frontier is not a promotion: the injected faults model
+    # promotion-path bugs, so they must not fire here.
+    saved_mut, mut = mut, None
+    push_batch([tid for tid in range(n_tasks) if indeg[tid] == 0])
+    mut = saved_mut
+
+    start = np.full(n_tasks, -1, dtype=np.int64)
+    remaining = n_tasks
+    t = 0
+    while remaining:
+        if not nonempty:
+            raise InvalidScheduleError(
+                "no ready task but tasks remain — instance has a cycle"
+            )
+        step: list[int] = []
+        ap = step.append
+        for p in list(nonempty):
+            bp = buckets[p]
+            mp = minptr[p]
+            cur = bp.get(mp)
+            while cur is None:
+                mp += 1
+                if mp > n_buckets:  # n_buckets absorbs the off-by-one fault
+                    raise InvalidScheduleError(
+                        "bucket queue bookkeeping error: processor marked "
+                        "ready but no bucket holds a task"
+                    )
+                cur = bp.get(mp)
+            if type(cur) is int:
+                tid = cur
+                del bp[mp]
+            else:
+                tid = heappop(cur)
+                if not cur:
+                    del bp[mp]
+            minptr[p] = mp
+            ap(tid)
+            if not bp:
+                nonempty.discard(p)
+        remaining -= len(step)
+        newly: list[int] = []
+        nap = newly.append
+        for tid in step:
+            for s in tgt_l[off_l[tid] : off_l[tid + 1]]:
+                d = indeg[s] - 1
+                indeg[s] = d
+                if not d:
+                    nap(s)
+        if newly:
+            push_batch(newly)
+        start[np.array(step, dtype=np.int64)] = t
+        t += 1
+    return start
+
+
+def _bucket_unassigned(inst, m, key):
+    n_tasks = inst.n_tasks
+    union = inst.union_dag()
+    off_l, tgt_l = union.successor_lists()
+    indeg = union.indegree_list()
+    key_l = key.tolist()
+    n_buckets = (int(key.max()) + 1) if key.size else 1
+
+    buckets: dict[int, int | list[int]] = {}
+    minptr = n_buckets
+    count = 0
+
+    def push_batch(tids: list[int]) -> None:
+        nonlocal minptr, count
+        for tid in tids:
+            b = key_l[tid]
+            cur = buckets.get(b)
+            if cur is None:
+                buckets[b] = tid
+            elif type(cur) is int:
+                buckets[b] = [cur, tid] if cur < tid else [tid, cur]
+            else:
+                heappush(cur, tid)
+            if b < minptr:
+                minptr = b
+        count += len(tids)
+
+    push_batch([tid for tid in range(n_tasks) if indeg[tid] == 0])
+
+    start = np.full(n_tasks, -1, dtype=np.int64)
+    machine = np.full(n_tasks, -1, dtype=np.int64)
+    remaining = n_tasks
+    t = 0
+    while remaining:
+        if not count:
+            raise InvalidScheduleError(
+                "no ready task but tasks remain — instance has a cycle"
+            )
+        step: list[int] = []
+        ap = step.append
+        n_exec = 0
+        while count and n_exec < m:
+            cur = buckets.get(minptr)
+            while cur is None:
+                minptr += 1
+                cur = buckets.get(minptr)
+            if type(cur) is int:
+                tid = cur
+                del buckets[minptr]
+            else:
+                tid = heappop(cur)
+                if not cur:
+                    del buckets[minptr]
+            count -= 1
+            machine[tid] = n_exec
+            ap(tid)
+            n_exec += 1
+        remaining -= n_exec
+        newly: list[int] = []
+        nap = newly.append
+        for tid in step:
+            for s in tgt_l[off_l[tid] : off_l[tid + 1]]:
+                d = indeg[s] - 1
+                indeg[s] = d
+                if not d:
+                    nap(s)
+        if newly:
+            push_batch(newly)
+        start[np.array(step, dtype=np.int64)] = t
+        t += 1
+    return start, machine
+
+
+# ----------------------------------------------------------------------
+# public entry points
+# ----------------------------------------------------------------------
+
+
+def bucket_list_schedule(
+    inst: SweepInstance,
+    m: int,
+    assignment: np.ndarray,
+    priority: np.ndarray | None = None,
+    meta: dict | None = None,
+) -> Schedule:
+    """Bucket-engine twin of :func:`repro.core.list_scheduler.list_schedule`.
+
+    Arguments are identical; output is bit-identical.  Callers should go
+    through ``list_schedule(..., engine="bucket")``, which validates the
+    shapes once and dispatches here.
+    """
+    n_tasks = inst.n_tasks
+    key = bucket_keys(priority, n_tasks)
+    start = None
+    if _use_pool(inst, m):
+        packed = _pool_codes(key, n_tasks, m)
+        if packed is not None:
+            start = _pool_schedule(inst, m, assignment, *packed)
+    if start is None:
+        start = _bucket_schedule(inst, m, assignment, key)
+    return Schedule(
+        instance=inst,
+        m=m,
+        start=start,
+        assignment=np.asarray(assignment, dtype=np.int64),
+        meta=dict(meta or {}),
+    )
+
+
+def bucket_list_schedule_unassigned(
+    inst: SweepInstance,
+    m: int,
+    priority: np.ndarray | None = None,
+):
+    """Bucket-engine twin of ``list_schedule_unassigned`` (Graham relaxation).
+
+    Pops the ``m`` smallest ``(key, task id)`` pairs per step in the same
+    order the heap engine would, so machine numbers match bit-for-bit too.
+    """
+    from repro.core.list_scheduler import UnassignedSchedule
+
+    n_tasks = inst.n_tasks
+    key = bucket_keys(priority, n_tasks)
+    result = None
+    if _use_pool(inst, m):
+        packed = _pool_codes(key, n_tasks, None)
+        if packed is not None:
+            result = _pool_unassigned(inst, m, *packed)
+    if result is None:
+        result = _bucket_unassigned(inst, m, key)
+    start, machine = result
+    return UnassignedSchedule(m=m, start=start, machine=machine)

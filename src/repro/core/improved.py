@@ -38,7 +38,9 @@ from repro.util.rng import as_rng
 __all__ = ["improved_random_delay_schedule", "preprocess_levels"]
 
 
-def preprocess_levels(inst: SweepInstance, m: int) -> np.ndarray:
+def preprocess_levels(
+    inst: SweepInstance, m: int, engine: str = "auto"
+) -> np.ndarray:
     """Step 1 of Algorithm 3: greedy-list levels of width at most ``m``.
 
     Returns the ``(n_tasks,)`` array of preprocessed per-direction levels
@@ -46,7 +48,7 @@ def preprocess_levels(inst: SweepInstance, m: int) -> np.ndarray:
     greedy schedule respects precedence, so within a direction every edge
     goes to a strictly later step.
     """
-    relaxed = list_schedule_unassigned(inst, m)
+    relaxed = list_schedule_unassigned(inst, m, engine=engine)
     return relaxed.start.copy()
 
 
@@ -58,6 +60,7 @@ def improved_random_delay_schedule(
     delays: np.ndarray | None = None,
     priorities: bool = False,
     preprocessed: np.ndarray | None = None,
+    engine: str = "auto",
 ) -> Schedule:
     """Run Algorithm 3 ("Improved Random Delay").
 
@@ -74,7 +77,7 @@ def improved_random_delay_schedule(
     """
     rng = as_rng(seed)
     if preprocessed is None:
-        preprocessed = preprocess_levels(inst, m)
+        preprocessed = preprocess_levels(inst, m, engine=engine)
     else:
         preprocessed = np.asarray(preprocessed, dtype=np.int64)
         if preprocessed.shape != (inst.n_tasks,):
@@ -97,7 +100,9 @@ def improved_random_delay_schedule(
         "preprocess_makespan": int(preprocessed.max()) + 1 if preprocessed.size else 0,
     }
     if priorities:
-        return list_schedule(inst, m, assignment, priority=layers, meta=meta)
+        return list_schedule(
+            inst, m, assignment, priority=layers, meta=meta, engine=engine
+        )
     return schedule_layers_sequentially(
         inst, m, layers, assignment, meta=meta, check_layers=False
     )

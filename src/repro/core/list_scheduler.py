@@ -13,10 +13,26 @@ Two modes, matching the paper:
   the preprocessing step of Algorithm 3 and as the relaxation that yields
   a lower bound on OPT.
 
-Both run in ``O(N log N + m * makespan)`` for ``N = n*k`` tasks using one
-binary heap per processor.  Priorities are *minimised*; callers wanting
-"higher is better" negate their keys.  Ties break deterministically by
-task id, so results are reproducible bit-for-bit for a fixed seed.
+Two interchangeable engines implement both modes:
+
+* ``engine="heap"`` — the reference implementation below: one binary heap
+  per processor, ``O(N log N + m * makespan)`` for ``N = n*k`` tasks.
+* ``engine="bucket"`` — :mod:`repro.core.fast_scheduler`: integer bucket
+  keys with a fully-vectorised sorted-pool core on wide instances and
+  per-processor monotone bucket queues on narrow ones.  Bit-identical
+  output (pinned by ``tests/test_engine_equivalence.py``), 1.5–3x faster
+  than the heap on wide wavefronts.
+* ``engine="auto"`` (default) — bucket when the priorities are numeric
+  and NaN-free *and* the instance is wide enough for the bucket engine to
+  win (average wavefront of at least
+  :data:`repro.core.fast_scheduler._POOL_MIN_WIDTH` tasks per step); heap
+  otherwise.  Narrow instances stay on the heap because C ``heapq`` beats
+  any pure-Python bucket scheme there; object/tuple keys stay on the heap
+  because they need real comparisons.
+
+Priorities are *minimised*; callers wanting "higher is better" negate
+their keys.  Ties break deterministically by task id, so results are
+reproducible bit-for-bit for a fixed seed — on either engine.
 """
 
 from __future__ import annotations
@@ -30,7 +46,49 @@ from repro.core.instance import SweepInstance
 from repro.core.schedule import Schedule
 from repro.util.errors import InvalidScheduleError
 
-__all__ = ["list_schedule", "list_schedule_unassigned", "UnassignedSchedule"]
+__all__ = [
+    "list_schedule",
+    "list_schedule_unassigned",
+    "UnassignedSchedule",
+    "ENGINES",
+    "resolve_engine",
+]
+
+#: Valid values of the ``engine`` parameter.
+ENGINES = ("heap", "bucket", "auto")
+
+
+def resolve_engine(engine: str, priority, inst=None, m=None) -> str:
+    """Map an ``engine`` request to the engine that will actually run.
+
+    ``"auto"`` picks the bucket engine when it can reproduce the heap
+    engine exactly (numeric, NaN-free priorities — see
+    :func:`repro.core.fast_scheduler.bucket_supports`) *and*, when
+    ``inst``/``m`` are given, the instance is wide enough for it to be
+    faster (:func:`repro.core.fast_scheduler.bucket_preferred`).  An
+    explicit ``"bucket"`` runs the bucket engine on any supported
+    priorities regardless of width, and raises on unsupported ones.
+    """
+    if engine not in ENGINES:
+        raise InvalidScheduleError(
+            f"unknown engine {engine!r}; choose one of {', '.join(ENGINES)}"
+        )
+    if engine == "heap":
+        return "heap"
+    from repro.core.fast_scheduler import bucket_preferred, bucket_supports
+
+    if not bucket_supports(priority):
+        if engine == "bucket":
+            raise InvalidScheduleError(
+                "bucket engine requires numeric NaN-free priorities; "
+                "use engine='heap' (or 'auto') for non-scalar keys"
+            )
+        return "heap"
+    if engine == "bucket":
+        return "bucket"
+    if inst is not None and m is not None:
+        return "bucket" if bucket_preferred(inst, m, priority) else "heap"
+    return "bucket"
 
 
 def list_schedule(
@@ -39,6 +97,7 @@ def list_schedule(
     assignment: np.ndarray,
     priority: np.ndarray | None = None,
     meta: dict | None = None,
+    engine: str = "auto",
 ) -> Schedule:
     """Prioritized list scheduling with a fixed cell→processor assignment.
 
@@ -55,6 +114,9 @@ def list_schedule(
         ``None`` all tasks share one priority and ties break by task id.
     meta:
         Provenance stored on the returned :class:`Schedule`.
+    engine:
+        ``"heap"``, ``"bucket"``, or ``"auto"`` (see module docs).  Both
+        engines produce bit-identical schedules.
 
     Notes
     -----
@@ -71,20 +133,23 @@ def list_schedule(
             f"assignment values must lie in [0, {m})"
         )
     n_tasks = inst.n_tasks
-    union = inst.union_dag()
-    off, tgt = union.successor_csr()
-    indeg = union.indegree().tolist()
-    off_l = off.tolist()
-    tgt_l = tgt.tolist()
-    proc_of_task = np.tile(assignment, inst.k).tolist()
-    if priority is None:
-        prio = [0] * n_tasks
-    else:
+    if priority is not None:
         priority = np.asarray(priority)
         if priority.shape != (n_tasks,):
             raise InvalidScheduleError(
                 f"priority has shape {priority.shape}, expected ({n_tasks},)"
             )
+    if resolve_engine(engine, priority, inst, m) == "bucket":
+        from repro.core.fast_scheduler import bucket_list_schedule
+
+        return bucket_list_schedule(inst, m, assignment, priority, meta=meta)
+    union = inst.union_dag()
+    off_l, tgt_l = union.successor_lists()
+    indeg = union.indegree_list()
+    proc_of_task = np.tile(assignment, inst.k).tolist()
+    if priority is None:
+        prio = [0] * n_tasks
+    else:
         prio = priority.tolist()
 
     heaps: list[list] = [[] for _ in range(m)]
@@ -155,25 +220,35 @@ def list_schedule_unassigned(
     inst: SweepInstance,
     m: int,
     priority: np.ndarray | None = None,
+    engine: str = "auto",
 ) -> UnassignedSchedule:
     """Greedy (Graham) list scheduling of the union DAG, any-task-anywhere.
 
     At every step the ``m`` machines grab the ``m`` smallest-priority ready
     tasks.  Every layer of the resulting step structure has at most ``m``
     tasks — exactly the width-reduction Algorithm 3's preprocessing needs.
+    ``engine`` selects the heap or bucket implementation (bit-identical).
     """
     if m <= 0:
         raise InvalidScheduleError(f"processor count must be positive, got {m}")
     n_tasks = inst.n_tasks
+    if priority is not None:
+        priority = np.asarray(priority)
+        if priority.shape != (n_tasks,):
+            raise InvalidScheduleError(
+                f"priority has shape {priority.shape}, expected ({n_tasks},)"
+            )
+    if resolve_engine(engine, priority, inst, m) == "bucket":
+        from repro.core.fast_scheduler import bucket_list_schedule_unassigned
+
+        return bucket_list_schedule_unassigned(inst, m, priority)
     union = inst.union_dag()
-    off, tgt = union.successor_csr()
-    indeg = union.indegree().tolist()
-    off_l = off.tolist()
-    tgt_l = tgt.tolist()
+    off_l, tgt_l = union.successor_lists()
+    indeg = union.indegree_list()
     if priority is None:
         prio = [0] * n_tasks
     else:
-        prio = np.asarray(priority).tolist()
+        prio = priority.tolist()
 
     heap: list = []
     for tid in range(n_tasks):

@@ -31,12 +31,15 @@ def random_delay_priority_schedule(
     seed=None,
     assignment: np.ndarray | None = None,
     delays: np.ndarray | None = None,
+    engine: str = "auto",
 ) -> Schedule:
     """Run Algorithm 2 ("Random Delays with Priorities").
 
     Parameters mirror :func:`repro.core.random_delay.random_delay_schedule`:
     ``assignment`` overrides the random cell→processor map (used for block
     partitioning), ``delays`` pins the per-direction random delays.
+    ``engine`` selects the list-scheduling engine (see
+    :mod:`repro.core.list_scheduler`).
     """
     rng = as_rng(seed)
     if delays is None:
@@ -53,5 +56,6 @@ def random_delay_priority_schedule(
             "algorithm": "random_delay_priority",
             "delays": np.asarray(delays).copy(),
         },
+        engine=engine,
     )
     return sched

@@ -51,6 +51,7 @@ def random_delay_schedule(
     seed=None,
     assignment: np.ndarray | None = None,
     delays: np.ndarray | None = None,
+    engine: str = "auto",
 ) -> Schedule:
     """Run Algorithm 1 and return the resulting (validated-shape) schedule.
 
@@ -64,7 +65,12 @@ def random_delay_schedule(
         random.
     delays:
         Override the random per-direction delays (mainly for tests).
+    engine:
+        Accepted for signature uniformity with the other registry
+        algorithms; Algorithm 1 processes layers sequentially and never
+        runs a list scheduler, so the value is unused.
     """
+    del engine
     rng = as_rng(seed)
     if delays is None:
         delays = draw_delays(inst.k, rng)

@@ -1,0 +1,259 @@
+"""Engine benchmark harness (``repro bench`` / ``scripts/run_bench.py``).
+
+Times the heap and bucket list-scheduling engines on a fixed set of case
+families and writes a schema-versioned JSON report (``BENCH_2.json`` at
+the repo root).  The committed report is the perf-regression baseline:
+the bucket engine must stay at least :data:`TARGET_SPEEDUP` times the
+heap engine's tasks/second on the large mesh family, and the makespan
+checksums pin that both engines still produce identical schedules on the
+benchmark cases.
+
+Families
+--------
+* ``mesh_large`` — the paper's S4 setting (tetrahedral mesh, k=24) at the
+  top of its processor sweep (m=512).  Wide wavefronts; the bucket
+  engine's sorted-pool path dominates here.  **This is the family the
+  ≥1.5x acceptance gate applies to.**
+* ``mesh_standard`` — same mesh at k=8, m=32: the narrow regime where
+  ``engine="auto"`` keeps the heap.  Benchmarked so the crossover stays
+  visible in the report.
+* ``chain`` — identical chains (depth = n, width = k): worst case for
+  any batched engine, pure pipeline.
+* ``wide_layer`` — wide shallow DAGs: best case for the vectorised pool.
+
+Mesh size scales with the ``REPRO_BENCH_CELLS`` environment variable
+(default 2000, the paper-scaled default of
+:class:`~repro.experiments.configs.ExperimentConfig`); ``--smoke`` runs a
+tiny grid in a couple of seconds for CI schema validation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import zlib
+
+import numpy as np
+
+from repro.core.assignment import random_cell_assignment
+from repro.core.list_scheduler import list_schedule
+from repro.core.random_delay import delayed_task_layers, draw_delays
+from repro.util.rng import as_rng
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_BENCH_CELLS",
+    "TARGET_SPEEDUP",
+    "bench_cases",
+    "run_bench",
+    "validate_bench",
+    "write_bench",
+]
+
+#: Bump when the report layout changes; the filename tracks it
+#: (``BENCH_<version>.json``) so stale baselines cannot be misread.
+BENCH_SCHEMA_VERSION = 2
+
+#: Mesh size when ``REPRO_BENCH_CELLS`` is unset.
+DEFAULT_BENCH_CELLS = 2000
+
+#: Required bucket/heap tasks-per-second ratio on the ``mesh_large``
+#: family (the PR's acceptance gate; measured ~2x on the default size).
+TARGET_SPEEDUP = 1.5
+
+_REQUIRED_CASE_KEYS = {
+    "family",
+    "n_tasks",
+    "m",
+    "k",
+    "makespan",
+    "checksum",
+    "engines",
+}
+_REQUIRED_ENGINE_KEYS = {"wall_time_s", "tasks_per_sec"}
+
+
+def _mesh_instance(cells: int, k: int):
+    from repro.experiments.configs import ExperimentConfig
+    from repro.experiments.runner import get_instance
+
+    return get_instance(
+        ExperimentConfig(mesh="tetonly", target_cells=cells, k=k)
+    )
+
+
+def bench_cases(smoke: bool = False, cells: int | None = None) -> list[dict]:
+    """The benchmark grid: ``{"family", "instance", "m"}`` dicts."""
+    if cells is None:
+        cells = int(os.environ.get("REPRO_BENCH_CELLS", DEFAULT_BENCH_CELLS))
+    if smoke:
+        cells = min(cells, 120)
+    from repro.instances.families import identical_chains, wide_shallow
+
+    mesh_m = 64 if smoke else 512
+    return [
+        {
+            "family": "mesh_large",
+            "instance": _mesh_instance(cells, k=24),
+            "m": mesh_m,
+            "k": 24,
+        },
+        {
+            "family": "mesh_standard",
+            "instance": _mesh_instance(cells, k=8),
+            "m": 32,
+            "k": 8,
+        },
+        {
+            "family": "chain",
+            "instance": identical_chains(max(cells // 4, 16), 8),
+            "m": 8,
+            "k": 8,
+        },
+        {
+            "family": "wide_layer",
+            "instance": wide_shallow(4 * cells, 4, seed=0),
+            "m": mesh_m,
+            "k": 4,
+        },
+    ]
+
+
+def _time_engine(inst, m, assignment, priority, engine, repeats):
+    best = float("inf")
+    schedule = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        schedule = list_schedule(
+            inst, m, assignment, priority=priority, engine=engine
+        )
+        best = min(best, time.perf_counter() - t0)
+    return best, schedule
+
+
+def run_bench(
+    smoke: bool = False,
+    cells: int | None = None,
+    repeats: int | None = None,
+    seed: int = 0,
+) -> dict:
+    """Run the full benchmark grid; returns the schema-v2 report dict.
+
+    Each case times both engines on Algorithm 2's delayed-level
+    priorities (best wall time over ``repeats`` runs, caches warmed
+    beforehand) and cross-checks that the two schedules are identical —
+    a benchmark that silently compared different schedules would be
+    meaningless.
+    """
+    if repeats is None:
+        repeats = 1 if smoke else 5
+    cases_out = []
+    for case in bench_cases(smoke=smoke, cells=cells):
+        inst = case["instance"]
+        m = case["m"]
+        rng = as_rng(seed)
+        delays = draw_delays(inst.k, rng)
+        assignment = random_cell_assignment(inst.n_cells, m, rng)
+        priority = delayed_task_layers(inst, delays)
+        # Warm the per-instance caches (CSR lists, padded matrix, levels)
+        # so both engines are timed on scheduling work alone.
+        union = inst.union_dag()
+        union.successor_lists()
+        union.padded_successors()
+        union.num_levels()
+
+        engines = {}
+        schedules = {}
+        for engine in ("heap", "bucket"):
+            wall, sched = _time_engine(
+                inst, m, assignment, priority, engine, repeats
+            )
+            engines[engine] = {
+                "wall_time_s": wall,
+                "tasks_per_sec": inst.n_tasks / wall if wall > 0 else 0.0,
+            }
+            schedules[engine] = sched
+        if not np.array_equal(
+            schedules["heap"].start, schedules["bucket"].start
+        ):
+            raise AssertionError(
+                f"engines disagree on bench family {case['family']!r} — "
+                "benchmark aborted"
+            )
+        start = np.ascontiguousarray(schedules["heap"].start, dtype=np.int64)
+        cases_out.append(
+            {
+                "family": case["family"],
+                "n_tasks": int(inst.n_tasks),
+                "m": int(m),
+                "k": int(case["k"]),
+                "makespan": int(schedules["heap"].makespan),
+                "checksum": int(zlib.crc32(start.tobytes())),
+                "engines": engines,
+                "speedup": engines["heap"]["wall_time_s"]
+                / max(engines["bucket"]["wall_time_s"], 1e-12),
+            }
+        )
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "smoke": bool(smoke),
+        "repeats": int(repeats),
+        "seed": int(seed),
+        "cells": int(
+            cells
+            if cells is not None
+            else int(os.environ.get("REPRO_BENCH_CELLS", DEFAULT_BENCH_CELLS))
+        ),
+        "cases": cases_out,
+    }
+
+
+def validate_bench(report: dict) -> list[str]:
+    """Schema check for a bench report; returns a list of problems."""
+    problems = []
+    if not isinstance(report, dict):
+        return ["report is not a dict"]
+    if report.get("schema_version") != BENCH_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version is {report.get('schema_version')!r}, "
+            f"expected {BENCH_SCHEMA_VERSION}"
+        )
+    cases = report.get("cases")
+    if not isinstance(cases, list) or not cases:
+        return problems + ["cases is missing or empty"]
+    families = set()
+    for i, case in enumerate(cases):
+        missing = _REQUIRED_CASE_KEYS - set(case)
+        if missing:
+            problems.append(f"case {i} missing keys: {sorted(missing)}")
+            continue
+        families.add(case["family"])
+        for eng in ("heap", "bucket"):
+            entry = case["engines"].get(eng)
+            if entry is None:
+                problems.append(f"case {i} ({case['family']}) lacks {eng}")
+                continue
+            missing = _REQUIRED_ENGINE_KEYS - set(entry)
+            if missing:
+                problems.append(
+                    f"case {i} engine {eng} missing keys: {sorted(missing)}"
+                )
+            elif entry["wall_time_s"] <= 0 or entry["tasks_per_sec"] <= 0:
+                problems.append(
+                    f"case {i} engine {eng} has non-positive timings"
+                )
+    for fam in ("mesh_large", "mesh_standard", "chain", "wide_layer"):
+        if fam not in families:
+            problems.append(f"family {fam!r} missing from report")
+    return problems
+
+
+def write_bench(report: dict, path: str) -> None:
+    """Validate and write a report (sorted keys, trailing newline)."""
+    problems = validate_bench(report)
+    if problems:
+        raise ValueError("invalid bench report: " + "; ".join(problems))
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -41,6 +41,10 @@ class ExperimentConfig:
     mesh_seed:
         Seed for mesh generation (kept separate so the mesh stays fixed
         while scheduling randomness varies).
+    engine:
+        List-scheduling engine forwarded to every algorithm
+        (``"heap"``, ``"bucket"``, or ``"auto"`` — see
+        :mod:`repro.core.list_scheduler`).
     """
 
     mesh: str = "tetonly"
@@ -51,6 +55,7 @@ class ExperimentConfig:
     algorithms: tuple = ("random_delay_priority",)
     seeds: tuple = (0, 1, 2)
     mesh_seed: int = 0
+    engine: str = "auto"
     name: str = "experiment"
 
 

@@ -86,9 +86,11 @@ def run_cell(
     if block_size > 1:
         blocks = get_blocks(config, block_size)
         assignment = block_assignment(blocks, m, seed=rngs[0])
-        schedule = algo(inst, m, seed=rngs[1], assignment=assignment)
+        schedule = algo(
+            inst, m, seed=rngs[1], assignment=assignment, engine=config.engine
+        )
     else:
-        schedule = algo(inst, m, seed=rngs[1])
+        schedule = algo(inst, m, seed=rngs[1], engine=config.engine)
     summary = summarize_schedule(schedule, with_comm=with_comm)
     return summary
 

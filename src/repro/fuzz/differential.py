@@ -9,7 +9,11 @@ cross-checks the results three ways:
    consistency, ...);
 2. **determinism** — an identical (instance, seed) pair must produce a
    bit-identical schedule on a second run;
-3. **cross-engine anomalies** — the minimum makespan over all engines is
+3. **engine equivalence** — the heap and bucket list-scheduling engines
+   (both internal bucket-engine paths) must produce bit-identical
+   schedules on the case, assigned and unassigned, with and without
+   priorities;
+4. **cross-engine anomalies** — the minimum makespan over all engines is
    an *upper bound on OPT* (every engine emits a feasible schedule), so
    a "provable" algorithm whose makespan exceeds its proven
    approximation ratio times that minimum has violated its own theorem.
@@ -155,12 +159,90 @@ def _check_determinism(
     return out
 
 
+def _check_engine_equivalence(
+    inst: SweepInstance, m: int, seed: int
+) -> list[Violation]:
+    """Heap vs bucket engine, both internal bucket paths, bit-for-bit.
+
+    Runs :func:`list_schedule` and :func:`list_schedule_unassigned` on the
+    case with uniform and delayed-level priorities, forcing the bucket
+    engine through both its sorted-pool and bucket-queue paths, and
+    reports any deviation from the heap reference.
+    """
+    from repro.core import fast_scheduler as fs
+    from repro.core.assignment import random_cell_assignment
+    from repro.core.list_scheduler import list_schedule, list_schedule_unassigned
+    from repro.core.random_delay import delayed_task_layers, draw_delays
+    from repro.util.rng import as_rng
+
+    out: list[Violation] = []
+    rng = as_rng(seed)
+    delays = draw_delays(inst.k, rng)
+    assignment = random_cell_assignment(inst.n_cells, m, rng)
+    gamma = delayed_task_layers(inst, delays)
+    for pname, prio in (("uniform", None), ("delayed-level", gamma)):
+        try:
+            ref = list_schedule(inst, m, assignment, priority=prio, engine="heap")
+            uref = list_schedule_unassigned(inst, m, priority=prio, engine="heap")
+        except Exception as exc:  # noqa: BLE001 — heap crash is its own finding
+            out.append(
+                Violation(
+                    "engine_equivalence", "heap",
+                    f"crash on {pname} priorities: {type(exc).__name__}: {exc}",
+                )
+            )
+            continue
+        for path in ("bucket", "pool"):
+            saved = fs._FORCE_PATH
+            fs._FORCE_PATH = path
+            try:
+                got = list_schedule(
+                    inst, m, assignment, priority=prio, engine="bucket"
+                )
+                ugot = list_schedule_unassigned(
+                    inst, m, priority=prio, engine="bucket"
+                )
+            except Exception as exc:  # noqa: BLE001
+                out.append(
+                    Violation(
+                        "engine_equivalence", f"bucket[{path}]",
+                        f"crash on {pname} priorities: "
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                continue
+            finally:
+                fs._FORCE_PATH = saved
+            if not np.array_equal(got.start, ref.start):
+                out.append(
+                    Violation(
+                        "engine_equivalence", f"bucket[{path}]",
+                        f"assigned schedule differs from heap on {pname} "
+                        f"priorities (makespans {got.makespan} vs "
+                        f"{ref.makespan})",
+                    )
+                )
+            if not np.array_equal(ugot.start, uref.start) or not np.array_equal(
+                ugot.machine, uref.machine
+            ):
+                out.append(
+                    Violation(
+                        "engine_equivalence", f"bucket[{path}]",
+                        f"unassigned schedule differs from heap on {pname} "
+                        f"priorities (makespans {ugot.makespan} vs "
+                        f"{uref.makespan})",
+                    )
+                )
+    return out
+
+
 def run_instance(
     inst: SweepInstance,
     m: int,
     seed: int,
     algorithms: dict | None = None,
     check_determinism: bool = True,
+    check_engines: bool = True,
     spec: dict | None = None,
 ) -> CaseResult:
     """Run the differential battery on an already-built ``(instance, m)``.
@@ -186,6 +268,9 @@ def run_instance(
         result.violations.extend(
             _check_determinism(inst, m, seed, schedules, algorithms)
         )
+
+    if check_engines:
+        result.violations.extend(_check_engine_equivalence(inst, m, seed))
 
     # Cross-engine theory check: min makespan is a certified OPT upper bound.
     best = result.best_makespan

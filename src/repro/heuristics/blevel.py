@@ -40,6 +40,7 @@ def blevel_schedule(
     assignment: np.ndarray | None = None,
     with_delays: bool = False,
     delays: np.ndarray | None = None,
+    engine: str = "auto",
 ) -> Schedule:
     """List scheduling with b-level priorities (higher runs first)."""
     rng = as_rng(seed)
@@ -62,4 +63,5 @@ def blevel_schedule(
             "algorithm": "blevel" + ("_delays" if with_delays else ""),
             "delays": np.asarray(delays).copy(),
         },
+        engine=engine,
     )

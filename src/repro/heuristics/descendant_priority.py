@@ -48,6 +48,7 @@ def descendant_priority_schedule(
     with_delays: bool = False,
     delays: np.ndarray | None = None,
     exact_counts: bool | None = None,
+    engine: str = "auto",
 ) -> Schedule:
     """List scheduling with descendant-count priorities (± random delays).
 
@@ -79,4 +80,5 @@ def descendant_priority_schedule(
             "algorithm": "descendant" + ("_delays" if with_delays else ""),
             "delays": np.asarray(delays).copy(),
         },
+        engine=engine,
     )

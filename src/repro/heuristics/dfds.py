@@ -75,6 +75,7 @@ def dfds_schedule(
     assignment: np.ndarray | None = None,
     with_delays: bool = False,
     delays: np.ndarray | None = None,
+    engine: str = "auto",
 ) -> Schedule:
     """List scheduling with DFDS priorities (± random delays).
 
@@ -101,4 +102,5 @@ def dfds_schedule(
             "algorithm": "dfds" + ("_delays" if with_delays else ""),
             "delays": np.asarray(delays).copy(),
         },
+        engine=engine,
     )

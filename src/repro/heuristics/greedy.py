@@ -31,9 +31,11 @@ from repro.util.rng import as_rng
 __all__ = ["graham_relaxed_schedule", "fifo_schedule"]
 
 
-def graham_relaxed_schedule(inst: SweepInstance, m: int) -> UnassignedSchedule:
+def graham_relaxed_schedule(
+    inst: SweepInstance, m: int, engine: str = "auto"
+) -> UnassignedSchedule:
     """Greedy list scheduling ignoring the same-processor constraint."""
-    return list_schedule_unassigned(inst, m)
+    return list_schedule_unassigned(inst, m, engine=engine)
 
 
 def fifo_schedule(
@@ -41,6 +43,7 @@ def fifo_schedule(
     m: int,
     seed=None,
     assignment: np.ndarray | None = None,
+    engine: str = "auto",
 ) -> Schedule:
     """Feasible list schedule with uniform priorities (task-id ties)."""
     rng = as_rng(seed)
@@ -52,4 +55,5 @@ def fifo_schedule(
         assignment,
         priority=None,
         meta={"algorithm": "fifo"},
+        engine=engine,
     )

@@ -75,6 +75,7 @@ def kba_schedule(
     inst: SweepInstance,
     cell_coords: np.ndarray,
     proc_grid: tuple[int, int],
+    engine: str = "auto",
 ) -> Schedule:
     """KBA wavefront schedule: columnar assignment + level priorities."""
     px, py = proc_grid
@@ -85,4 +86,5 @@ def kba_schedule(
         assignment,
         priority=inst.task_levels(),
         meta={"algorithm": "kba", "proc_grid": (px, py)},
+        engine=engine,
     )

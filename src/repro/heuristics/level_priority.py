@@ -27,6 +27,7 @@ def level_priority_schedule(
     assignment: np.ndarray | None = None,
     with_delays: bool = False,
     delays: np.ndarray | None = None,
+    engine: str = "auto",
 ) -> Schedule:
     """List scheduling with per-direction level priorities.
 
@@ -35,6 +36,8 @@ def level_priority_schedule(
     with_delays:
         Add the paper's random delays: priority becomes
         ``level + X_i`` (this is Algorithm 2).
+    engine:
+        List-scheduling engine (see :mod:`repro.core.list_scheduler`).
     """
     rng = as_rng(seed)
     if with_delays:
@@ -55,4 +58,5 @@ def level_priority_schedule(
             "algorithm": "level" + ("_delays" if with_delays else ""),
             "delays": np.asarray(delays).copy(),
         },
+        engine=engine,
     )

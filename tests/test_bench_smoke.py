@@ -1,0 +1,78 @@
+"""Smoke test for the engine benchmark harness (``repro bench --smoke``).
+
+Runs the real harness end to end on a tiny mesh and validates the
+schema-v2 report, so CI catches a broken benchmark (or a drifted schema)
+without paying for the full ``BENCH_2.json`` regeneration.  Marked
+``bench_smoke`` so CI can also run it as a dedicated step:
+
+    python -m pytest -q -m bench_smoke
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.bench import (
+    BENCH_SCHEMA_VERSION,
+    run_bench,
+    validate_bench,
+    write_bench,
+)
+
+pytestmark = pytest.mark.bench_smoke
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    return run_bench(smoke=True)
+
+
+def test_smoke_report_is_schema_valid(smoke_report):
+    assert validate_bench(smoke_report) == []
+    assert smoke_report["schema_version"] == BENCH_SCHEMA_VERSION
+    assert smoke_report["smoke"] is True
+
+
+def test_smoke_report_covers_all_families(smoke_report):
+    families = {case["family"] for case in smoke_report["cases"]}
+    assert families == {"mesh_large", "mesh_standard", "chain", "wide_layer"}
+    for case in smoke_report["cases"]:
+        assert case["n_tasks"] > 0
+        assert case["makespan"] > 0
+        assert isinstance(case["checksum"], int)
+        for eng in ("heap", "bucket"):
+            assert case["engines"][eng]["wall_time_s"] > 0
+            assert case["engines"][eng]["tasks_per_sec"] > 0
+
+
+def test_write_bench_round_trips(smoke_report, tmp_path):
+    out = tmp_path / "BENCH_2.json"
+    write_bench(smoke_report, str(out))
+    on_disk = json.loads(out.read_text())
+    assert validate_bench(on_disk) == []
+    assert on_disk["cases"][0]["checksum"] == smoke_report["cases"][0]["checksum"]
+
+
+def test_write_bench_rejects_invalid_report(tmp_path):
+    broken = {"schema_version": 1, "cases": []}
+    with pytest.raises(ValueError, match="invalid bench report"):
+        write_bench(broken, str(tmp_path / "bad.json"))
+
+
+def test_cli_smoke_writes_report(tmp_path):
+    out = tmp_path / "BENCH_2.json"
+    rc = main(["bench", "--smoke", "--out", str(out)])
+    assert rc in (0, None)
+    report = json.loads(out.read_text())
+    assert validate_bench(report) == []
+
+
+def test_committed_baseline_is_schema_valid():
+    """The checked-in BENCH_2.json must always parse and validate."""
+    from pathlib import Path
+
+    baseline = Path(__file__).resolve().parent.parent / "BENCH_2.json"
+    report = json.loads(baseline.read_text())
+    assert validate_bench(report) == []
+    assert report["smoke"] is False

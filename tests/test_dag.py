@@ -253,3 +253,86 @@ class TestInternals:
     def test_popcount_rows(self):
         bits = np.array([[np.uint64(0b1011)], [np.uint64(0)]], dtype=np.uint64)
         assert list(_popcount_rows(bits)) == [3, 0]
+
+
+class TestCsrFromEdgesValidation:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="matching shapes"):
+            csr_from_edges(4, np.array([0, 1, 2]), np.array([1, 2]))
+
+    def test_mismatched_lengths_rejected_from_lists(self):
+        with pytest.raises(InvalidInstanceError, match="matching shapes"):
+            csr_from_edges(4, [0, 1], [1])
+
+    def test_matching_lengths_still_accepted(self):
+        off, tgt = csr_from_edges(3, np.array([0, 0]), np.array([1, 2]))
+        assert list(off) == [0, 2, 2, 2]
+        assert sorted(tgt.tolist()) == [1, 2]
+
+
+class TestMemoization:
+    """The scheduling-engine caches must be caches: same values, and the
+    arrays handed out must be private copies the caller can scribble on.
+    """
+
+    def test_t_levels_cached_and_copied(self):
+        g = Dag.from_edge_list(4, [(0, 1), (1, 2), (0, 3)])
+        a = g.t_levels()
+        b = g.t_levels()
+        assert np.array_equal(a, b)
+        a[:] = -1
+        assert np.array_equal(g.t_levels(), b)
+
+    def test_descendant_counts_cached_per_mode(self):
+        g = Dag.from_edge_list(5, [(0, 1), (1, 2), (0, 3), (3, 4)])
+        exact = g.descendant_counts(exact=True)
+        approx = g.descendant_counts(exact=False)
+        assert np.array_equal(g.descendant_counts(exact=True), exact)
+        assert np.array_equal(g.descendant_counts(exact=False), approx)
+        exact[:] = -1
+        assert np.all(g.descendant_counts(exact=True) >= 0)
+
+    def test_successor_lists_match_csr(self):
+        g = Dag.from_edge_list(4, [(0, 1), (0, 2), (2, 3)])
+        off, tgt = g.successor_lists()
+        coff, ctgt = g.successor_csr()
+        assert off == coff.tolist()
+        assert tgt == ctgt.tolist()
+        assert g.successor_lists()[0] is off  # cached, not rebuilt
+
+    def test_indegree_list_returns_fresh_copies(self):
+        g = Dag.from_edge_list(3, [(0, 1), (0, 2)])
+        a = g.indegree_list()
+        assert a == [0, 1, 1]
+        a[0] = 99
+        assert g.indegree_list() == [0, 1, 1]
+
+    def test_padded_successors_shape_and_sentinel(self):
+        g = Dag.from_edge_list(4, [(0, 1), (0, 2), (2, 3)])
+        padded = g.padded_successors()
+        assert padded is not None
+        P, indeg0 = padded
+        assert P.shape == (4, 2)
+        # Sentinel column entries point at the extra vertex n.
+        assert P[1, 0] == 4 and P[1, 1] == 4
+        assert indeg0.shape == (5,)
+        assert indeg0[4] >= np.int64(1) << 60
+        assert list(indeg0[:4]) == [0, 1, 1, 1]
+        assert g.padded_successors() is padded  # cached
+
+    def test_padded_successors_declines_ragged_graphs(self):
+        # One hub with n-1 successors alongside many isolated vertices:
+        # maxdeg * n blows past the density guard, so the padded matrix
+        # is refused and the pool promotion falls back to CSR gathers.
+        n = 600
+        g = Dag.from_edge_list(n, [(0, v) for v in range(1, 101)])
+        assert g.padded_successors() is None
+        assert g.padded_successors() is None  # the refusal is cached too
+
+    def test_edgeless_graph_padded(self):
+        g = Dag(3, [])
+        padded = g.padded_successors()
+        assert padded is not None
+        P, indeg0 = padded
+        assert P.shape[0] == 3
+        assert list(indeg0[:3]) == [0, 0, 0]

@@ -1,0 +1,284 @@
+"""Cross-engine equivalence: heap vs bucket, bit for bit.
+
+The headline guarantee of the bucket engine
+(:mod:`repro.core.fast_scheduler`) is that it is a pure optimisation:
+same start times, same machine numbers, same tie-breaks, same errors as
+the heap engine, on every input.  This suite pins that guarantee on
+
+* every fuzz spec family (:data:`repro.fuzz.spec.CASE_FAMILIES`),
+* every registry golden case x every registry algorithm,
+* every persisted fuzz-corpus entry,
+* random hypothesis instances,
+
+always exercising *both* internal bucket-engine paths (the vectorised
+sorted pool and the narrow bucket queues) via the ``_FORCE_PATH`` test
+hook, so the ``auto`` width heuristic can never hide a broken path.
+
+The priority-property tests at the bottom cover the tie-break contract
+itself: ``priority=None`` is the all-zeros priority, schedules depend
+only on the *relative order* of priorities, and permuting equal-priority
+task ids leaves both engines deterministic, mutually identical, and
+oracle-clean.
+"""
+
+import json
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.fast_scheduler as fs
+from repro.core.assignment import random_cell_assignment
+from repro.core.list_scheduler import list_schedule, list_schedule_unassigned
+from repro.core.random_delay import delayed_task_layers, draw_delays
+from repro.fuzz.corpus import iter_corpus, load_entry, replay_entry
+from repro.fuzz.spec import CASE_FAMILIES, build_case
+from repro.heuristics import algorithm_names, get_algorithm
+from repro.util.rng import as_rng
+
+from .strategies import sweep_instances
+
+PATHS = ("bucket", "pool")
+
+
+@contextmanager
+def force_path(path):
+    saved = fs._FORCE_PATH
+    fs._FORCE_PATH = path
+    try:
+        yield
+    finally:
+        fs._FORCE_PATH = saved
+
+
+def assert_engines_match(inst, m, assignment, priority, label=""):
+    """Heap vs bucket (both internal paths), assigned and unassigned."""
+    ref = list_schedule(inst, m, assignment, priority=priority, engine="heap")
+    uref = list_schedule_unassigned(inst, m, priority=priority, engine="heap")
+    for path in PATHS:
+        with force_path(path):
+            got = list_schedule(
+                inst, m, assignment, priority=priority, engine="bucket"
+            )
+            ugot = list_schedule_unassigned(
+                inst, m, priority=priority, engine="bucket"
+            )
+        assert np.array_equal(got.start, ref.start), f"{label} [{path}] start"
+        assert np.array_equal(got.assignment, ref.assignment), (
+            f"{label} [{path}] assignment"
+        )
+        assert np.array_equal(ugot.start, uref.start), (
+            f"{label} [{path}] unassigned start"
+        )
+        assert np.array_equal(ugot.machine, uref.machine), (
+            f"{label} [{path}] machine"
+        )
+
+
+def case_priorities(inst, seed):
+    """The priority flavours every case is checked under."""
+    rng = as_rng(seed)
+    gamma = delayed_task_layers(inst, draw_delays(inst.k, rng))
+    yield "uniform", None
+    yield "delayed-level", gamma
+    yield "float", rng.random(inst.n_tasks)
+    yield "negative", rng.integers(-8, 8, inst.n_tasks)
+
+
+class TestFuzzFamilies:
+    @pytest.mark.parametrize("family", sorted(CASE_FAMILIES))
+    @pytest.mark.parametrize("seed,m", [(0, 1), (1, 3), (2, 7)])
+    def test_family_bit_identical(self, family, seed, m):
+        inst, m = build_case(
+            {"family": family, "seed": seed, "m": m, "params": {}}
+        )
+        rng = as_rng(seed)
+        assignment = random_cell_assignment(inst.n_cells, m, rng)
+        for pname, prio in case_priorities(inst, seed):
+            assert_engines_match(
+                inst, m, assignment, prio, label=f"{family}/{pname}"
+            )
+
+
+class TestRegistryGoldens:
+    @pytest.fixture(scope="class")
+    def golden_cases(self):
+        import sys
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        if str(root / "scripts") not in sys.path:
+            sys.path.insert(0, str(root / "scripts"))
+        from regenerate_goldens import GOLDEN_CASES
+
+        from repro.instances import make_instance
+
+        return [
+            (label, make_instance(family, **params), m)
+            for label, family, params, m in GOLDEN_CASES
+        ]
+
+    @pytest.mark.parametrize("algorithm", algorithm_names())
+    def test_golden_cases_bit_identical(self, golden_cases, algorithm):
+        fn = get_algorithm(algorithm)
+        for label, inst, m in golden_cases:
+            ref = fn(inst, m, seed=0, engine="heap")
+            for path in PATHS:
+                with force_path(path):
+                    got = fn(inst, m, seed=0, engine="bucket")
+                assert np.array_equal(got.start, ref.start), (
+                    f"{label}/{algorithm} [{path}]"
+                )
+                assert got.makespan == ref.makespan
+
+
+class TestCorpus:
+    def test_corpus_replays_engine_clean(self):
+        entries = iter_corpus("corpus")
+        for path in entries:
+            entry = load_entry(path)
+            result = replay_entry(entry)
+            engine_violations = [
+                v for v in result.violations if v.oracle == "engine_equivalence"
+            ]
+            assert not engine_violations, (
+                f"{path.name}: {[str(v) for v in engine_violations]}"
+            )
+
+    def test_corpus_entries_are_wellformed_json(self):
+        for path in iter_corpus("corpus"):
+            json.loads(path.read_text())
+
+
+class TestHypothesisEquivalence:
+    @given(
+        sweep_instances(max_n=14, max_k=3),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_instances_bit_identical(self, inst, m, seed):
+        rng = as_rng(seed)
+        assignment = random_cell_assignment(inst.n_cells, m, rng)
+        for pname, prio in case_priorities(inst, seed):
+            assert_engines_match(inst, m, assignment, prio, label=pname)
+
+
+class TestPriorityProperties:
+    """Satellite: tie-break determinism pinned for both engines."""
+
+    def _engines(self):
+        for engine in ("heap", "bucket"):
+            paths = (None,) if engine == "heap" else PATHS
+            for path in paths:
+                yield engine, path
+
+    @given(sweep_instances(max_n=12, max_k=3))
+    @settings(max_examples=25, deadline=None)
+    def test_none_equals_zeros(self, inst):
+        m = 3
+        assignment = np.arange(inst.n_cells) % m
+        zeros = np.zeros(inst.n_tasks, dtype=np.int64)
+        for engine, path in self._engines():
+            with force_path(path):
+                a = list_schedule(inst, m, assignment, priority=None,
+                                  engine=engine)
+                b = list_schedule(inst, m, assignment, priority=zeros,
+                                  engine=engine)
+                ua = list_schedule_unassigned(inst, m, priority=None,
+                                              engine=engine)
+                ub = list_schedule_unassigned(inst, m, priority=zeros,
+                                              engine=engine)
+            assert np.array_equal(a.start, b.start), (engine, path)
+            assert np.array_equal(ua.start, ub.start), (engine, path)
+            assert np.array_equal(ua.machine, ub.machine), (engine, path)
+
+    @given(
+        sweep_instances(max_n=12, max_k=3),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_order_preserving_transforms_do_not_matter(self, inst, seed):
+        """Only the relative order of priorities affects the schedule."""
+        m = 3
+        rng = as_rng(seed)
+        assignment = np.arange(inst.n_cells) % m
+        prio = rng.integers(0, 5, inst.n_tasks)
+        scaled = prio * 1000 - 7
+        for engine, path in self._engines():
+            with force_path(path):
+                a = list_schedule(inst, m, assignment, priority=prio,
+                                  engine=engine)
+                b = list_schedule(inst, m, assignment, priority=scaled,
+                                  engine=engine)
+            assert np.array_equal(a.start, b.start), (engine, path)
+
+    @given(
+        sweep_instances(max_n=10, max_k=3),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_equal_priority_permutation_keeps_oracles(self, inst, seed):
+        """Permuting equal-priority task ids: engines stay deterministic,
+        mutually bit-identical, and the resulting schedule passes the full
+        makespan-oracle pack on both the original and permuted labelling.
+        """
+        from repro.fuzz.oracles import OracleContext, check_schedule
+
+        m = 2
+        rng = as_rng(seed)
+        # Permute cell ids (equal-priority: priorities are uniform).
+        perm = rng.permutation(inst.n_cells)
+        inv = np.empty_like(perm)
+        inv[perm] = np.arange(inst.n_cells)
+        permuted = type(inst)(
+            inst.n_cells,
+            [type(g)(g.n, inv[g.edges] if g.num_edges else g.edges)
+             for g in inst.dags],
+        )
+        for variant, vinst in (("original", inst), ("permuted", permuted)):
+            assignment = np.arange(vinst.n_cells) % m
+            ref = list_schedule(vinst, m, assignment, priority=None,
+                                engine="heap")
+            again = list_schedule(vinst, m, assignment, priority=None,
+                                  engine="heap")
+            assert np.array_equal(ref.start, again.start), variant
+            for path in PATHS:
+                with force_path(path):
+                    got = list_schedule(vinst, m, assignment, priority=None,
+                                        engine="bucket")
+                assert np.array_equal(got.start, ref.start), (variant, path)
+            ctx = OracleContext(vinst, m)
+            violations = check_schedule(ref, algorithm="fifo", ctx=ctx)
+            assert not violations, (variant, [str(v) for v in violations])
+
+
+class TestAutoRule:
+    def test_auto_is_heap_on_narrow_and_bucket_on_wide(self):
+        from repro.core.list_scheduler import resolve_engine
+        from repro.instances.families import identical_chains, wide_shallow
+
+        narrow = identical_chains(64, 2)
+        assert resolve_engine("auto", None, narrow, 4) == "heap"
+        wide = wide_shallow(4000, 2, seed=0)
+        assert resolve_engine("auto", None, wide, 512) == "bucket"
+        # Unsupported keys force the heap even on wide instances.
+        obj = np.empty(wide.n_tasks, dtype=object)
+        obj[:] = [(0, i) for i in range(wide.n_tasks)]
+        assert resolve_engine("auto", obj, wide, 512) == "heap"
+
+    def test_explicit_bucket_ignores_width(self):
+        from repro.core.list_scheduler import resolve_engine
+        from repro.instances.families import identical_chains
+
+        narrow = identical_chains(64, 2)
+        assert resolve_engine("bucket", None, narrow, 4) == "bucket"
+
+    def test_unknown_engine_rejected(self):
+        from repro.core.list_scheduler import resolve_engine
+        from repro.util.errors import InvalidScheduleError
+
+        with pytest.raises(InvalidScheduleError, match="unknown engine"):
+            resolve_engine("quantum", None)

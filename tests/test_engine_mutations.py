@@ -1,0 +1,172 @@
+"""Mutation-kill tests for the bucket scheduling engine.
+
+Same philosophy as :mod:`tests.test_validator_mutations`: each seeded
+fault in :mod:`repro.core.fast_scheduler` must be *killed* (detected) by
+at least one case in this file, and each case documents exactly which
+fault it targets and why the other faults slip through it.  A fault that
+every case survives would mean the equivalence suite's coverage has a
+hole exactly where the engine's bookkeeping is subtlest.
+
+The three seeded faults (``fast_scheduler._MUTATION``):
+
+* ``"bucket_off_by_one"`` — promoted tasks are filed one bucket too
+  high, i.e. their priority is silently inflated by one.
+* ``"skip_promotion"`` — only the first newly-ready task of a promotion
+  batch is pushed; the rest are lost.
+* ``"stale_minptr"`` — the per-processor min-pointer is not lowered when
+  a newly pushed task lands below it, so the forward scan can miss work.
+
+Setting ``_MUTATION`` forces the narrow bucket-queue path (the faults
+live in its ``push_batch``); the initial frontier push is exempt, so a
+kill case must route the target task through a *promotion*.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core.fast_scheduler as fs
+from repro.core.dag import Dag
+from repro.core.instance import SweepInstance
+from repro.core.list_scheduler import list_schedule
+from repro.util.errors import InvalidScheduleError
+
+MUTATIONS = ("bucket_off_by_one", "skip_promotion", "stale_minptr")
+
+
+def run(inst, prio, mutation=None, monkeypatch=None):
+    if mutation is not None:
+        monkeypatch.setattr(fs, "_MUTATION", mutation)
+    try:
+        return list_schedule(
+            inst, 1, np.zeros(inst.n_cells, dtype=np.int64),
+            priority=np.asarray(prio), engine="bucket",
+        )
+    finally:
+        if mutation is not None:
+            monkeypatch.setattr(fs, "_MUTATION", None)
+
+
+def case_off_by_one():
+    """Kills ``bucket_off_by_one``.
+
+    a(0) -> z(1); w(2) free.  Priorities [0, 5, 5]: after a runs, z and
+    w tie at priority 5 and z's lower id must win.  The fault promotes z
+    into bucket 6, so w (bucket 5) is popped first and the tie-break
+    flips.  ``skip_promotion`` survives (the promotion batch is a
+    singleton) and ``stale_minptr`` survives (z lands at bucket 5, not
+    below the min-pointer, which sits at 0 from a's frontier push).
+    """
+    inst = SweepInstance(3, [Dag.from_edge_list(3, [(0, 1)])])
+    return inst, [0, 5, 5], np.array([0, 1, 2])
+
+
+def case_skip_promotion():
+    """Kills ``skip_promotion``.
+
+    a(0) -> b(1), a(0) -> c(2), uniform priorities: a's completion
+    promotes the batch [b, c] and the fault drops c, which is then never
+    ready — the engine must report the false cycle.  ``bucket_off_by_one``
+    survives (both promotions shift to bucket 1 together; the scan still
+    finds them and ids break the tie) and ``stale_minptr`` survives (the
+    promotions land at bucket 1, not below the pointer at bucket 0).
+    """
+    inst = SweepInstance(3, [Dag.from_edge_list(3, [(0, 1), (0, 2)])])
+    return inst, [0, 0, 0], np.array([0, 1, 2])
+
+
+def case_stale_minptr():
+    """Kills ``stale_minptr``.
+
+    Roots a(0, prio 2) and w(1, prio 3); a -> z(2, prio 0).  After a
+    runs, z is promoted into bucket 0 — *below* the min-pointer, which
+    the frontier push left at 2.  The stale pointer scans forward, runs
+    w before z, and on the final step walks off the end of the bucket
+    array: the engine must raise its bookkeeping error.
+    ``bucket_off_by_one`` survives (z lands at bucket 1, still below w;
+    the pointer is correctly lowered and order is preserved) and
+    ``skip_promotion`` survives (singleton batch).
+    """
+    inst = SweepInstance(3, [Dag.from_edge_list(3, [(0, 2)])])
+    return inst, [2, 3, 0], np.array([0, 2, 1])
+
+
+CASES = {
+    "bucket_off_by_one": case_off_by_one,
+    "skip_promotion": case_skip_promotion,
+    "stale_minptr": case_stale_minptr,
+}
+
+#: What each (case, mutation) pair must do.  ``"correct"`` = survives
+#: (bit-identical to production), anything else = the kill signature.
+KILL_MATRIX = {
+    ("bucket_off_by_one", "bucket_off_by_one"): "wrong_schedule",
+    ("bucket_off_by_one", "skip_promotion"): "correct",
+    ("bucket_off_by_one", "stale_minptr"): "correct",
+    ("skip_promotion", "bucket_off_by_one"): "correct",
+    ("skip_promotion", "skip_promotion"): "false_cycle",
+    ("skip_promotion", "stale_minptr"): "correct",
+    ("stale_minptr", "bucket_off_by_one"): "correct",
+    ("stale_minptr", "skip_promotion"): "correct",
+    ("stale_minptr", "stale_minptr"): "bookkeeping_error",
+}
+
+
+class TestProductionBaseline:
+    """Unmutated engine: correct result, identical to the heap engine."""
+
+    @pytest.mark.parametrize("case", sorted(CASES))
+    def test_bucket_matches_expected_and_heap(self, case):
+        inst, prio, expected_start = CASES[case]()
+        got = run(inst, prio)
+        assert np.array_equal(got.start, expected_start)
+        ref = list_schedule(
+            inst, 1, np.zeros(inst.n_cells, dtype=np.int64),
+            priority=np.asarray(prio), engine="heap",
+        )
+        assert np.array_equal(got.start, ref.start)
+
+    def test_mutation_forces_bucket_queue_path(self, monkeypatch):
+        """The faults live in the narrow core; the pool must not be used
+        while a mutation is armed, or the kill cases would test nothing.
+        """
+        inst, _, _ = case_off_by_one()
+        monkeypatch.setattr(fs, "_MUTATION", "bucket_off_by_one")
+        assert not fs._use_pool(inst, 1)
+
+
+class TestKillMatrix:
+    @pytest.mark.parametrize("case", sorted(CASES))
+    @pytest.mark.parametrize("mutation", MUTATIONS)
+    def test_cell(self, case, mutation, monkeypatch):
+        inst, prio, expected_start = CASES[case]()
+        outcome = KILL_MATRIX[(case, mutation)]
+        if outcome == "correct":
+            got = run(inst, prio, mutation, monkeypatch)
+            assert np.array_equal(got.start, expected_start), (
+                f"{mutation} unexpectedly changed the {case} schedule"
+            )
+        elif outcome == "wrong_schedule":
+            got = run(inst, prio, mutation, monkeypatch)
+            assert not np.array_equal(got.start, expected_start), (
+                f"{case} failed to kill {mutation}"
+            )
+        elif outcome == "false_cycle":
+            with pytest.raises(InvalidScheduleError, match="cycle"):
+                run(inst, prio, mutation, monkeypatch)
+        elif outcome == "bookkeeping_error":
+            with pytest.raises(
+                InvalidScheduleError, match="bookkeeping error"
+            ):
+                run(inst, prio, mutation, monkeypatch)
+        else:  # pragma: no cover - matrix typo guard
+            raise AssertionError(f"unknown outcome {outcome!r}")
+
+    def test_every_mutation_is_killed(self):
+        """Census: each fault must have at least one non-surviving cell."""
+        for mutation in MUTATIONS:
+            kills = [
+                case
+                for case in CASES
+                if KILL_MATRIX[(case, mutation)] != "correct"
+            ]
+            assert kills, f"no case kills {mutation}"
