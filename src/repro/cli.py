@@ -75,6 +75,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("which", nargs="?", default="all",
                    choices=["all"] + sorted(_FIGURES))
     p.add_argument("--cells", type=int, default=2000)
+    p.add_argument("--workers", type=int, default=1,
+                   help="processes per experiment grid (0 = one per CPU); "
+                        "output is bit-identical for any value")
     p.add_argument("--chart", action="store_true",
                    help="also render each figure as an ASCII chart")
 
@@ -170,6 +173,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="mesh cell count (default $REPRO_BENCH_CELLS or 2000)")
     p.add_argument("--repeats", type=int, default=None,
                    help="timing repeats per engine (best-of; default 5, 1 in smoke)")
+    p.add_argument("--grid-workers", type=int, nargs="*", default=None,
+                   metavar="W",
+                   help="worker counts for the grid family "
+                        "(default 1 2 4, or 1 2 in smoke)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=None,
                    help="output JSON path (default BENCH_<schema>.json; '-' for stdout)")
@@ -209,7 +216,7 @@ def _cmd_schedule(args) -> int:
 def _cmd_figures(args) -> int:
     names = sorted(_FIGURES) if args.which == "all" else [args.which]
     for name in names:
-        rows, text = _FIGURES[name](target_cells=args.cells)
+        rows, text = _FIGURES[name](target_cells=args.cells, workers=args.workers)
         print(text)
         if args.chart and rows and "series" in rows[0]:
             from repro.experiments import ascii_chart
@@ -384,6 +391,7 @@ def _cmd_bench(args) -> int:
     report = run_bench(
         smoke=args.smoke, cells=args.cells, repeats=args.repeats,
         seed=args.seed,
+        grid_workers=tuple(args.grid_workers) if args.grid_workers else None,
     )
     for case in report["cases"]:
         heap = case["engines"]["heap"]
@@ -392,7 +400,16 @@ def _cmd_bench(args) -> int:
             f"{case['family']:14s} n={case['n_tasks']:8d} m={case['m']:4d} "
             f"heap {heap['wall_time_s'] * 1e3:8.1f}ms "
             f"bucket {bucket['wall_time_s'] * 1e3:8.1f}ms "
-            f"speedup x{case['speedup']:.2f}"
+            f"speedup x{case['speedup']:.2f} auto={case['auto_engine']}"
+        )
+    for run in report["grid"]["runs"]:
+        same = "ok" if run["identical_to_serial"] else "DIFFERS"
+        print(
+            f"grid workers={run['workers']:2d} "
+            f"{run['wall_time_s'] * 1e3:8.1f}ms "
+            f"{run['rows_per_sec']:8.2f} rows/s "
+            f"chunks={run['n_chunks']:3d} "
+            f"worker-rss {run['peak_worker_rss_mb']:7.1f}MiB rows {same}"
         )
     out = args.out or f"BENCH_{BENCH_SCHEMA_VERSION}.json"
     if out == "-":

@@ -274,6 +274,82 @@ class Dag:
                 self._padded = (P, indeg0)
         return None if self._padded[0] is None else self._padded
 
+    # ------------------------------------------------------------------
+    # memo-cache export / adoption (the shared-memory instance plane)
+    # ------------------------------------------------------------------
+
+    #: Array-valued memo slots that :meth:`export_caches` snapshots.  Keys
+    #: are the wire names; values are the backing ``__slots__`` attributes.
+    _CACHE_ARRAY_SLOTS = {
+        "level_of": "_level_of",
+        "topo_order": "_topo_order",
+        "b_level": "_b_level",
+        "t_level": "_t_level",
+        "desc_exact": "_desc_exact",
+        "desc_approx": "_desc_approx",
+        "succ_off": "_succ_off",
+        "succ_tgt": "_succ_tgt",
+        "pred_off": "_pred_off",
+        "pred_tgt": "_pred_tgt",
+    }
+
+    def export_caches(self):
+        """Snapshot every *materialised* memo cache as plain arrays.
+
+        Returns ``(scalars, arrays)``: a JSON-able dict of scalar cache
+        values and a dict of numpy arrays.  Only caches that have already
+        been computed are included, so the cost of the export is zero —
+        callers (the shared-memory instance plane) warm exactly the caches
+        their workload needs, then ship the snapshot.  The inverse is
+        :meth:`adopt_caches`.
+        """
+        scalars: dict = {}
+        arrays: dict[str, np.ndarray] = {}
+        if self._num_levels is not None:
+            scalars["num_levels"] = int(self._num_levels)
+        for key, slot in self._CACHE_ARRAY_SLOTS.items():
+            value = getattr(self, slot)
+            if value is not None:
+                arrays[key] = value
+        if self._padded is not None:
+            if self._padded[0] is None:
+                scalars["padded_none"] = True
+            else:
+                arrays["padded_P"] = self._padded[0]
+                arrays["padded_indeg0"] = self._padded[1]
+        return scalars, arrays
+
+    def adopt_caches(self, scalars: dict, arrays: dict) -> None:
+        """Install a cache snapshot produced by :meth:`export_caches`.
+
+        Arrays are adopted by reference (zero-copy — the point of the
+        shared-memory plane); they may be read-only views.  Unknown keys
+        raise so a manifest/version skew fails loudly instead of silently
+        dropping caches.
+        """
+        for key in scalars:
+            if key not in ("num_levels", "padded_none"):
+                raise InvalidInstanceError(f"unknown cache scalar {key!r}")
+        for key in arrays:
+            if key not in self._CACHE_ARRAY_SLOTS and key not in (
+                "padded_P",
+                "padded_indeg0",
+            ):
+                raise InvalidInstanceError(f"unknown cache array {key!r}")
+        if "num_levels" in scalars:
+            self._num_levels = int(scalars["num_levels"])
+        for key, slot in self._CACHE_ARRAY_SLOTS.items():
+            if key in arrays:
+                setattr(self, slot, arrays[key])
+        if scalars.get("padded_none"):
+            self._padded = (None,)
+        elif "padded_P" in arrays:
+            if "padded_indeg0" not in arrays:
+                raise InvalidInstanceError(
+                    "padded_P requires its companion padded_indeg0"
+                )
+            self._padded = (arrays["padded_P"], arrays["padded_indeg0"])
+
     def roots(self) -> np.ndarray:
         """Vertices with indegree 0 (sources)."""
         return np.flatnonzero(self.indegree() == 0)

@@ -139,6 +139,85 @@ class SweepInstance:
         """``D``: the maximum number of levels over all directions."""
         return max(g.num_levels() for g in self.dags)
 
+    # ------------------------------------------------------------------
+    # flat-array export / reconstruction (shared-memory instance plane)
+    # ------------------------------------------------------------------
+
+    def export_arrays(self):
+        """Flatten the instance (and materialised caches) to plain arrays.
+
+        Returns ``(meta, arrays)``: a JSON-able ``meta`` dict and a dict
+        mapping slash-separated keys to numpy arrays — the wire format of
+        :class:`repro.parallel.SharedInstanceStore`.  Structural arrays
+        (per-direction edges, mesh adjacency) are always included; memo
+        caches (levels, CSR adjacency, b/t-levels, descendant counts, the
+        padded successor matrix) are included exactly when they are
+        already materialised, on the per-direction DAGs and on the union
+        DAG alike.  :meth:`from_arrays` is the zero-copy inverse.
+        """
+        meta: dict = {
+            "n_cells": self.n_cells,
+            "k": self.k,
+            "name": self.name,
+            "dag_scalars": [],
+        }
+        arrays: dict = {"cell_edges": self.cell_graph_edges}
+        for i, g in enumerate(self.dags):
+            scalars, cache_arrays = g.export_caches()
+            meta["dag_scalars"].append(scalars)
+            arrays[f"dag{i}/edges"] = g.edges
+            for key, arr in cache_arrays.items():
+                arrays[f"dag{i}/{key}"] = arr
+        if self._union_dag is not None:
+            scalars, cache_arrays = self._union_dag.export_caches()
+            meta["union_scalars"] = scalars
+            arrays["union/edges"] = self._union_dag.edges
+            for key, arr in cache_arrays.items():
+                arrays[f"union/{key}"] = arr
+        if self._task_level is not None:
+            arrays["task_level"] = self._task_level
+        return meta, arrays
+
+    @classmethod
+    def from_arrays(cls, meta: dict, arrays: dict) -> "SweepInstance":
+        """Rebuild an instance from :meth:`export_arrays` output, zero-copy.
+
+        The returned instance references the given arrays directly (no
+        validation pass, no cache recomputation), so attaching a worker to
+        a shared-memory manifest costs microseconds regardless of mesh
+        size.  Behaviour is bit-identical to the originally exported
+        instance: same edges, same adopted memo caches.
+        """
+        n_cells = int(meta["n_cells"])
+        k = int(meta["k"])
+        per_dag: list[dict] = [{} for _ in range(k)]
+        union_arrays: dict = {}
+        for key, arr in arrays.items():
+            head, _, rest = key.partition("/")
+            if head == "union":
+                union_arrays[rest] = arr
+            elif head.startswith("dag"):
+                per_dag[int(head[3:])][rest] = arr
+        dags = []
+        for i in range(k):
+            cache = per_dag[i]
+            g = Dag(n_cells, cache.pop("edges"), validate=False)
+            g.adopt_caches(meta["dag_scalars"][i], cache)
+            dags.append(g)
+        inst = cls(
+            n_cells,
+            dags,
+            cell_graph_edges=arrays["cell_edges"],
+            name=meta.get("name", "instance"),
+        )
+        if union_arrays:
+            union = Dag(inst.n_tasks, union_arrays.pop("edges"), validate=False)
+            union.adopt_caches(meta.get("union_scalars", {}), union_arrays)
+            inst._union_dag = union
+        if "task_level" in arrays:
+            inst._task_level = arrays["task_level"]
+        return inst
+
     def validate(self) -> None:
         """Re-check all structural invariants (ranges, acyclicity)."""
         for i, g in enumerate(self.dags):

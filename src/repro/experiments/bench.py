@@ -1,15 +1,18 @@
-"""Engine benchmark harness (``repro bench`` / ``scripts/run_bench.py``).
+"""Engine + grid benchmark harness (``repro bench`` / ``scripts/run_bench.py``).
 
 Times the heap and bucket list-scheduling engines on a fixed set of case
-families and writes a schema-versioned JSON report (``BENCH_2.json`` at
-the repo root).  The committed report is the perf-regression baseline:
-the bucket engine must stay at least :data:`TARGET_SPEEDUP` times the
-heap engine's tasks/second on the large mesh family, and the makespan
-checksums pin that both engines still produce identical schedules on the
-benchmark cases.
+families, benchmarks the parallel grid dispatcher, and writes a
+schema-versioned JSON report (``BENCH_3.json`` at the repo root).  The
+committed report is the perf-regression baseline: the bucket engine must
+stay at least :data:`TARGET_SPEEDUP` times the heap engine's
+tasks/second on the large mesh family, ``engine="auto"`` must resolve to
+(within 10% of) the fastest engine on every family (the per-case
+``auto_engine`` field pins the routing), and the makespan checksums pin
+that both engines still produce identical schedules on the benchmark
+cases.
 
-Families
---------
+Engine families
+---------------
 * ``mesh_large`` — the paper's S4 setting (tetrahedral mesh, k=24) at the
   top of its processor sweep (m=512).  Wide wavefronts; the bucket
   engine's sorted-pool path dominates here.  **This is the family the
@@ -20,6 +23,18 @@ Families
 * ``chain`` — identical chains (depth = n, width = k): worst case for
   any batched engine, pure pipeline.
 * ``wide_layer`` — wide shallow DAGs: best case for the vectorised pool.
+
+Grid family
+-----------
+The report's ``grid`` section times :func:`repro.experiments.runner.run_grid`
+on one experiment grid at each worker count in :data:`GRID_WORKERS`
+(``(1, 2)`` in smoke mode), recording rows/second, the dispatcher's chunk
+plan, and each worker's peak RSS — the zero-copy shared-instance plane's
+evidence that worker memory stays flat in the worker count.  Every
+parallel run is cross-checked bit-identical against the serial rows.
+``cpu_count`` is recorded alongside because wall-clock speedup is only
+meaningful when the machine actually has the cores: the
+:data:`TARGET_GRID_SPEEDUP` gate applies where ``cpu_count >= 4``.
 
 Mesh size scales with the ``REPRO_BENCH_CELLS`` environment variable
 (default 2000, the paper-scaled default of
@@ -44,8 +59,12 @@ from repro.util.rng import as_rng
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "DEFAULT_BENCH_CELLS",
+    "GRID_WORKERS",
     "TARGET_SPEEDUP",
+    "TARGET_GRID_SPEEDUP",
     "bench_cases",
+    "grid_bench",
+    "grid_bench_config",
     "run_bench",
     "validate_bench",
     "write_bench",
@@ -53,7 +72,7 @@ __all__ = [
 
 #: Bump when the report layout changes; the filename tracks it
 #: (``BENCH_<version>.json``) so stale baselines cannot be misread.
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
 
 #: Mesh size when ``REPRO_BENCH_CELLS`` is unset.
 DEFAULT_BENCH_CELLS = 2000
@@ -61,6 +80,14 @@ DEFAULT_BENCH_CELLS = 2000
 #: Required bucket/heap tasks-per-second ratio on the ``mesh_large``
 #: family (the PR's acceptance gate; measured ~2x on the default size).
 TARGET_SPEEDUP = 1.5
+
+#: Required grid rows/second ratio, 4 workers vs serial — gated on the
+#: machine reporting ``cpu_count >= 4`` (a 1-core container cannot show
+#: wall-clock parallel speedup no matter how good the dispatcher is).
+TARGET_GRID_SPEEDUP = 1.5
+
+#: Worker counts the grid family times in a full (non-smoke) run.
+GRID_WORKERS = (1, 2, 4)
 
 _REQUIRED_CASE_KEYS = {
     "family",
@@ -70,8 +97,17 @@ _REQUIRED_CASE_KEYS = {
     "makespan",
     "checksum",
     "engines",
+    "auto_engine",
 }
 _REQUIRED_ENGINE_KEYS = {"wall_time_s", "tasks_per_sec"}
+_REQUIRED_GRID_RUN_KEYS = {
+    "workers",
+    "wall_time_s",
+    "rows_per_sec",
+    "n_chunks",
+    "peak_worker_rss_mb",
+    "identical_to_serial",
+}
 
 
 def _mesh_instance(cells: int, k: int):
@@ -137,14 +173,17 @@ def run_bench(
     cells: int | None = None,
     repeats: int | None = None,
     seed: int = 0,
+    grid_workers: tuple | None = None,
 ) -> dict:
-    """Run the full benchmark grid; returns the schema-v2 report dict.
+    """Run the full benchmark grid; returns the schema-v3 report dict.
 
     Each case times both engines on Algorithm 2's delayed-level
     priorities (best wall time over ``repeats`` runs, caches warmed
     beforehand) and cross-checks that the two schedules are identical —
     a benchmark that silently compared different schedules would be
-    meaningless.
+    meaningless.  The ``grid`` section then times the parallel grid
+    dispatcher at each count in ``grid_workers`` (default
+    :data:`GRID_WORKERS`, or ``(1, 2)`` in smoke mode).
     """
     if repeats is None:
         repeats = 1 if smoke else 5
@@ -181,6 +220,8 @@ def run_bench(
                 f"engines disagree on bench family {case['family']!r} — "
                 "benchmark aborted"
             )
+        from repro.core.list_scheduler import resolve_engine
+
         start = np.ascontiguousarray(schedules["heap"].start, dtype=np.int64)
         cases_out.append(
             {
@@ -191,6 +232,7 @@ def run_bench(
                 "makespan": int(schedules["heap"].makespan),
                 "checksum": int(zlib.crc32(start.tobytes())),
                 "engines": engines,
+                "auto_engine": resolve_engine("auto", priority, inst, m),
                 "speedup": engines["heap"]["wall_time_s"]
                 / max(engines["bucket"]["wall_time_s"], 1e-12),
             }
@@ -200,12 +242,117 @@ def run_bench(
         "smoke": bool(smoke),
         "repeats": int(repeats),
         "seed": int(seed),
+        "cpu_count": int(os.cpu_count() or 1),
         "cells": int(
             cells
             if cells is not None
             else int(os.environ.get("REPRO_BENCH_CELLS", DEFAULT_BENCH_CELLS))
         ),
         "cases": cases_out,
+        "grid": grid_bench(smoke=smoke, cells=cells, workers_list=grid_workers),
+    }
+
+
+def grid_bench_config(smoke: bool = False, cells: int | None = None):
+    """The experiment grid the ``grid`` bench family times.
+
+    Sized so a full run exercises both block regimes (per-cell and
+    blocked) and two algorithm families over a few thousand cells; smoke
+    mode shrinks it to seconds for CI schema validation.
+    """
+    from repro.experiments.configs import ExperimentConfig
+
+    if cells is None:
+        cells = int(os.environ.get("REPRO_BENCH_CELLS", DEFAULT_BENCH_CELLS))
+    if smoke:
+        return ExperimentConfig(
+            mesh="tetonly",
+            target_cells=min(cells, 120),
+            k=4,
+            m_values=(8,),
+            block_sizes=(1,),
+            algorithms=("random_delay_priority",),
+            seeds=(0, 1),
+            name="bench_grid",
+        )
+    return ExperimentConfig(
+        mesh="tetonly",
+        target_cells=cells,
+        k=8,
+        m_values=(16, 64),
+        block_sizes=(1, 16),
+        algorithms=("random_delay_priority", "dfds"),
+        seeds=(0, 1, 2),
+        name="bench_grid",
+    )
+
+
+def grid_bench(
+    smoke: bool = False,
+    cells: int | None = None,
+    workers_list: tuple | None = None,
+) -> dict:
+    """Time ``run_grid`` at each worker count; returns the ``grid`` section.
+
+    Every parallel run's rows are compared against the serial rows and
+    must match bit-for-bit (``identical_to_serial``); worker peak RSS
+    comes from each worker's ``VmHWM`` via the dispatcher's chunk
+    results, so flat memory across worker counts is directly visible in
+    the report.
+    """
+    from repro.experiments.runner import run_grid
+    from repro.parallel import DispatchStats, list_orphan_segments
+
+    if workers_list is None:
+        workers_list = (1, 2) if smoke else GRID_WORKERS
+    # The serial run is the correctness baseline — always measure it, first.
+    workers_list = (1,) + tuple(w for w in workers_list if w != 1)
+    config = grid_bench_config(smoke=smoke, cells=cells)
+    n_rows = (
+        len(config.algorithms) * len(config.block_sizes) * len(config.m_values)
+    )
+    runs = []
+    serial_rows = None
+    for workers in workers_list:
+        stats = DispatchStats()
+        t0 = time.perf_counter()
+        rows = run_grid(config, with_comm=True, workers=workers, stats=stats)
+        wall = time.perf_counter() - t0
+        if workers == 1:
+            serial_rows = rows
+        runs.append(
+            {
+                "workers": int(workers),
+                "wall_time_s": wall,
+                "rows_per_sec": n_rows / wall if wall > 0 else 0.0,
+                "n_chunks": int(stats.n_chunks),
+                "chunk_cells": list(stats.chunk_cells),
+                "peak_worker_rss_mb": float(stats.peak_worker_rss_mb),
+                "identical_to_serial": bool(
+                    serial_rows is not None and rows == serial_rows
+                ),
+            }
+        )
+    serial = next(r for r in runs if r["workers"] == 1)
+    return {
+        "config": {
+            "mesh": config.mesh,
+            "cells": int(config.target_cells),
+            "k": int(config.k),
+            "m_values": list(config.m_values),
+            "block_sizes": list(config.block_sizes),
+            "algorithms": list(config.algorithms),
+            "seeds": list(config.seeds),
+            "n_rows": int(n_rows),
+        },
+        "runs": runs,
+        "speedups": {
+            str(r["workers"]): serial["wall_time_s"]
+            / max(r["wall_time_s"], 1e-12)
+            for r in runs
+            if r["workers"] != 1
+        },
+        "leaked_segments": list_orphan_segments(),
     }
 
 
@@ -219,6 +366,10 @@ def validate_bench(report: dict) -> list[str]:
             f"schema_version is {report.get('schema_version')!r}, "
             f"expected {BENCH_SCHEMA_VERSION}"
         )
+    if not isinstance(report.get("cpu_count"), int) or report.get(
+        "cpu_count", 0
+    ) < 1:
+        problems.append("cpu_count is missing or not a positive int")
     cases = report.get("cases")
     if not isinstance(cases, list) or not cases:
         return problems + ["cases is missing or empty"]
@@ -229,6 +380,11 @@ def validate_bench(report: dict) -> list[str]:
             problems.append(f"case {i} missing keys: {sorted(missing)}")
             continue
         families.add(case["family"])
+        if case["auto_engine"] not in ("heap", "bucket"):
+            problems.append(
+                f"case {i} auto_engine is {case['auto_engine']!r}, "
+                "expected 'heap' or 'bucket'"
+            )
         for eng in ("heap", "bucket"):
             entry = case["engines"].get(eng)
             if entry is None:
@@ -246,6 +402,44 @@ def validate_bench(report: dict) -> list[str]:
     for fam in ("mesh_large", "mesh_standard", "chain", "wide_layer"):
         if fam not in families:
             problems.append(f"family {fam!r} missing from report")
+    problems.extend(_validate_grid(report.get("grid")))
+    return problems
+
+
+def _validate_grid(grid) -> list[str]:
+    """Schema check for the report's ``grid`` section."""
+    if not isinstance(grid, dict):
+        return ["grid section is missing or not a dict"]
+    problems = []
+    runs = grid.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return ["grid.runs is missing or empty"]
+    worker_counts = set()
+    for i, run in enumerate(runs):
+        missing = _REQUIRED_GRID_RUN_KEYS - set(run)
+        if missing:
+            problems.append(f"grid run {i} missing keys: {sorted(missing)}")
+            continue
+        worker_counts.add(run["workers"])
+        if run["wall_time_s"] <= 0 or run["rows_per_sec"] <= 0:
+            problems.append(f"grid run {i} has non-positive timings")
+        if not run["identical_to_serial"]:
+            problems.append(
+                f"grid run {i} (workers={run['workers']}) rows differ "
+                "from the serial baseline"
+            )
+        if run["workers"] > 1 and run["peak_worker_rss_mb"] <= 0:
+            problems.append(
+                f"grid run {i} (workers={run['workers']}) lacks worker RSS"
+            )
+    if 1 not in worker_counts:
+        problems.append("grid section lacks the serial (workers=1) baseline")
+    if len(worker_counts) < 2:
+        problems.append("grid section needs at least one parallel run")
+    if grid.get("leaked_segments"):
+        problems.append(
+            f"grid run leaked shm segments: {grid['leaked_segments']}"
+        )
     return problems
 
 

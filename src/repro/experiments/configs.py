@@ -45,6 +45,12 @@ class ExperimentConfig:
         List-scheduling engine forwarded to every algorithm
         (``"heap"``, ``"bucket"``, or ``"auto"`` — see
         :mod:`repro.core.list_scheduler`).
+    workers:
+        Default process count for :func:`repro.experiments.runner.run_grid`:
+        ``1`` runs serially, ``N > 1`` dispatches over ``N`` workers
+        sharing the instance via :mod:`repro.parallel`, and ``0`` means
+        one worker per CPU (``os.cpu_count()``).  Output is bit-identical
+        across all settings.
     """
 
     mesh: str = "tetonly"
@@ -57,6 +63,7 @@ class ExperimentConfig:
     mesh_seed: int = 0
     engine: str = "auto"
     name: str = "experiment"
+    workers: int = 1
 
 
 def scaled(config: ExperimentConfig, factor: float) -> ExperimentConfig:

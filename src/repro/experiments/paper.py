@@ -45,6 +45,7 @@ def fig2a(
     m_values=(2, 4, 8, 16, 32),
     block_sizes=(1, 16, 64),
     seeds=(0, 1, 2),
+    workers: int | None = None,
 ):
     """Fig. 2(a): Random Delay makespan vs m, per-cell vs block assignment.
 
@@ -64,7 +65,7 @@ def fig2a(
         seeds=tuple(seeds),
         name="fig2a",
     )
-    rows = run_grid(config, with_comm=False)
+    rows = run_grid(config, with_comm=False, workers=workers)
     for row in rows:
         row["series"] = f"block={row['block_size']}"
     text = format_series(
@@ -79,6 +80,7 @@ def fig2b(
     m_values=(2, 4, 8, 16, 32),
     block_sizes=(1, 16, 64),
     seeds=(0, 1, 2),
+    workers: int | None = None,
 ):
     """Fig. 2(b): C1 and C2 vs m, per-cell vs block assignment.
 
@@ -94,7 +96,7 @@ def fig2b(
         seeds=tuple(seeds),
         name="fig2b",
     )
-    rows = run_grid(config, with_comm=True)
+    rows = run_grid(config, with_comm=True, workers=workers)
     for row in rows:
         row["series"] = f"block={row['block_size']}"
     text_c1 = format_series(
@@ -113,6 +115,7 @@ def fig2c(
     m_values=(8, 16, 32, 64, 128, 256),
     k_values=(8, 24),
     seeds=(0, 1, 2),
+    workers: int | None = None,
 ):
     """Fig. 2(c): Random Delays vs Random Delays with Priorities (long)."""
     rows = []
@@ -127,7 +130,7 @@ def fig2c(
             seeds=tuple(seeds),
             name="fig2c",
         )
-        rows.extend(run_grid(config, with_comm=False))
+        rows.extend(run_grid(config, with_comm=False, workers=workers))
     for row in rows:
         row["series"] = f"{row['algorithm']},k={row['k']}"
     text = format_series(
@@ -146,6 +149,7 @@ def _fig3(
     k_values,
     seeds,
     title: str,
+    workers: int | None = None,
 ):
     rows = []
     for k in k_values:
@@ -158,7 +162,7 @@ def _fig3(
             algorithms=algorithms,
             seeds=tuple(seeds),
         )
-        rows.extend(run_grid(config, with_comm=False))
+        rows.extend(run_grid(config, with_comm=False, workers=workers))
     for row in rows:
         row["series"] = f"{row['algorithm']},k={row['k']}"
     text = format_series(rows, x="m", y="ratio", group_by="series", title=title)
@@ -171,6 +175,7 @@ def fig3a(
     k_values=(8, 24),
     seeds=(0, 1, 2),
     block_size: int = 16,
+    workers: int | None = None,
 ):
     """Fig. 3(a): level priorities without delays vs Algorithm 2.
 
@@ -184,6 +189,7 @@ def fig3a(
         ("level", "random_delay_priority"),
         target_cells, m_values, k_values, seeds,
         f"Fig 3(a) — ratio to nk/m: level vs random delays (long-like, block {block_size})",
+        workers=workers,
     )
 
 
@@ -193,6 +199,7 @@ def fig3b(
     k_values=(8, 24),
     seeds=(0, 1, 2),
     block_size: int = 16,
+    workers: int | None = None,
 ):
     """Fig. 3(b): descendant priorities ± delays vs Algorithm 2.
 
@@ -204,6 +211,7 @@ def fig3b(
         ("random_delay_priority", "descendant", "descendant_delays"),
         target_cells, m_values, k_values, seeds,
         f"Fig 3(b) — ratio to nk/m: descendant ± delays (tetonly-like, block {block_size})",
+        workers=workers,
     )
 
 
@@ -213,6 +221,7 @@ def fig3c(
     k_values=(8, 24),
     seeds=(0, 1, 2),
     block_size: int = 16,
+    workers: int | None = None,
 ):
     """Fig. 3(c): DFDS priorities ± delays vs Algorithm 2.
 
@@ -224,6 +233,7 @@ def fig3c(
         ("random_delay_priority", "dfds", "dfds_delays"),
         target_cells, m_values, k_values, seeds,
         f"Fig 3(c) — ratio to nk/m: DFDS ± delays (well_logging-like, block {block_size})",
+        workers=workers,
     )
 
 
@@ -233,6 +243,7 @@ def headline_bounds(
     m_values=(4, 16, 64, 128),
     k_values=(8, 24),
     seeds=(0, 1),
+    workers: int | None = None,
 ):
     """Headline claim: Algorithm 2's makespan <= 3 nk/m on every run.
 
@@ -251,7 +262,7 @@ def headline_bounds(
                 seeds=tuple(seeds),
                 name="headline",
             )
-            rows.extend(run_grid(config, with_comm=False))
+            rows.extend(run_grid(config, with_comm=False, workers=workers))
     summary = []
     for mesh in meshes:
         mesh_rows = [r for r in rows if r["mesh"].startswith(mesh)]

@@ -27,7 +27,9 @@ __all__ = [
     "get_instance",
     "get_blocks",
     "run_cell",
+    "run_cell_on",
     "run_grid",
+    "resolve_workers",
     "clear_caches",
 ]
 
@@ -71,6 +73,37 @@ def get_blocks(config: ExperimentConfig, block_size: int) -> np.ndarray:
     )
 
 
+def run_cell_on(
+    inst,
+    algorithm: str,
+    m: int,
+    block_size: int,
+    seed,
+    with_comm: bool = True,
+    engine: str = "auto",
+    blocks: np.ndarray | None = None,
+) -> ScheduleSummary:
+    """Run one grid cell against an already-built instance.
+
+    The cell-execution core shared by the serial runner (which feeds it
+    the memoised instance/blocks) and the parallel workers (which feed it
+    zero-copy shared-memory views).  Randomness is a function of ``seed``
+    alone, so both paths are bit-identical by construction.
+    """
+    algo = get_algorithm(algorithm)
+    rngs = spawn_rngs(seed, 2)
+    if block_size > 1:
+        if blocks is None:
+            raise ValueError(
+                f"block_size={block_size} cell needs its cell->block labelling"
+            )
+        assignment = block_assignment(blocks, m, seed=rngs[0])
+        schedule = algo(inst, m, seed=rngs[1], assignment=assignment, engine=engine)
+    else:
+        schedule = algo(inst, m, seed=rngs[1], engine=engine)
+    return summarize_schedule(schedule, with_comm=with_comm)
+
+
 def run_cell(
     config: ExperimentConfig,
     algorithm: str,
@@ -80,69 +113,108 @@ def run_cell(
     with_comm: bool = True,
 ) -> ScheduleSummary:
     """Run one (algorithm, m, block size, seed) cell of the grid."""
-    inst = get_instance(config)
-    algo = get_algorithm(algorithm)
-    rngs = spawn_rngs(seed, 2)
-    if block_size > 1:
-        blocks = get_blocks(config, block_size)
-        assignment = block_assignment(blocks, m, seed=rngs[0])
-        schedule = algo(
-            inst, m, seed=rngs[1], assignment=assignment, engine=config.engine
-        )
-    else:
-        schedule = algo(inst, m, seed=rngs[1], engine=config.engine)
-    summary = summarize_schedule(schedule, with_comm=with_comm)
-    return summary
+    return run_cell_on(
+        get_instance(config),
+        algorithm,
+        m,
+        block_size,
+        seed,
+        with_comm=with_comm,
+        engine=config.engine,
+        blocks=get_blocks(config, block_size) if block_size > 1 else None,
+    )
 
 
-def _run_cell_task(args):
-    """Top-level (picklable) worker for parallel grids.
+def resolve_workers(workers: int | None, config: ExperimentConfig) -> int:
+    """Effective worker count: explicit argument > config > serial.
 
-    Each worker process keeps its own memoised mesh/instance/blocks via
-    the module-level lru caches, so the per-process build cost amortises
-    across the cells the pool hands it.
+    ``None`` defers to ``config.workers``; ``0`` (from either source)
+    means "one worker per CPU" (``os.cpu_count()``).
     """
-    config, algorithm, m, block_size, seed, with_comm = args
-    return run_cell(config, algorithm, m, block_size, seed, with_comm)
+    import os
+
+    if workers is None:
+        workers = config.workers
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
 
 
 def run_grid(
-    config: ExperimentConfig, with_comm: bool = True, workers: int = 1
+    config: ExperimentConfig,
+    with_comm: bool = True,
+    workers: int | None = None,
+    stats=None,
 ) -> list[dict]:
     """Run the full grid; one averaged row per (algorithm, m, block size).
 
     Each row carries the mean over seeds of makespan / ratio / C1 / C2,
     plus the max ratio (the worst-case view the guarantees are about).
 
-    ``workers > 1`` fans the grid cells over a process pool — results
-    are bit-identical to the serial run (each cell's randomness is a
-    function of its seed alone), so parallelism is purely a wall-clock
-    lever for full-scale grids.
+    ``workers > 1`` dispatches the grid over a process pool that shares
+    the instance through :mod:`repro.parallel` (zero-copy shared memory,
+    row-batched tasks) instead of rebuilding it per worker; ``workers=0``
+    uses every CPU; ``None`` defers to ``config.workers``.  Results are
+    bit-identical to the serial run for any worker count: every cell's
+    randomness is a function of its seed alone, and aggregation is keyed
+    by cell index — a dispatcher that reordered or dropped results fails
+    loudly instead of mis-assigning rows.  ``stats`` (a
+    :class:`repro.parallel.DispatchStats`, optional) is filled in on the
+    parallel path for observability (chunk plan, peak worker RSS).
     """
-    cells = [
-        (config, algorithm, m, block_size, seed, with_comm)
-        for algorithm in config.algorithms
-        for block_size in config.block_sizes
-        for m in config.m_values
-        for seed in config.seeds
-    ]
-    if workers > 1 and len(cells) > 1:
-        from concurrent.futures import ProcessPoolExecutor
+    from repro.parallel.dispatcher import grid_cells
 
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            summaries = list(pool.map(_run_cell_task, cells, chunksize=1))
-    else:
-        summaries = [_run_cell_task(c) for c in cells]
-
-    rows: list[dict] = []
-    i = 0
+    workers = resolve_workers(workers, config)
+    cells = grid_cells(config)
     n_seeds = len(config.seeds)
-    for algorithm in config.algorithms:
-        for block_size in config.block_sizes:
-            for m in config.m_values:
-                chunk = summaries[i : i + n_seeds]
-                i += n_seeds
-                rows.append(_aggregate(chunk, algorithm, m, block_size))
+    n_rows = len(cells) // n_seeds if n_seeds else 0
+
+    # Streaming keyed aggregation: buffer summaries per row, fold a row
+    # the moment its last seed arrives, and free the buffer.  Row order
+    # in the output is fixed by the cell indices, never arrival order.
+    rows: list[dict | None] = [None] * n_rows
+    pending: dict[int, dict[int, ScheduleSummary]] = {}
+
+    def sink(index: int, summary: ScheduleSummary) -> None:
+        row = index // n_seeds
+        if not 0 <= row < n_rows:
+            raise RuntimeError(f"dispatcher returned unknown cell index {index}")
+        bucket = pending.setdefault(row, {})
+        if index in bucket or rows[row] is not None:
+            raise RuntimeError(f"dispatcher returned cell index {index} twice")
+        bucket[index] = summary
+        if len(bucket) == n_seeds:
+            cell = cells[row * n_seeds]
+            rows[row] = _aggregate(
+                [bucket[i] for i in sorted(bucket)],
+                cell.algorithm,
+                cell.m,
+                cell.block_size,
+            )
+            del pending[row]
+
+    if workers > 1 and len(cells) > 1:
+        from repro.parallel.dispatcher import run_dispatch
+
+        run_dispatch(config, with_comm, workers, sink, stats=stats)
+    else:
+        for cell in cells:
+            sink(
+                cell.index,
+                run_cell(
+                    config, cell.algorithm, cell.m, cell.block_size,
+                    cell.seed, with_comm,
+                ),
+            )
+
+    missing = [row for row, agg in enumerate(rows) if agg is None]
+    if missing:
+        raise RuntimeError(
+            f"grid dispatch lost {len(missing)} of {n_rows} rows "
+            f"(first missing row {missing[0]})"
+        )
     return rows
 
 

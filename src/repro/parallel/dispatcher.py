@@ -1,0 +1,234 @@
+"""Locality-aware parallel dispatch of experiment grids.
+
+Replaces the old flat ``ProcessPoolExecutor.map(..., chunksize=1)`` fan-out
+(one IPC round trip per cell, every worker rebuilding the instance) with a
+three-stage plan:
+
+1. **Batch** — the grid's cells are grouped into :class:`CellBatch`\\ es,
+   one per output row (all seeds of one ``(algorithm, block size, m)``
+   config), so a row's seeds never straddle workers and each batch is one
+   IPC round trip.
+2. **Chunk** — batches are grouped by block size (locality: one partition
+   labelling per chunk) and packed into chunks sized by a cheap cost
+   model (``n_tasks`` work units per cell) so the pool sees
+   ``~_CHUNKS_PER_WORKER`` chunks per worker: few enough to amortise
+   dispatch overhead, many enough to load-balance.
+3. **Dispatch** — chunks run on a pool whose workers :func:`attach
+   <repro.parallel.shm_store.attach>` to the parent's
+   :class:`~repro.parallel.shm_store.SharedInstanceStore` (zero-copy, no
+   rebuild).  Results stream back as ``(cell index, summary)`` pairs the
+   moment each chunk completes — keyed, not positional, so a reordering
+   bug mis-assigning rows is structurally impossible — and the store is
+   unlinked in a ``finally`` even when a worker raises mid-grid.
+
+Every cell's randomness is a function of its seed alone, so the output is
+bit-identical to the serial runner's no matter how cells land on workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "GridCell",
+    "CellBatch",
+    "DispatchStats",
+    "grid_cells",
+    "plan_batches",
+    "plan_chunks",
+    "run_dispatch",
+    "process_peak_rss_mb",
+]
+
+#: Chunk-count target per worker: the adaptive chunk size aims for this
+#: many chunks on each worker — oversubscription for load balance without
+#: per-cell IPC.
+_CHUNKS_PER_WORKER = 4
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One (algorithm, m, block size, seed) cell, tagged with its grid index."""
+
+    index: int
+    algorithm: str
+    m: int
+    block_size: int
+    seed: object
+
+
+@dataclass(frozen=True)
+class CellBatch:
+    """All seed-cells of one output row (one ``(algorithm, block, m)``)."""
+
+    row: int
+    block_size: int
+    cells: tuple
+
+
+@dataclass
+class DispatchStats:
+    """Observability counters for one dispatched grid."""
+
+    workers: int = 0
+    n_cells: int = 0
+    n_chunks: int = 0
+    peak_worker_rss_mb: float = 0.0
+    chunk_cells: list = field(default_factory=list)
+
+
+def grid_cells(config) -> list:
+    """Enumerate the grid in the canonical (row-major) serial order.
+
+    The index of each cell is its position in this enumeration; rows are
+    consecutive runs of ``len(config.seeds)`` cells.  This order is the
+    determinism contract: serial and parallel runs aggregate by these
+    indices, never by arrival order.
+    """
+    cells = []
+    index = 0
+    for algorithm in config.algorithms:
+        for block_size in config.block_sizes:
+            for m in config.m_values:
+                for seed in config.seeds:
+                    cells.append(
+                        GridCell(index, algorithm, m, block_size, seed)
+                    )
+                    index += 1
+    return cells
+
+
+def plan_batches(config) -> list:
+    """Group the grid into one :class:`CellBatch` per output row."""
+    cells = grid_cells(config)
+    n_seeds = max(len(config.seeds), 1)
+    batches = []
+    for row, i in enumerate(range(0, len(cells), n_seeds)):
+        group = tuple(cells[i : i + n_seeds])
+        batches.append(CellBatch(row, group[0].block_size, group))
+    return batches
+
+
+def plan_chunks(batches: list, workers: int, cell_cost: int) -> list:
+    """Pack row-batches into locality-aware, cost-balanced chunks.
+
+    Batches are ordered by block size (so a chunk touches one partition
+    labelling) and greedily packed until a chunk reaches the adaptive
+    cost target ``total_cost / (workers * _CHUNKS_PER_WORKER)``.  A chunk
+    never mixes block sizes and never splits a batch.
+    """
+    if not batches:
+        return []
+    cell_cost = max(int(cell_cost), 1)
+    total = sum(len(b.cells) for b in batches) * cell_cost
+    target = max(total // max(workers * _CHUNKS_PER_WORKER, 1), 1)
+    ordered = sorted(batches, key=lambda b: b.block_size)  # stable: row order kept
+    chunks: list[list] = []
+    current: list = []
+    current_cost = 0
+    current_block = None
+    for batch in ordered:
+        cost = len(batch.cells) * cell_cost
+        if current and (
+            batch.block_size != current_block or current_cost + cost > target
+        ):
+            chunks.append(current)
+            current, current_cost = [], 0
+        current.append(batch)
+        current_cost += cost
+        current_block = batch.block_size
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+def process_peak_rss_mb() -> float:
+    """This process's peak resident set size in MiB (``VmHWM``).
+
+    Reads ``/proc/self/status`` where available and falls back to
+    ``resource.getrusage``; returns 0.0 if neither works.
+    """
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) / 1024.0
+    except OSError:
+        pass
+    try:
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is KiB on Linux, bytes on macOS.
+        return peak / 1024.0 if peak < 1 << 40 else peak / (1 << 20)
+    except Exception:
+        return 0.0
+
+
+def run_dispatch(
+    config,
+    with_comm: bool,
+    workers: int,
+    sink,
+    stats: DispatchStats | None = None,
+) -> None:
+    """Run the full grid on ``workers`` processes over a shared store.
+
+    ``sink(index, summary)`` is called for every cell as its chunk
+    completes (arrival order; the keyed index carries the determinism).
+    The shared segment is unlinked before returning, on success and on
+    failure alike — a worker exception propagates *after* cleanup.
+    """
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+    from repro.experiments.runner import get_blocks, get_instance
+    from repro.parallel.shm_store import SharedInstanceStore
+    from repro.parallel.worker import init_worker, run_chunk, warm_instance
+
+    inst = get_instance(config)
+    warm_instance(inst, config.algorithms)
+    blocks = {
+        size: get_blocks(config, size)
+        for size in config.block_sizes
+        if size > 1
+    }
+    batches = plan_batches(config)
+    chunks = plan_chunks(batches, workers, cell_cost=inst.n_tasks)
+    if stats is None:
+        stats = DispatchStats()
+    stats.workers = workers
+    stats.n_cells = sum(len(b.cells) for b in batches)
+    stats.n_chunks = len(chunks)
+    stats.chunk_cells = [sum(len(b.cells) for b in c) for c in chunks]
+
+    with SharedInstanceStore.publish(inst, blocks=blocks) as store:
+        manifest = store.manifest
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=init_worker,
+            initargs=(manifest,),
+        ) as pool:
+            pending = {
+                pool.submit(
+                    run_chunk,
+                    manifest,
+                    tuple(c for b in chunk for c in b.cells),
+                    with_comm,
+                    config.engine,
+                )
+                for chunk in chunks
+            }
+            try:
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        pairs, worker_rss = future.result()
+                        stats.peak_worker_rss_mb = max(
+                            stats.peak_worker_rss_mb, worker_rss
+                        )
+                        for index, summary in pairs:
+                            sink(index, summary)
+            except BaseException:
+                for future in pending:
+                    future.cancel()
+                raise

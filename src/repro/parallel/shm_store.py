@@ -1,0 +1,266 @@
+"""Zero-copy shared-memory publication of sweep instances.
+
+The grid runner's old parallel path had every worker process rebuild the
+mesh, all ``k`` sweep DAGs, cycle breaking, and the block partitions from
+scratch — ``W`` workers paid the instance-build cost ``W`` times and held
+``W`` full copies in RAM.  This module replaces the rebuild with a
+publish/attach protocol:
+
+* the parent flattens one :class:`~repro.core.instance.SweepInstance`
+  (plus any materialised memo caches and the per-block-size partition
+  labellings) into a **single** ``multiprocessing.shared_memory`` segment
+  via :meth:`SharedInstanceStore.publish`;
+* workers :func:`attach` to the segment by name and get back a fully
+  functional instance whose arrays are **read-only zero-copy views** of
+  the shared pages — no deserialisation, no per-worker copy, RSS flat in
+  the worker count;
+* the parent guarantees cleanup: context-manager exit, an ``atexit``
+  backstop, and unlink-on-crash (the dispatcher unlinks in a ``finally``
+  even when a worker raised mid-grid).
+
+The wire format is ``SweepInstance.export_arrays()``: a JSON-able meta
+dict plus named numpy arrays, laid out back to back (64-byte aligned) in
+the segment and described by an :class:`ArraySpec` table in the picklable
+:class:`StoreManifest` that travels to workers with each task.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.core.instance import SweepInstance
+
+__all__ = [
+    "SHM_PREFIX",
+    "ArraySpec",
+    "StoreManifest",
+    "SharedInstanceStore",
+    "attach",
+    "detach_all",
+    "list_orphan_segments",
+]
+
+#: Every segment this module creates is named ``reproshm_<hex>`` so leak
+#: checks (tests, CI) can scan ``/dev/shm`` for survivors unambiguously.
+SHM_PREFIX = "reproshm_"
+
+#: Segment offsets are rounded up to this many bytes so every attached
+#: view is at least cache-line (and numpy default) aligned.
+_ALIGN = 64
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Location of one named array inside the shared segment."""
+
+    key: str
+    dtype: str
+    shape: tuple
+    offset: int
+
+
+@dataclass(frozen=True)
+class StoreManifest:
+    """Everything a worker needs to attach: segment name + array table.
+
+    Picklable and small (no array data), so shipping it with every task
+    is free.  ``meta`` is the instance's JSON-able metadata from
+    :meth:`repro.core.instance.SweepInstance.export_arrays`;
+    ``block_sizes`` lists the partition labellings published alongside
+    the instance (array keys ``blocks/<size>``).
+    """
+
+    segment: str
+    meta: dict
+    specs: tuple = field(default_factory=tuple)
+    block_sizes: tuple = field(default_factory=tuple)
+
+
+def _layout(arrays: dict) -> tuple[tuple, int]:
+    """Compute (specs, total_bytes) for a name→array dict."""
+    specs = []
+    offset = 0
+    for key in sorted(arrays):
+        arr = np.ascontiguousarray(arrays[key])
+        specs.append(ArraySpec(key, arr.dtype.str, tuple(arr.shape), offset))
+        offset += (arr.nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+    return tuple(specs), max(offset, 1)
+
+
+def _views(specs: tuple, buf, writeable: bool) -> dict:
+    """Build (optionally read-only) ndarray views over a segment buffer."""
+    out = {}
+    for spec in specs:
+        view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype),
+                          buffer=buf, offset=spec.offset)
+        view.flags.writeable = writeable
+        out[spec.key] = view
+    return out
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Drop a segment from this process's resource tracker.
+
+    ``SharedMemory`` registers every handle — attach included — and the
+    tracker unlinks whatever is still registered at interpreter exit.
+    Workers only *attach*; if their handles stayed registered the tracker
+    would race the parent's unlink and spam "leaked shared_memory"
+    warnings.  Ownership lives with the publishing parent alone.
+    """
+    try:  # pragma: no cover - tracker layout is a CPython internal
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+class SharedInstanceStore:
+    """One published instance (plus partitions) in shared memory.
+
+    Use as a context manager in the parent::
+
+        with SharedInstanceStore.publish(inst, blocks={64: labels}) as store:
+            pool.submit(work, store.manifest, ...)
+
+    Exit closes *and unlinks* the segment; an ``atexit`` hook covers
+    abnormal parent exits.  Workers never unlink — they :func:`attach`
+    and the views die with the process.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, manifest: StoreManifest):
+        self._shm = shm
+        self._closed = False
+        self.manifest = manifest
+        atexit.register(self._cleanup)
+
+    @classmethod
+    def publish(
+        cls,
+        inst: SweepInstance,
+        blocks: dict | None = None,
+    ) -> "SharedInstanceStore":
+        """Serialise ``inst`` (and cell→block labellings) into one segment.
+
+        ``blocks`` maps block size → ``(n_cells,)`` labelling array.  Memo
+        caches are included exactly as materialised on ``inst`` — warm
+        them first (see :func:`repro.parallel.warm_instance`) so workers
+        inherit the expensive precomputations instead of redoing them.
+        """
+        meta, arrays = inst.export_arrays()
+        block_sizes = tuple(sorted(blocks)) if blocks else ()
+        for size in block_sizes:
+            arrays[f"blocks/{size}"] = np.asarray(blocks[size], dtype=np.int64)
+        specs, total = _layout(arrays)
+        name = f"{SHM_PREFIX}{secrets.token_hex(8)}"
+        shm = shared_memory.SharedMemory(name=name, create=True, size=total)
+        views = _views(specs, shm.buf, writeable=True)
+        for spec in specs:
+            np.copyto(views[spec.key], arrays[spec.key], casting="no")
+        manifest = StoreManifest(
+            segment=shm.name, meta=meta, specs=specs, block_sizes=block_sizes
+        )
+        return cls(shm, manifest)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _cleanup(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            # Fork-started workers share this process's resource tracker;
+            # their attach-time unregister (see _untrack) may have removed
+            # our registration, making unlink()'s own unregister a KeyError
+            # inside the tracker daemon.  Re-registering first keeps the
+            # tracker's cache consistent either way (it is a set).
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.register(self._shm._name, "shared_memory")
+            except Exception:  # pragma: no cover - CPython internal
+                pass
+            self._shm.close()
+            self._shm.unlink()
+        except FileNotFoundError:  # already unlinked elsewhere
+            pass
+
+    def close(self) -> None:
+        """Close and unlink the segment (idempotent)."""
+        self._cleanup()
+        atexit.unregister(self._cleanup)
+
+    def __enter__(self) -> "SharedInstanceStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"SharedInstanceStore({self.manifest.segment!r}, {state})"
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+
+#: Per-process attachment cache: segment name -> (shm, instance, blocks).
+#: A worker typically serves one grid at a time, so only the most recent
+#: attachment is kept; older segments are closed when evicted.
+_ATTACHED: dict = {}
+
+
+def attach(manifest: StoreManifest):
+    """Attach to a published store; returns ``(instance, blocks)``.
+
+    Zero-copy: the instance's arrays are read-only views of the shared
+    segment.  Attachments are memoised per process and per segment, so a
+    pool worker pays the (microsecond) mapping cost once no matter how
+    many task chunks it executes.
+    """
+    cached = _ATTACHED.get(manifest.segment)
+    if cached is not None:
+        return cached[1], cached[2]
+    shm = shared_memory.SharedMemory(name=manifest.segment)
+    _untrack(shm)
+    views = _views(manifest.specs, shm.buf, writeable=False)
+    blocks = {
+        size: views.pop(f"blocks/{size}") for size in manifest.block_sizes
+    }
+    inst = SweepInstance.from_arrays(manifest.meta, views)
+    detach_all()  # evict any previous grid's segment
+    _ATTACHED[manifest.segment] = (shm, inst, blocks)
+    return inst, blocks
+
+
+def detach_all() -> None:
+    """Close every memoised attachment (worker exit / store eviction)."""
+    while _ATTACHED:
+        _, entry = _ATTACHED.popitem()
+        try:
+            entry[0].close()
+        except BufferError:  # live views still reference the buffer
+            pass
+
+
+def list_orphan_segments() -> list[str]:
+    """Names of store segments still present in ``/dev/shm``.
+
+    Cleanup verification for tests and the CI leak check: after a grid —
+    even one aborted by a worker crash — this must be empty.  Returns
+    ``[]`` on platforms without a scannable ``/dev/shm``.
+    """
+    try:
+        return sorted(
+            name for name in os.listdir("/dev/shm")
+            if name.startswith(SHM_PREFIX)
+        )
+    except (FileNotFoundError, NotADirectoryError, PermissionError):
+        return []

@@ -1,0 +1,90 @@
+"""Worker-process side of the parallel grid plane.
+
+Top-level (picklable) functions the dispatcher runs inside pool workers,
+plus :func:`warm_instance` — the parent-side cache warm-up that decides
+which :class:`~repro.core.dag.Dag` memo caches get materialised before
+the instance is published to shared memory.  Workers attach zero-copy and
+inherit exactly those caches, so the expensive per-instance
+precomputations (union CSR, padded successor matrix, level structure,
+b-levels, descendant counts) happen once per grid instead of once per
+worker.
+"""
+
+from __future__ import annotations
+
+import atexit
+
+__all__ = ["warm_instance", "init_worker", "run_chunk"]
+
+
+def warm_instance(inst, algorithms=()) -> None:
+    """Materialise the memo caches the given algorithms will need.
+
+    Always warmed (every list-scheduling engine touches them): the union
+    DAG, its successor CSR, padded successor matrix, and level structure,
+    plus the per-direction levels behind ``task_levels`` (the priority
+    basis of the random-delay family).  Warmed on demand: per-direction
+    descendant counts (``descendant*``), b-levels and successor CSR
+    (``dfds*`` / ``blevel*``).  T-levels are supported by the cache wire
+    format but warmed only here if an algorithm family starts using them
+    — nothing in the registry does today.
+    """
+    union = inst.union_dag()
+    union.successor_csr()
+    union.padded_successors()
+    union.num_levels()
+    union.topological_order()
+    inst.task_levels()
+    for g in inst.dags:
+        g.num_levels()
+    names = set(algorithms)
+    if any(n.startswith("descendant") for n in names):
+        for g in inst.dags:
+            g.descendant_counts()
+    if any(n.startswith(("dfds", "blevel")) for n in names):
+        for g in inst.dags:
+            g.b_levels()
+            g.successor_csr()
+
+
+def init_worker(manifest) -> None:
+    """Pool initializer: attach to the shared store before the first task.
+
+    Attachment is memoised per process, so this only front-loads the
+    (tiny) mapping cost; :func:`run_chunk` would attach lazily anyway.
+    Registers an exit hook that drops the mapping when the worker dies.
+    """
+    from repro.parallel.shm_store import attach, detach_all
+
+    atexit.register(detach_all)
+    attach(manifest)
+
+
+def run_chunk(manifest, cells, with_comm: bool, engine: str):
+    """Execute one chunk of grid cells against the shared instance.
+
+    Returns ``(pairs, peak_rss_mb)`` where ``pairs`` is a list of
+    ``(cell index, ScheduleSummary)`` — keyed results, so the dispatcher
+    aggregates by cell index and a transport reordering cannot silently
+    mis-assign rows — and ``peak_rss_mb`` is this worker's peak RSS (the
+    bench harness's flat-memory evidence).
+    """
+    from repro.experiments.runner import run_cell_on
+    from repro.parallel.dispatcher import process_peak_rss_mb
+    from repro.parallel.shm_store import attach
+
+    inst, blocks = attach(manifest)
+    pairs = []
+    for cell in cells:
+        summary = run_cell_on(
+            inst,
+            cell.algorithm,
+            cell.m,
+            cell.block_size,
+            cell.seed,
+            with_comm=with_comm,
+            engine=engine,
+            blocks=blocks.get(cell.block_size) if cell.block_size > 1 else None,
+        )
+        pairs.append((cell.index, summary))
+    return pairs, process_peak_rss_mb()

@@ -1,20 +1,24 @@
-"""Smoke test for the engine benchmark harness (``repro bench --smoke``).
+"""Smoke test for the benchmark harness (``repro bench --smoke``).
 
 Runs the real harness end to end on a tiny mesh and validates the
-schema-v2 report, so CI catches a broken benchmark (or a drifted schema)
-without paying for the full ``BENCH_2.json`` regeneration.  Marked
-``bench_smoke`` so CI can also run it as a dedicated step:
+schema-v3 report (engine families + the parallel grid section), so CI
+catches a broken benchmark (or a drifted schema) without paying for the
+full ``BENCH_3.json`` regeneration.  Marked ``bench_smoke`` so CI can
+also run it as a dedicated step:
 
     python -m pytest -q -m bench_smoke
 """
 
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.cli import main
 from repro.experiments.bench import (
     BENCH_SCHEMA_VERSION,
+    TARGET_GRID_SPEEDUP,
+    TARGET_SPEEDUP,
     run_bench,
     validate_bench,
     write_bench,
@@ -22,16 +26,24 @@ from repro.experiments.bench import (
 
 pytestmark = pytest.mark.bench_smoke
 
+_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_3.json"
+
 
 @pytest.fixture(scope="module")
 def smoke_report():
     return run_bench(smoke=True)
 
 
+@pytest.fixture(scope="module")
+def baseline():
+    return json.loads(_BASELINE.read_text())
+
+
 def test_smoke_report_is_schema_valid(smoke_report):
     assert validate_bench(smoke_report) == []
     assert smoke_report["schema_version"] == BENCH_SCHEMA_VERSION
     assert smoke_report["smoke"] is True
+    assert smoke_report["cpu_count"] >= 1
 
 
 def test_smoke_report_covers_all_families(smoke_report):
@@ -41,13 +53,26 @@ def test_smoke_report_covers_all_families(smoke_report):
         assert case["n_tasks"] > 0
         assert case["makespan"] > 0
         assert isinstance(case["checksum"], int)
+        assert case["auto_engine"] in ("heap", "bucket")
         for eng in ("heap", "bucket"):
             assert case["engines"][eng]["wall_time_s"] > 0
             assert case["engines"][eng]["tasks_per_sec"] > 0
 
 
+def test_smoke_report_grid_section(smoke_report):
+    grid = smoke_report["grid"]
+    workers = sorted(run["workers"] for run in grid["runs"])
+    assert workers == [1, 2]
+    for run in grid["runs"]:
+        assert run["identical_to_serial"] is True
+        if run["workers"] > 1:
+            assert run["n_chunks"] >= 1
+            assert run["peak_worker_rss_mb"] > 0
+    assert grid["leaked_segments"] == []
+
+
 def test_write_bench_round_trips(smoke_report, tmp_path):
-    out = tmp_path / "BENCH_2.json"
+    out = tmp_path / "BENCH_3.json"
     write_bench(smoke_report, str(out))
     on_disk = json.loads(out.read_text())
     assert validate_bench(on_disk) == []
@@ -61,18 +86,62 @@ def test_write_bench_rejects_invalid_report(tmp_path):
 
 
 def test_cli_smoke_writes_report(tmp_path):
-    out = tmp_path / "BENCH_2.json"
+    out = tmp_path / "BENCH_3.json"
     rc = main(["bench", "--smoke", "--out", str(out)])
     assert rc in (0, None)
     report = json.loads(out.read_text())
     assert validate_bench(report) == []
 
 
-def test_committed_baseline_is_schema_valid():
-    """The checked-in BENCH_2.json must always parse and validate."""
-    from pathlib import Path
+def test_committed_baseline_is_schema_valid(baseline):
+    """The checked-in BENCH_3.json must always parse and validate."""
+    assert validate_bench(baseline) == []
+    assert baseline["smoke"] is False
 
-    baseline = Path(__file__).resolve().parent.parent / "BENCH_2.json"
-    report = json.loads(baseline.read_text())
-    assert validate_bench(report) == []
-    assert report["smoke"] is False
+
+def test_committed_baseline_auto_picks_winner(baseline):
+    """``engine="auto"`` must route every family to (near) its best engine.
+
+    The regression contract from the crossover recalibration: on each
+    committed bench family, the engine auto resolves to must be within
+    10% of the faster engine's wall time.  A drifted width threshold
+    (``_POOL_MIN_WIDTH``) or a changed cost profile shows up here.
+    """
+    for case in baseline["cases"]:
+        engines = case["engines"]
+        best = min(engines, key=lambda e: engines[e]["wall_time_s"])
+        auto = case["auto_engine"]
+        assert (
+            engines[auto]["wall_time_s"]
+            <= 1.10 * engines[best]["wall_time_s"]
+        ), (
+            f"{case['family']}: auto picked {auto} "
+            f"({engines[auto]['wall_time_s']:.4f}s) but {best} is faster "
+            f"({engines[best]['wall_time_s']:.4f}s)"
+        )
+
+
+def test_committed_baseline_bucket_speedup(baseline):
+    """The bucket engine keeps its mesh_large win (the PR 2 gate)."""
+    large = next(c for c in baseline["cases"] if c["family"] == "mesh_large")
+    assert large["speedup"] >= TARGET_SPEEDUP
+
+
+def test_committed_baseline_grid_criteria(baseline):
+    """Grid gates: flat worker RSS always; wall-clock speedup when the
+    machine has the cores (``cpu_count >= 4``) — a 1-core container can
+    demonstrate correctness and memory flatness but not parallelism."""
+    grid = baseline["grid"]
+    runs = {run["workers"]: run for run in grid["runs"]}
+    assert 1 in runs and len(runs) >= 2
+    for run in grid["runs"]:
+        assert run["identical_to_serial"] is True
+    parallel = [run for w, run in runs.items() if w > 1]
+    if len(parallel) >= 2:
+        rss = [run["peak_worker_rss_mb"] for run in parallel]
+        # Shared instance plane: adding workers must not grow per-worker
+        # memory (each attaches the same segment instead of copying).
+        assert max(rss) <= 1.25 * min(rss)
+    if baseline["cpu_count"] >= 4 and 4 in runs:
+        speedup = runs[1]["wall_time_s"] / runs[4]["wall_time_s"]
+        assert speedup >= TARGET_GRID_SPEEDUP

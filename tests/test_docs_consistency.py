@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.transport",
     "repro.instances",
     "repro.experiments",
+    "repro.parallel",
     "repro.util",
 ]
 

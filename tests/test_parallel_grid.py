@@ -1,0 +1,201 @@
+"""Tests for the locality-aware parallel grid dispatcher.
+
+End-to-end coverage of ``run_grid(workers=N)``: bit-identical
+equivalence with the serial runner (including communication metrics and
+blocked assignment), shared-memory leak checks for both the normal-exit
+and worker-crash paths, chunk-planning invariants, and the keyed
+aggregation's fail-loudly contract.  The equivalence and leak tests are
+marked ``grid_smoke`` so CI runs them as a dedicated job:
+
+    python -m pytest -q -m grid_smoke
+"""
+
+import pytest
+
+import repro.parallel.dispatcher as dispatcher_mod
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.runner import resolve_workers, run_grid
+from repro.parallel import (
+    DispatchStats,
+    grid_cells,
+    list_orphan_segments,
+    plan_batches,
+    plan_chunks,
+)
+from repro.util.errors import ReproError
+
+#: Two small presets for the equivalence lockdown: one exercising the
+#: communication metrics + blocked assignment on a 3-D mesh, one
+#: exercising a cache-heavy priority family (dfds) on a second mesh.
+PRESET_COMM = ExperimentConfig(
+    mesh="tetonly", target_cells=250, k=4,
+    m_values=(4, 16), block_sizes=(1, 8),
+    algorithms=("random_delay_priority",),
+    seeds=(0, 1), name="grid-comm",
+)
+PRESET_PRIORITY = ExperimentConfig(
+    mesh="long", target_cells=250, k=4,
+    m_values=(8,), block_sizes=(1,),
+    algorithms=("dfds", "descendant_delays"),
+    seeds=(0, 1, 2), name="grid-priority",
+)
+
+
+@pytest.mark.grid_smoke
+class TestEquivalence:
+    def test_with_comm_preset_bit_identical(self):
+        serial = run_grid(PRESET_COMM, with_comm=True, workers=1)
+        parallel = run_grid(PRESET_COMM, with_comm=True, workers=2)
+        assert serial == parallel
+
+    def test_priority_preset_bit_identical(self):
+        serial = run_grid(PRESET_PRIORITY, with_comm=False, workers=1)
+        parallel = run_grid(PRESET_PRIORITY, with_comm=False, workers=2)
+        assert serial == parallel
+
+    def test_config_workers_field_is_honoured(self):
+        from dataclasses import replace
+
+        parallel_cfg = replace(PRESET_PRIORITY, workers=2)
+        assert run_grid(parallel_cfg, with_comm=False) == run_grid(
+            PRESET_PRIORITY, with_comm=False
+        )
+
+
+@pytest.mark.grid_smoke
+class TestLeaks:
+    def test_no_segments_after_normal_run(self):
+        run_grid(PRESET_COMM, with_comm=False, workers=2)
+        assert list_orphan_segments() == []
+
+    def test_no_segments_after_worker_crash(self):
+        # The parent never resolves algorithm names (only warm_instance
+        # peeks at prefixes), so the unknown name detonates inside a
+        # worker mid-grid — the dispatcher must still unlink the store.
+        crash = ExperimentConfig(
+            mesh="square2d", target_cells=120, k=2,
+            m_values=(4,), algorithms=("no_such_algorithm",),
+            seeds=(0, 1), name="grid-crash",
+        )
+        with pytest.raises(ReproError, match="unknown algorithm"):
+            run_grid(crash, workers=2)
+        assert list_orphan_segments() == []
+
+
+class TestResolveWorkers:
+    def test_explicit_wins_over_config(self):
+        cfg = ExperimentConfig(workers=4)
+        assert resolve_workers(2, cfg) == 2
+
+    def test_none_defers_to_config(self):
+        assert resolve_workers(None, ExperimentConfig(workers=3)) == 3
+
+    def test_zero_means_cpu_count(self):
+        import os
+
+        assert resolve_workers(0, ExperimentConfig()) == (os.cpu_count() or 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="workers must be >= 0"):
+            resolve_workers(-1, ExperimentConfig())
+
+
+class TestChunkPlanning:
+    CONFIG = ExperimentConfig(
+        m_values=(2, 4, 8), block_sizes=(1, 8, 32),
+        algorithms=("random_delay", "level"),
+        seeds=(0, 1, 2), name="plan",
+    )
+
+    def test_grid_cells_is_row_major_and_indexed(self):
+        cells = grid_cells(self.CONFIG)
+        assert [c.index for c in cells] == list(range(len(cells)))
+        n_seeds = len(self.CONFIG.seeds)
+        for row_start in range(0, len(cells), n_seeds):
+            row = cells[row_start : row_start + n_seeds]
+            assert len({(c.algorithm, c.m, c.block_size) for c in row}) == 1
+            assert [c.seed for c in row] == list(self.CONFIG.seeds)
+
+    def test_batches_cover_rows_exactly(self):
+        batches = plan_batches(self.CONFIG)
+        cells = grid_cells(self.CONFIG)
+        n_seeds = len(self.CONFIG.seeds)
+        assert len(batches) == len(cells) // n_seeds
+        covered = [c.index for b in batches for c in b.cells]
+        assert sorted(covered) == list(range(len(cells)))
+
+    @pytest.mark.parametrize("workers", [1, 2, 4, 16])
+    def test_chunks_never_mix_block_sizes_or_split_batches(self, workers):
+        batches = plan_batches(self.CONFIG)
+        chunks = plan_chunks(batches, workers, cell_cost=1000)
+        seen_rows = []
+        for chunk in chunks:
+            assert len({b.block_size for b in chunk}) == 1
+            seen_rows.extend(b.row for b in chunk)
+        assert sorted(seen_rows) == [b.row for b in batches]
+
+    def test_chunk_count_tracks_worker_count(self):
+        batches = plan_batches(self.CONFIG)
+        few = plan_chunks(batches, 1, cell_cost=1000)
+        many = plan_chunks(batches, 8, cell_cost=1000)
+        assert len(few) <= len(many)
+        # Never more chunks than batches, never fewer than block sizes.
+        assert len(many) <= len(batches)
+        assert len(few) >= len(set(b.block_size for b in batches))
+
+    def test_planning_is_deterministic(self):
+        batches = plan_batches(self.CONFIG)
+        a = plan_chunks(batches, 4, cell_cost=7)
+        b = plan_chunks(batches, 4, cell_cost=7)
+        assert a == b
+
+    def test_empty_grid_plans_empty(self):
+        assert plan_chunks([], 4, cell_cost=1) == []
+
+
+class TestDispatchStats:
+    def test_stats_populated_on_parallel_run(self):
+        stats = DispatchStats()
+        run_grid(PRESET_PRIORITY, with_comm=False, workers=2, stats=stats)
+        assert stats.workers == 2
+        assert stats.n_chunks >= 1
+        assert sum(stats.chunk_cells) == stats.n_cells == len(
+            grid_cells(PRESET_PRIORITY)
+        )
+        assert stats.peak_worker_rss_mb > 0
+
+
+class TestKeyedAggregationFailsLoudly:
+    """The sink contract: unknown, duplicate, or missing cell indices are
+    structural dispatcher bugs and must raise, never mis-assign rows."""
+
+    CONFIG = ExperimentConfig(
+        mesh="square2d", target_cells=120, k=2, m_values=(4,),
+        algorithms=("fifo",), seeds=(0, 1), workers=2, name="keyed",
+    )
+
+    def _run_with_fake_dispatch(self, monkeypatch, fake):
+        monkeypatch.setattr(dispatcher_mod, "run_dispatch", fake)
+        return run_grid(self.CONFIG, with_comm=False)
+
+    def test_unknown_index_raises(self, monkeypatch):
+        def fake(config, with_comm, workers, sink, stats=None):
+            sink(999, object())
+
+        with pytest.raises(RuntimeError, match="unknown cell index"):
+            self._run_with_fake_dispatch(monkeypatch, fake)
+
+    def test_duplicate_index_raises(self, monkeypatch):
+        def fake(config, with_comm, workers, sink, stats=None):
+            sink(0, object())
+            sink(0, object())
+
+        with pytest.raises(RuntimeError, match="twice"):
+            self._run_with_fake_dispatch(monkeypatch, fake)
+
+    def test_dropped_rows_raise(self, monkeypatch):
+        def fake(config, with_comm, workers, sink, stats=None):
+            pass  # deliver nothing
+
+        with pytest.raises(RuntimeError, match="lost"):
+            self._run_with_fake_dispatch(monkeypatch, fake)
