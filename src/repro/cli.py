@@ -9,6 +9,7 @@ Commands
 ``transport``  run the S_n transport solve in schedule order
 ``fuzz``       differential fuzzing of every registered scheduler
 ``bench``      time the heap vs bucket scheduling engines, write JSON
+``lint``       AST invariant linter (RPL rules) over python sources
 
 All commands take ``--seed`` and print deterministic output.  The CLI is
 a thin veneer over the library — every command body is a few calls into
@@ -180,6 +181,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=None,
                    help="output JSON path (default BENCH_<schema>.json; '-' for stdout)")
+
+    p = sub.add_parser(
+        "lint",
+        help="AST invariant linter for the scheduling/parallel planes",
+        description=(
+            "Run the project's static invariant rules (RPL001 determinism, "
+            "RPL002 engine parity, RPL003 shm lifecycle, RPL004 dtype "
+            "discipline, RPL005 hot-path hygiene) over python sources.  "
+            "Exits 0 when clean, 1 with file:line diagnostics otherwise.  "
+            "See docs/linting.md for the rule pack and the pragma syntax."
+        ),
+    )
+    p.add_argument("paths", nargs="*", default=[],
+                   help="files/directories to lint (default: src/repro)")
+    p.add_argument("--format", dest="fmt", default="text",
+                   choices=["text", "json", "github"],
+                   help="text (default), json (machine-readable report "
+                        "with pragma counts), or github (PR annotations)")
+    p.add_argument("--rule", action="append", default=None, metavar="RPLxxx",
+                   help="restrict to these rule codes (repeatable)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the registered rules and exit")
     return parser
 
 
@@ -420,6 +443,44 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    import os
+
+    from repro.lint import all_rules, get_rule, lint_paths
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name}: {rule.description}")
+        return 0
+    if args.rule:
+        try:
+            rules = [get_rule(code) for code in args.rule]
+        except KeyError as exc:
+            print(f"error: unknown lint rule {exc.args[0]!r}", file=sys.stderr)
+            return 2
+    else:
+        rules = None
+    paths = list(args.paths)
+    if not paths:
+        default = os.path.join("src", "repro")
+        if not os.path.isdir(default):
+            # Installed (no src/ checkout): lint the imported package.
+            default = os.path.dirname(os.path.abspath(__file__))
+        paths = [default]
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    report = lint_paths(paths, rules=rules)
+    if args.fmt == "json":
+        print(report.format_json())
+    elif args.fmt == "github":
+        print(report.format_github())
+    else:
+        print(report.format_text())
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "schedule": _cmd_schedule,
     "figures": _cmd_figures,
@@ -431,6 +492,7 @@ _COMMANDS = {
     "families": _cmd_families,
     "fuzz": _cmd_fuzz,
     "bench": _cmd_bench,
+    "lint": _cmd_lint,
 }
 
 

@@ -53,7 +53,7 @@ def block_assignment(blocks: np.ndarray, m: int, seed=None, balanced: bool = Fal
     """
     _check_m(m)
     rng = as_rng(seed)
-    blocks = np.asarray(blocks)
+    blocks = np.asarray(blocks, dtype=np.int64)
     uniq, inverse = np.unique(blocks, return_inverse=True)
     nb = uniq.size
     if balanced:

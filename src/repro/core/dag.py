@@ -18,7 +18,10 @@ Terminology follows the paper:
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # for annotations only; networkx stays a lazy import
+    import networkx as nx
 
 import numpy as np
 
@@ -27,14 +30,16 @@ from repro.util.errors import InvalidInstanceError
 __all__ = ["Dag", "csr_from_edges"]
 
 
-def csr_from_edges(n: int, src: np.ndarray, dst: np.ndarray):
+def csr_from_edges(
+    n: int, src: np.ndarray, dst: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
     """Build a CSR adjacency (offsets, targets) from parallel edge arrays.
 
     Returns ``(offsets, targets)`` where the successors of ``v`` are
     ``targets[offsets[v]:offsets[v+1]]``.  Runs in O(E log E) (one argsort).
     """
-    src = np.asarray(src)
-    dst = np.asarray(dst)
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
     if src.shape != dst.shape:
         raise InvalidInstanceError(
             f"src and dst must have matching shapes; got {src.shape} and {dst.shape}"
@@ -139,7 +144,7 @@ class Dag:
             )
         return cls.from_edge_list(n, g.edges())
 
-    def to_networkx(self):
+    def to_networkx(self) -> "nx.DiGraph":
         """Convert to a :class:`networkx.DiGraph` (for tests/visualisation)."""
         import networkx as nx
 
@@ -183,12 +188,12 @@ class Dag:
                 self.n, self.edges[:, 1], self.edges[:, 0]
             )
 
-    def successor_csr(self):
+    def successor_csr(self) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(offsets, targets)`` CSR arrays for successors."""
         self._build_succ()
         return self._succ_off, self._succ_tgt
 
-    def predecessor_csr(self):
+    def predecessor_csr(self) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(offsets, targets)`` CSR arrays for predecessors."""
         self._build_pred()
         return self._pred_off, self._pred_tgt
@@ -223,7 +228,7 @@ class Dag:
                 self._outdegree = np.zeros(self.n, dtype=np.int64)
         return self._outdegree.copy()
 
-    def successor_lists(self):
+    def successor_lists(self) -> tuple[list[int], list[int]]:
         """Successor CSR as plain Python lists ``(offsets, targets)``.
 
         The heap engine and the narrow bucket engine walk edges one at a
@@ -242,7 +247,7 @@ class Dag:
             self._indeg_list = self.indegree().tolist()
         return self._indeg_list.copy()
 
-    def padded_successors(self):
+    def padded_successors(self) -> tuple[np.ndarray, np.ndarray] | None:
         """Dense successor matrix for vectorised indegree decrements.
 
         Returns ``(P, indeg0)`` where ``P`` has shape ``(n, maxdeg)`` with
@@ -293,7 +298,7 @@ class Dag:
         "pred_tgt": "_pred_tgt",
     }
 
-    def export_caches(self):
+    def export_caches(self) -> tuple[dict[str, object], dict[str, np.ndarray]]:
         """Snapshot every *materialised* memo cache as plain arrays.
 
         Returns ``(scalars, arrays)``: a JSON-able dict of scalar cache

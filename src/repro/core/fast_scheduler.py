@@ -40,7 +40,7 @@ from heapq import heappop, heappush
 
 import numpy as np
 
-from repro.core.dag import _gather_csr
+from repro.core.dag import Dag, _gather_csr
 from repro.core.instance import SweepInstance
 from repro.core.schedule import Schedule
 from repro.util.errors import InvalidScheduleError
@@ -158,7 +158,9 @@ def _use_pool(inst: SweepInstance, m: int) -> bool:
     return _effective_width(inst, m) >= _POOL_MIN_WIDTH
 
 
-def _pool_codes(key: np.ndarray, n_tasks: int, m: int | None):
+def _pool_codes(
+    key: np.ndarray, n_tasks: int, m: int | None
+) -> tuple[np.ndarray, int, int] | None:
     """Packed ``(proc?, key, tid)`` code parameters for the sorted pool.
 
     Returns ``(key, logn, kb)`` where ``code = (key << logn) | tid`` fits a
@@ -179,7 +181,9 @@ def _pool_codes(key: np.ndarray, n_tasks: int, m: int | None):
     return key, logn, kb
 
 
-def _decrement_and_promote(indeg: np.ndarray, off, tgt, executed: np.ndarray):
+def _decrement_and_promote(
+    indeg: np.ndarray, off: np.ndarray, tgt: np.ndarray, executed: np.ndarray
+) -> np.ndarray:
     """Batch-decrement indegrees of all successors; return newly-ready ids.
 
     One CSR gather plus one ``np.unique`` replace the heap engine's
@@ -199,7 +203,7 @@ def _decrement_and_promote(indeg: np.ndarray, off, tgt, executed: np.ndarray):
 # ----------------------------------------------------------------------
 
 
-def _pool_promote(union, indeg, done):
+def _pool_promote(union: Dag, indeg: np.ndarray, done: np.ndarray) -> np.ndarray:
     """Newly-ready ids after executing ``done`` (may contain duplicates)."""
     padded = union.padded_successors()
     if padded is not None:
@@ -211,7 +215,7 @@ def _pool_promote(union, indeg, done):
     return _decrement_and_promote(indeg, off, tgt, done)
 
 
-def _pool_indegree(union):
+def _pool_indegree(union: Dag) -> np.ndarray:
     """Working indegree array matching :func:`_pool_promote`'s layout."""
     padded = union.padded_successors()
     if padded is not None:
@@ -219,7 +223,14 @@ def _pool_indegree(union):
     return union.indegree()
 
 
-def _pool_schedule(inst, m, assignment, key, logn, kb):
+def _pool_schedule(
+    inst: SweepInstance,
+    m: int,
+    assignment: np.ndarray,
+    key: np.ndarray,
+    logn: int,
+    kb: int,
+) -> np.ndarray:
     n_tasks = inst.n_tasks
     union = inst.union_dag()
     indeg = _pool_indegree(union)
@@ -265,7 +276,9 @@ def _pool_schedule(inst, m, assignment, key, logn, kb):
     return start
 
 
-def _pool_unassigned(inst, m, key, logn, kb):
+def _pool_unassigned(
+    inst: SweepInstance, m: int, key: np.ndarray, logn: int, kb: int
+) -> tuple[np.ndarray, np.ndarray]:
     n_tasks = inst.n_tasks
     union = inst.union_dag()
     indeg = _pool_indegree(union)
@@ -305,7 +318,9 @@ def _pool_unassigned(inst, m, key, logn, kb):
 # ----------------------------------------------------------------------
 
 
-def _bucket_schedule(inst, m, assignment, key):
+def _bucket_schedule(
+    inst: SweepInstance, m: int, assignment: np.ndarray, key: np.ndarray
+) -> np.ndarray:
     n_tasks = inst.n_tasks
     union = inst.union_dag()
     off_l, tgt_l = union.successor_lists()
@@ -397,7 +412,9 @@ def _bucket_schedule(inst, m, assignment, key):
     return start
 
 
-def _bucket_unassigned(inst, m, key):
+def _bucket_unassigned(
+    inst: SweepInstance, m: int, key: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
     n_tasks = inst.n_tasks
     union = inst.union_dag()
     off_l, tgt_l = union.successor_lists()

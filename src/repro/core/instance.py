@@ -143,7 +143,7 @@ class SweepInstance:
     # flat-array export / reconstruction (shared-memory instance plane)
     # ------------------------------------------------------------------
 
-    def export_arrays(self):
+    def export_arrays(self) -> tuple[dict[str, object], dict[str, np.ndarray]]:
         """Flatten the instance (and materialised caches) to plain arrays.
 
         Returns ``(meta, arrays)``: a JSON-able ``meta`` dict and a dict

@@ -123,7 +123,7 @@ def list_schedule(
     The produced schedule has no avoidable idle time: a processor is idle
     at a step only if none of its assigned tasks is ready.
     """
-    assignment = np.asarray(assignment)
+    assignment = np.asarray(assignment, dtype=np.int64)
     if assignment.shape != (inst.n_cells,):
         raise InvalidScheduleError(
             f"assignment has shape {assignment.shape}, expected ({inst.n_cells},)"

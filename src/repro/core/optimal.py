@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from functools import lru_cache
 from itertools import product
+from typing import Iterator
 
 import numpy as np
 
@@ -48,7 +49,7 @@ def optimal_makespan_for_assignment(
     pred_mask = [0] * n_tasks
     for u, v in union.edges.tolist():
         pred_mask[v] |= 1 << u
-    proc_of = np.tile(np.asarray(assignment), inst.k).tolist()
+    proc_of = np.tile(np.asarray(assignment, dtype=np.int64), inst.k).tolist()
     all_done = (1 << n_tasks) - 1
     tasks_by_proc: list[list[int]] = [[] for _ in range(m)]
     for t in range(n_tasks):
@@ -116,12 +117,12 @@ def optimal_makespan(inst: SweepInstance, m: int) -> int:
     return int(best_val)
 
 
-def _set_partitions(n: int, max_groups: int):
+def _set_partitions(n: int, max_groups: int) -> Iterator[np.ndarray]:
     """Yield all assignments of n items into <= max_groups unlabeled
     groups, as restricted growth strings (item 0 always in group 0)."""
     assignment = np.zeros(n, dtype=np.int64)
 
-    def rec(i: int, used: int):
+    def rec(i: int, used: int) -> Iterator[np.ndarray]:
         if i == n:
             yield assignment.copy()
             return

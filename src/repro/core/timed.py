@@ -133,7 +133,7 @@ def latency_list_schedule(
     priority among them.  Deterministic: ties break by task id, and the
     event queue orders by (time, processor).
     """
-    assignment = np.asarray(assignment)
+    assignment = np.asarray(assignment, dtype=np.int64)
     if assignment.shape != (inst.n_cells,):
         raise InvalidScheduleError("assignment must have one entry per cell")
     if inst.n_cells and (assignment.min() < 0 or assignment.max() >= m):

@@ -1,0 +1,53 @@
+"""AST-based invariant linter for the scheduling and parallel planes.
+
+The runtime test suites (fuzzing, engine equivalence, grid smoke) verify
+the repository's structural invariants *after the fact*; this package
+enforces them *at review time*, statically, with zero runtime deps
+beyond the stdlib ``ast`` module.  Shipped rules:
+
+========  ==============================================================
+RPL001    seeded determinism — no stdlib ``random``, bare
+          ``np.random.*``, ``time.time()``, or unseeded ``default_rng()``
+          outside ``util/rng.py`` and ``fuzz/``
+RPL002    engine parity — functions accepting ``engine=`` must forward
+          it to every list-scheduling / registry-algorithm call
+RPL003    shm lifecycle — ``SharedMemory`` creation needs an owner with
+          close+unlink (or a ``with``); buffer-backed views must decide
+          writability explicitly
+RPL004    dtype discipline — index arrays in ``core/``/``parallel/``
+          need an explicit integer dtype
+RPL005    hot-path hygiene — no quadratic idioms in the benchmarked
+          scheduler/dispatcher files
+========  ==============================================================
+
+Run it as ``repro lint [paths] [--format text|json|github]``; the pytest
+gate is ``tests/test_lint.py``.  ``docs/linting.md`` documents the rule
+pack, the ``# repro-lint: disable=RPLxxx -- why`` pragma, and how to add
+a rule.
+"""
+
+from repro.lint.engine import (
+    LintReport,
+    Pragma,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+    package_relpath,
+)
+from repro.lint.rules import Diagnostic, Rule, all_rules, get_rule, register
+
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "Pragma",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "package_relpath",
+]

@@ -1,0 +1,125 @@
+"""RPL003 — shared-memory lifecycle.
+
+The parallel plane's single-owner protocol (``repro.parallel.shm_store``)
+hangs on two properties that no unit test can prove in general:
+
+1. **Every segment gets unlinked.**  A ``SharedMemory`` handle created
+   outside a context manager and outside a class that implements both
+   ``close()`` and ``unlink()`` paths leaks a ``/dev/shm`` file on any
+   exception between creation and cleanup.  The rule demands one of:
+
+   * the creation is the context expression of a ``with`` statement, or
+   * the creation happens inside a class whose body (any method) calls
+     both ``.close()`` and ``.unlink()`` — the owning-store pattern.
+
+2. **Attached views are read-only.**  A zero-copy ``np.ndarray`` built
+   over ``buffer=shm.buf`` is writeable by default; a stray write from a
+   worker corrupts every other worker's input *silently*.  Any
+   ``np.ndarray(..., buffer=...)`` construction must therefore happen in
+   a function that explicitly decides writability — an assignment to
+   ``.flags.writeable`` or a ``.setflags(write=...)`` call — so the
+   read-only choice is visible at the construction site.  The runtime
+   counterpart is the ``REPRO_SANITIZE=1`` hook
+   (:mod:`repro.parallel.sanitize`), which poisons attached views and
+   verifies segment digests.
+
+Worker-side *attach* handles that deliberately never unlink (ownership
+stays with the publishing parent) are the intended use of the
+``# repro-lint: disable=RPL003 -- ...`` pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.rules.base import (
+    Diagnostic,
+    FileContext,
+    Rule,
+    class_ancestor,
+    enclosing_function,
+    in_with_item,
+    register,
+)
+
+__all__ = ["ShmLifecycleRule"]
+
+
+def _class_has_close_and_unlink(cls: ast.ClassDef) -> bool:
+    seen: set[str] = set()
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in ("close", "unlink"):
+                seen.add(node.func.attr)
+    return {"close", "unlink"} <= seen
+
+
+def _decides_writability(fn: ast.AST) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (isinstance(target, ast.Attribute)
+                        and target.attr == "writeable"
+                        and isinstance(target.value, ast.Attribute)
+                        and target.value.attr == "flags"):
+                    return True
+        elif (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "setflags"
+                and any(kw.arg == "write" for kw in node.keywords)):
+            return True
+    return False
+
+
+@register
+class ShmLifecycleRule(Rule):
+    code = "RPL003"
+    name = "shm-lifecycle"
+    description = (
+        "SharedMemory creation needs a context manager or an owning class "
+        "with close+unlink; buffer-backed ndarrays must set writability "
+        "explicitly"
+    )
+
+    def check(self, ctx: FileContext) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            full = ctx.resolve(node.func)
+            if full is None:
+                continue
+            if full.endswith(".SharedMemory") or full == "SharedMemory":
+                out.extend(self._check_creation(ctx, node))
+            elif full in ("numpy.ndarray", "numpy.frombuffer"):
+                out.extend(self._check_view(ctx, node))
+        return out
+
+    def _check_creation(self, ctx: FileContext, node: ast.Call) -> list[Diagnostic]:
+        if in_with_item(ctx, node):
+            return []
+        cls = class_ancestor(ctx, node)
+        if cls is not None and _class_has_close_and_unlink(cls):
+            return []
+        return [ctx.diagnostic(
+            self, node,
+            "SharedMemory created outside a `with` block and outside a "
+            "class with close()+unlink() paths — the segment leaks on any "
+            "exception before cleanup",
+        )]
+
+    def _check_view(self, ctx: FileContext, node: ast.Call) -> list[Diagnostic]:
+        has_buffer = any(kw.arg == "buffer" for kw in node.keywords) or (
+            ctx.resolve(node.func) == "numpy.frombuffer"
+        )
+        if not has_buffer:
+            return []
+        fn = enclosing_function(ctx, node)
+        if fn is not None and _decides_writability(fn):
+            return []
+        return [ctx.diagnostic(
+            self, node,
+            "ndarray view over a shared buffer without an explicit "
+            "writability decision — set `.flags.writeable` (False outside "
+            "the owning store) where the view is built",
+        )]

@@ -29,6 +29,7 @@ from repro.parallel.dispatcher import (
     process_peak_rss_mb,
     run_dispatch,
 )
+from repro.parallel.sanitize import sanitize_enabled
 from repro.parallel.shm_store import (
     SHM_PREFIX,
     ArraySpec,
@@ -37,6 +38,7 @@ from repro.parallel.shm_store import (
     attach,
     detach_all,
     list_orphan_segments,
+    verify_attached,
 )
 from repro.parallel.worker import warm_instance
 
@@ -56,5 +58,7 @@ __all__ = [
     "plan_chunks",
     "process_peak_rss_mb",
     "run_dispatch",
+    "sanitize_enabled",
+    "verify_attached",
     "warm_instance",
 ]

@@ -1,0 +1,78 @@
+"""Runtime shared-memory sanitizer — the dynamic twin of lint rule RPL003.
+
+The static rule (:mod:`repro.lint.rules.shm_lifecycle`) proves that every
+attached numpy view *is built* read-only; it cannot prove that nothing
+writes to the underlying segment through some other alias (a raw
+``shm.buf`` memoryview, ctypes, a future refactor).  Setting
+``REPRO_SANITIZE=1`` closes that gap at runtime:
+
+* :meth:`~repro.parallel.shm_store.SharedInstanceStore.publish` stamps a
+  content digest of the full segment into the manifest;
+* :func:`~repro.parallel.shm_store.attach` verifies the digest on entry
+  (torn or corrupt publication) and **poisons** the views — asserting
+  every one is non-writable, so any task-level write raises numpy's
+  ``ValueError: assignment destination is read-only`` immediately;
+* workers re-verify the digest after each chunk, and the owning store
+  re-verifies on ``close()`` before unlinking — a stray write anywhere in
+  between surfaces as :class:`~repro.util.errors.SanitizerError` naming
+  the stage that caught it, instead of as a silently-corrupted schedule.
+
+The checks cost one hash of the segment per stage, so the flag is meant
+for CI smoke jobs and debugging sessions, not production grids.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Mapping
+
+import numpy as np
+
+from repro.util.errors import SanitizerError
+
+__all__ = [
+    "sanitize_enabled",
+    "segment_digest",
+    "poison_views",
+    "check_digest",
+]
+
+
+def sanitize_enabled() -> bool:
+    """True when ``REPRO_SANITIZE`` is set to anything but ``""``/``0``."""
+    return os.environ.get("REPRO_SANITIZE", "0") not in ("", "0")
+
+
+def segment_digest(buf: memoryview) -> str:
+    """Content digest of a shared segment (16-byte blake2b, hex)."""
+    return hashlib.blake2b(bytes(buf), digest_size=16).hexdigest()
+
+
+def poison_views(views: Mapping[str, np.ndarray], where: str) -> None:
+    """Assert every attached view is read-only; writes then raise in numpy.
+
+    "Poisoning" here means enforcing the read-only flag so the very first
+    write attempt through any of these views fails loudly — there is no
+    deferred detection to wait for.  A view that is already writable
+    means the attach path itself is broken; that is reported immediately.
+    """
+    for key, view in views.items():
+        if view.flags.writeable:
+            raise SanitizerError(
+                f"{where}: attached view {key!r} is writable — zero-copy "
+                "attachments must be read-only outside the owning store"
+            )
+
+
+def check_digest(buf: memoryview, expected: str | None, where: str) -> None:
+    """Verify segment contents still match the published digest."""
+    if expected is None:
+        return
+    actual = segment_digest(buf)
+    if actual != expected:
+        raise SanitizerError(
+            f"{where}: shared segment contents changed after publication "
+            f"(digest {actual} != published {expected}) — something wrote "
+            "to the segment through a non-view alias"
+        )

@@ -35,6 +35,7 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from repro.core.instance import SweepInstance
+from repro.parallel import sanitize
 
 __all__ = [
     "SHM_PREFIX",
@@ -43,6 +44,7 @@ __all__ = [
     "SharedInstanceStore",
     "attach",
     "detach_all",
+    "verify_attached",
     "list_orphan_segments",
 ]
 
@@ -80,6 +82,10 @@ class StoreManifest:
     meta: dict
     specs: tuple = field(default_factory=tuple)
     block_sizes: tuple = field(default_factory=tuple)
+    #: Content digest of the published segment, stamped only when the
+    #: ``REPRO_SANITIZE=1`` sanitizer is active (else ``None``).  Workers
+    #: and the owning store re-verify it to catch stray writes.
+    digest: str | None = None
 
 
 def _layout(arrays: dict) -> tuple[tuple, int]:
@@ -163,8 +169,13 @@ class SharedInstanceStore:
         views = _views(specs, shm.buf, writeable=True)
         for spec in specs:
             np.copyto(views[spec.key], arrays[spec.key], casting="no")
+        digest = (
+            sanitize.segment_digest(shm.buf)
+            if sanitize.sanitize_enabled() else None
+        )
         manifest = StoreManifest(
-            segment=shm.name, meta=meta, specs=specs, block_sizes=block_sizes
+            segment=shm.name, meta=meta, specs=specs,
+            block_sizes=block_sizes, digest=digest,
         )
         return cls(shm, manifest)
 
@@ -192,7 +203,16 @@ class SharedInstanceStore:
             pass
 
     def close(self) -> None:
-        """Close and unlink the segment (idempotent)."""
+        """Close and unlink the segment (idempotent).
+
+        Under ``REPRO_SANITIZE=1`` the segment's contents are verified
+        against the published digest first, so a stray write anywhere in
+        the grid run fails the owning store's shutdown loudly.
+        """
+        if not self._closed:
+            sanitize.check_digest(
+                self._shm.buf, self.manifest.digest, "store close"
+            )
         self._cleanup()
         atexit.unregister(self._cleanup)
 
@@ -217,7 +237,9 @@ class SharedInstanceStore:
 _ATTACHED: dict = {}
 
 
-def attach(manifest: StoreManifest):
+def attach(
+    manifest: StoreManifest,
+) -> tuple[SweepInstance, dict[int, np.ndarray]]:
     """Attach to a published store; returns ``(instance, blocks)``.
 
     Zero-copy: the instance's arrays are read-only views of the shared
@@ -228,9 +250,17 @@ def attach(manifest: StoreManifest):
     cached = _ATTACHED.get(manifest.segment)
     if cached is not None:
         return cached[1], cached[2]
-    shm = shared_memory.SharedMemory(name=manifest.segment)
+    # Attach-only handle: ownership (and unlinking) stays with the
+    # publishing parent; detach_all() closes this mapping on eviction
+    # and at worker exit.
+    shm = shared_memory.SharedMemory(  # repro-lint: disable=RPL003 -- worker attach never owns the segment; the publishing SharedInstanceStore holds the close+unlink paths and detach_all() closes this handle
+        name=manifest.segment
+    )
     _untrack(shm)
     views = _views(manifest.specs, shm.buf, writeable=False)
+    if manifest.digest is not None:
+        sanitize.check_digest(shm.buf, manifest.digest, "attach")
+        sanitize.poison_views(views, "attach")
     blocks = {
         size: views.pop(f"blocks/{size}") for size in manifest.block_sizes
     }
@@ -238,6 +268,18 @@ def attach(manifest: StoreManifest):
     detach_all()  # evict any previous grid's segment
     _ATTACHED[manifest.segment] = (shm, inst, blocks)
     return inst, blocks
+
+
+def verify_attached(manifest: StoreManifest) -> None:
+    """Re-verify a memoised attachment against its published digest.
+
+    No-op unless the manifest carries a sanitizer digest and this process
+    is currently attached to the segment.  Workers call this after every
+    chunk so a stray write is pinned to the chunk that made it.
+    """
+    entry = _ATTACHED.get(manifest.segment)
+    if entry is not None and manifest.digest is not None:
+        sanitize.check_digest(entry[0].buf, manifest.digest, "worker chunk")
 
 
 def detach_all() -> None:

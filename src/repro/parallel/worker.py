@@ -13,11 +13,18 @@ worker.
 from __future__ import annotations
 
 import atexit
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # annotation-only imports; runtime imports stay lazy
+    from repro.analysis.metrics import ScheduleSummary
+    from repro.core.instance import SweepInstance
+    from repro.parallel.dispatcher import GridCell
+    from repro.parallel.shm_store import StoreManifest
 
 __all__ = ["warm_instance", "init_worker", "run_chunk"]
 
 
-def warm_instance(inst, algorithms=()) -> None:
+def warm_instance(inst: "SweepInstance", algorithms: Iterable[str] = ()) -> None:
     """Materialise the memo caches the given algorithms will need.
 
     Always warmed (every list-scheduling engine touches them): the union
@@ -47,7 +54,7 @@ def warm_instance(inst, algorithms=()) -> None:
             g.successor_csr()
 
 
-def init_worker(manifest) -> None:
+def init_worker(manifest: "StoreManifest") -> None:
     """Pool initializer: attach to the shared store before the first task.
 
     Attachment is memoised per process, so this only front-loads the
@@ -60,7 +67,12 @@ def init_worker(manifest) -> None:
     attach(manifest)
 
 
-def run_chunk(manifest, cells, with_comm: bool, engine: str):
+def run_chunk(
+    manifest: "StoreManifest",
+    cells: Sequence["GridCell"],
+    with_comm: bool,
+    engine: str,
+) -> tuple[list[tuple[int, "ScheduleSummary"]], float]:
     """Execute one chunk of grid cells against the shared instance.
 
     Returns ``(pairs, peak_rss_mb)`` where ``pairs`` is a list of
@@ -71,7 +83,7 @@ def run_chunk(manifest, cells, with_comm: bool, engine: str):
     """
     from repro.experiments.runner import run_cell_on
     from repro.parallel.dispatcher import process_peak_rss_mb
-    from repro.parallel.shm_store import attach
+    from repro.parallel.shm_store import attach, verify_attached
 
     inst, blocks = attach(manifest)
     pairs = []
@@ -87,4 +99,7 @@ def run_chunk(manifest, cells, with_comm: bool, engine: str):
             blocks=blocks.get(cell.block_size) if cell.block_size > 1 else None,
         )
         pairs.append((cell.index, summary))
+    # Under REPRO_SANITIZE=1 pin any stray segment write to the chunk
+    # that made it (no-op otherwise).
+    verify_attached(manifest)
     return pairs, process_peak_rss_mb()

@@ -19,6 +19,7 @@ from repro.transport.sweep_solver import (
     sweep_direction,
 )
 from repro.util.errors import ReproError
+from repro.util.rng import as_rng
 
 __all__ = ["manufactured_emission", "verify_sweep"]
 
@@ -58,7 +59,7 @@ def verify_sweep(
     if problem.boundary != "vacuum":
         raise ReproError("MMS verification assumes vacuum boundaries")
     geos, _ = build_geometry(problem, orders)
-    rng = np.random.default_rng(seed)
+    rng = as_rng(seed)
     n_dirs = problem.quadrature.k if directions is None else directions
     worst = 0.0
     for geo in geos[:n_dirs]:

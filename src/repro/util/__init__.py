@@ -11,7 +11,9 @@ from repro.util.errors import (
     PartitionError,
     MeshError,
 )
-from repro.util.rng import as_rng, spawn_rngs
+# SeedLike (the seed-argument alias) lives in repro.util.rng; it is a
+# typing construct, not a callable export, so it stays out of __all__.
+from repro.util.rng import as_rng, spawn_rng, spawn_rngs
 from repro.util.timing import Timer
 
 __all__ = [
@@ -21,6 +23,7 @@ __all__ = [
     "PartitionError",
     "MeshError",
     "as_rng",
+    "spawn_rng",
     "spawn_rngs",
     "Timer",
 ]

@@ -29,3 +29,12 @@ class PartitionError(ReproError):
 
 class MeshError(ReproError):
     """Mesh construction or validation failed."""
+
+
+class SanitizerError(ReproError):
+    """The ``REPRO_SANITIZE=1`` runtime sanitizer detected a violation.
+
+    Raised when a shared-memory segment's contents changed after
+    publication (a stray write through some writable alias) or when an
+    attached view turned out to be writable outside the owning store.
+    """

@@ -1,23 +1,36 @@
-"""Reproducible random-number-generator plumbing.
+"""Reproducible random-number-generator plumbing — the seeding chokepoint.
 
 All randomized algorithms in this package accept a ``seed`` argument that
 may be ``None`` (fresh entropy), an ``int``, or an existing
 :class:`numpy.random.Generator`.  :func:`as_rng` normalises the three forms.
 
-Randomised algorithms that need several independent streams (e.g. one per
-repetition of an experiment) should use :func:`spawn_rngs`, which derives
-child generators through :class:`numpy.random.SeedSequence` spawning so the
-streams are statistically independent regardless of the root seed.
+Randomised code that needs several independent streams uses
+:func:`spawn_rngs` (a batch of children) or :func:`spawn_rng` (one named
+child stream); both derive children through
+:class:`numpy.random.SeedSequence` spawning so the streams are
+statistically independent regardless of the root seed.
+
+This module is the **only** place in ``src/repro`` allowed to call
+``np.random.default_rng`` — the static linter (rule ``RPL001``, see
+``docs/linting.md``) rejects direct calls anywhere else, so every draw
+in the library is reachable from a caller-supplied seed.
 """
 
 from __future__ import annotations
 
+from typing import TypeAlias, Union
+
 import numpy as np
 
-SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
+#: Anything :func:`as_rng` accepts as a seed.
+SeedLike: TypeAlias = Union[
+    int, np.random.Generator, np.random.SeedSequence, None
+]
+
+__all__ = ["SeedLike", "as_rng", "spawn_rng", "spawn_rngs"]
 
 
-def as_rng(seed=None) -> np.random.Generator:
+def as_rng(seed: SeedLike = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.
 
     Parameters
@@ -32,7 +45,7 @@ def as_rng(seed=None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn_rngs(seed, n: int) -> list[np.random.Generator]:
+def spawn_rngs(seed: SeedLike, n: int) -> list[np.random.Generator]:
     """Derive ``n`` independent generators from ``seed``.
 
     Unlike ``[as_rng(seed + i) for i in range(n)]``, sequential integer
@@ -47,3 +60,29 @@ def spawn_rngs(seed, n: int) -> list[np.random.Generator]:
         return [np.random.default_rng(int(s)) for s in seeds]
     ss = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in ss.spawn(n)]
+
+
+def spawn_rng(seed: SeedLike, stream: int) -> np.random.Generator:
+    """One independent child generator: stream ``stream`` of root ``seed``.
+
+    The named-stream form of :func:`spawn_rngs` for call sites that need
+    a single derived stream (``spawn_rng(seed, 3)`` is
+    ``spawn_rngs(seed, 4)[3]`` without building the other three).  Stream
+    numbering is stable: the same ``(seed, stream)`` pair always yields
+    the same generator, and distinct streams are independent.
+
+    ``seed`` may not be a live ``Generator`` here — a generator's state
+    advances as it draws, so "stream ``i`` of generator ``g``" would
+    depend on how much ``g`` had already been used, silently breaking
+    reproducibility.  Pass the root seed (or a ``SeedSequence``) instead.
+    """
+    if stream < 0:
+        raise ValueError(f"stream index must be >= 0, got {stream}")
+    if isinstance(seed, np.random.Generator):
+        raise TypeError(
+            "spawn_rng needs a replayable root seed (int / SeedSequence / "
+            "None), not a live Generator whose state drifts as it draws; "
+            "use spawn_rngs(generator, n) for one-shot batches"
+        )
+    ss = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return np.random.default_rng(ss.spawn(stream + 1)[stream])

@@ -1,0 +1,28 @@
+# Known-bad fixture for RPL001 (determinism): every statement below must
+# be flagged.  Never imported — parsed only by repro.lint.
+import random
+import time
+
+import numpy as np
+
+
+def shuffled_delays(k):
+    values = list(range(k))
+    random.shuffle(values)  # stdlib random call
+    return values
+
+
+def noisy_priority(n):
+    return np.random.rand(n)  # bare np.random.* call
+
+
+def fresh_rng():
+    return np.random.default_rng()  # unseeded: OS entropy
+
+
+def chokepoint_bypass(seed):
+    return np.random.default_rng(seed)  # seeded, but bypasses util/rng.py
+
+
+def stamp():
+    return time.time()  # wall clock leaks into output

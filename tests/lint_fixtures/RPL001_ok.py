@@ -1,0 +1,36 @@
+# Near-miss fixture for RPL001 (determinism): nothing here may be
+# flagged.  Exercises the look-alikes the rule must not confuse with
+# real entropy sources.
+import time
+
+import numpy as np
+
+from repro.util.rng import as_rng, spawn_rng
+
+
+def seeded_priority(n, seed=None):
+    rng = as_rng(seed)  # the sanctioned chokepoint
+    return rng.random(n)  # Generator method, not np.random.*
+
+
+def derived_stream(seed):
+    return spawn_rng(seed, 1)
+
+
+def annotated(rng: np.random.Generator) -> np.random.Generator:
+    # Attribute *references* to np.random types are fine — only calls count.
+    assert isinstance(rng, np.random.Generator)
+    return rng
+
+
+def measure():
+    t0 = time.perf_counter()  # measurement-only timing is allowed
+    return time.perf_counter() - t0
+
+
+class Sampler:
+    def random(self):
+        return 4
+
+    def draw(self):
+        return self.random()  # method named `random` on our own object

@@ -1,0 +1,20 @@
+# Known-bad fixture for RPL002 (engine parity): both scheduling calls
+# inside engine-accepting functions must be flagged.
+from repro.core.list_scheduler import list_schedule, list_schedule_unassigned
+from repro.heuristics import get_algorithm
+
+
+def dropped_selector(inst, m, assignment, engine="auto"):
+    # Accepts engine= but pins the core to "auto": flagged.
+    return list_schedule(inst, m, assignment)
+
+
+def dropped_on_registry(inst, m, seed, engine="auto"):
+    algo = get_algorithm("random_delay_priority")
+    # Registry algorithms take engine= too; dropping it is the same bug.
+    return algo(inst, m, seed=seed)
+
+
+def relaxation(inst, m, engine="auto"):
+    # Forwarding a literal instead of the parameter also drops the choice.
+    return list_schedule_unassigned(inst, m, engine="heap")

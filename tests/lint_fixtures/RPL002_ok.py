@@ -1,0 +1,29 @@
+# Near-miss fixture for RPL002 (engine parity): nothing here may be
+# flagged.
+from repro.core.list_scheduler import list_schedule, list_schedule_unassigned
+from repro.heuristics import get_algorithm
+
+
+def forwarded(inst, m, assignment, priority=None, engine="auto"):
+    return list_schedule(inst, m, assignment, priority=priority, engine=engine)
+
+
+def forwarded_registry(inst, m, seed, engine="auto"):
+    algo = get_algorithm("random_delay_priority")
+    return algo(inst, m, seed=seed, engine=engine)
+
+
+def no_engine_param(inst, m, assignment):
+    # Callers without an engine parameter made no promise to forward one.
+    return list_schedule(inst, m, assignment)
+
+
+def uniform_signature_only(inst, m, engine="auto"):
+    # Accepts engine for registry-signature uniformity but never runs a
+    # list scheduler — vacuously compliant (Algorithm 1's shape).
+    del engine
+    return inst.union_dag().num_levels() * m
+
+
+def splatted(inst, m, engine="auto", **kwargs):
+    return list_schedule_unassigned(inst, m, engine=engine, **kwargs)

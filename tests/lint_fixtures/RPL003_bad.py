@@ -1,0 +1,16 @@
+# Known-bad fixture for RPL003 (shm lifecycle): both patterns below must
+# be flagged.
+from multiprocessing import shared_memory
+
+import numpy as np
+
+
+def leaky_publish(total):
+    # No context manager, no owning class: leaks on any exception below.
+    shm = shared_memory.SharedMemory(create=True, size=total)
+    return shm.name
+
+
+def writable_view(shm, shape):
+    # Buffer-backed view with no writability decision anywhere in scope.
+    return np.ndarray(shape, dtype=np.int64, buffer=shm.buf)

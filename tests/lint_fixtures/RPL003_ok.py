@@ -1,0 +1,39 @@
+# Near-miss fixture for RPL003 (shm lifecycle): nothing here may be
+# flagged.
+from multiprocessing import shared_memory
+
+import numpy as np
+
+
+def scoped_publish(total):
+    # Creation as a `with` context expression: cleanup is structural.
+    with shared_memory.SharedMemory(create=True, size=total) as shm:
+        return bytes(shm.buf[:8])
+
+
+class OwningStore:
+    """The owning-store pattern: creation + close/unlink in one class."""
+
+    def __init__(self, total):
+        self._shm = shared_memory.SharedMemory(create=True, size=total)
+
+    def close(self):
+        self._shm.close()
+        self._shm.unlink()
+
+
+def readonly_view(shm, shape):
+    view = np.ndarray(shape, dtype=np.int64, buffer=shm.buf)
+    view.flags.writeable = False  # explicit decision at the build site
+    return view
+
+
+def owner_view(shm, shape, writeable):
+    view = np.ndarray(shape, dtype=np.int64, buffer=shm.buf)
+    view.flags.writeable = writeable
+    return view
+
+
+def plain_array(shape):
+    # ndarray without buffer= is an ordinary allocation, out of scope.
+    return np.ndarray(shape, dtype=np.int64)

@@ -1,0 +1,21 @@
+# repro-lint-fixture: path=core/_fixture.py
+# Known-bad fixture for RPL004 (dtype discipline): every construction
+# below must be flagged.  The directive above places this file in core/,
+# where the rule is in scope.
+import numpy as np
+
+
+def implicit_edges(edges):
+    return np.asarray(edges)
+
+
+def implicit_assignment(assignment, k):
+    return np.tile(np.asarray(assignment), k)
+
+
+def implicit_blocks(blocks):
+    return np.array(blocks)
+
+
+def implicit_csr(dag):
+    return np.ascontiguousarray(dag.offsets)

@@ -1,0 +1,27 @@
+# repro-lint-fixture: path=core/_fixture.py
+# Near-miss fixture for RPL004 (dtype discipline): nothing here may be
+# flagged, even though the directive places the file in core/.
+import numpy as np
+
+
+def explicit_edges(edges):
+    return np.asarray(edges, dtype=np.int64)
+
+
+def explicit_assignment(assignment, k):
+    return np.tile(np.asarray(assignment, dtype=np.int64), k)
+
+
+def priorities_may_be_float(priority):
+    # Non-index data: priorities are legitimately floats.
+    return np.asarray(priority)
+
+
+def costs_may_be_float(task_cost):
+    return np.array(task_cost)
+
+
+def subscripted_source(arrays, key):
+    # No recognisable index identifier: the rule stays silent rather
+    # than guessing.
+    return np.ascontiguousarray(arrays[key])

@@ -59,7 +59,7 @@ def _code_names(markdown: str) -> set[str]:
 class TestDocReferences:
     @pytest.mark.parametrize(
         "doc", ["README.md", "docs/usage.md", "docs/deviations.md",
-                "docs/architecture.md"]
+                "docs/architecture.md", "docs/linting.md"]
     )
     def test_repro_paths_in_docs_resolve(self, doc):
         text = (ROOT / doc).read_text()
