@@ -8,8 +8,6 @@ an empirical scaling check (doubling the instance should roughly double
 the runtime, not quadruple it).
 """
 
-import time
-
 from benchmarks.conftest import run_once
 from repro.core import (
     random_delay_priority_schedule,
@@ -19,6 +17,7 @@ from repro.core.list_scheduler import list_schedule_unassigned
 from repro.experiments import format_table
 from repro.experiments.configs import ExperimentConfig
 from repro.experiments.runner import get_instance
+from repro.util.timing import Timer
 
 SIZES = (1000, 2000, 4000)
 M = 32
@@ -39,9 +38,9 @@ def _measure():
             # other benches) otherwise dominates single measurements.
             best = float("inf")
             for _ in range(3):
-                t0 = time.perf_counter()
-                fn()
-                best = min(best, time.perf_counter() - t0)
+                with Timer() as t:
+                    fn()
+                best = min(best, t.elapsed)
             row[label + "_tasks_per_s"] = int(inst.n_tasks / best)
         rows.append(row)
     return rows

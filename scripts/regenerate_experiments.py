@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 
 def main(argv=None) -> int:
@@ -27,6 +26,7 @@ def main(argv=None) -> int:
     sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
 
     from repro.experiments import paper
+    from repro.util.timing import Timer
 
     figures = [
         ("Fig 2(a)", lambda: paper.fig2a(target_cells=args.cells)),
@@ -38,10 +38,10 @@ def main(argv=None) -> int:
         ("Headline", lambda: paper.headline_bounds(target_cells=args.cells)),
     ]
     for name, fn in figures:
-        t0 = time.perf_counter()
-        _rows, text = fn()
+        with Timer() as t:
+            _rows, text = fn()
         print(text)
-        print(f"[{name}: {time.perf_counter() - t0:.1f}s]\n")
+        print(f"[{name}: {t.elapsed:.1f}s]\n")
 
     # Extension tables, via the bench modules' sweep functions.
     from benchmarks import (
@@ -85,10 +85,10 @@ def main(argv=None) -> int:
          ["cost_sigma", "ratio_mean", "ratio_max"]),
     ]
     for name, fn, cols in extensions:
-        t0 = time.perf_counter()
-        rows = fn()
+        with Timer() as t:
+            rows = fn()
         print(format_table(rows, cols, title=name))
-        print(f"[{name}: {time.perf_counter() - t0:.1f}s]\n")
+        print(f"[{name}: {t.elapsed:.1f}s]\n")
     return 0
 
 

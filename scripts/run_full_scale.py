@@ -12,7 +12,6 @@ grid cells over a process pool (bit-identical results).
 from __future__ import annotations
 
 import sys
-import time
 
 
 def main(argv=None) -> int:
@@ -27,6 +26,7 @@ def main(argv=None) -> int:
     from repro.experiments.presets import PAPER_SCALE
     from repro.experiments.report import format_series
     from repro.experiments.runner import run_grid
+    from repro.util.timing import Timer
 
     names = sorted(PAPER_SCALE) if which == "all" else [which]
     for name in names:
@@ -35,13 +35,15 @@ def main(argv=None) -> int:
             f"== {name}: {config.mesh} ~{config.target_cells} cells, "
             f"k={config.k}, m={config.m_values}, blocks={config.block_sizes}"
         )
-        t0 = time.perf_counter()
-        rows = run_grid(config, with_comm=(name in ("fig2a",)), workers=workers)
+        with Timer() as t:
+            rows = run_grid(
+                config, with_comm=(name in ("fig2a",)), workers=workers
+            )
         for row in rows:
             row["series"] = f"{row['algorithm']},block={row['block_size']}"
         print(format_series(rows, x="m", y="ratio", group_by="series",
                             title=f"{name} — ratio to nk/m"))
-        print(f"[{time.perf_counter() - t0:.0f}s]\n")
+        print(f"[{t.elapsed:.0f}s]\n")
     return 0
 
 

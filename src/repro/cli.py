@@ -9,6 +9,7 @@ Commands
 ``transport``  run the S_n transport solve in schedule order
 ``fuzz``       differential fuzzing of every registered scheduler
 ``bench``      time the heap vs bucket scheduling engines, write JSON
+``trace``      run a traced grid and export a Perfetto-loadable timeline
 ``lint``       AST invariant linter (RPL rules) over python sources
 
 All commands take ``--seed`` and print deterministic output.  The CLI is
@@ -81,6 +82,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "output is bit-identical for any value")
     p.add_argument("--chart", action="store_true",
                    help="also render each figure as an ASCII chart")
+    p.add_argument("--trace", nargs="?", const="TRACE.json", default=None,
+                   metavar="PATH",
+                   help="record a runtime trace and write Chrome trace-event "
+                        "JSON (default PATH: TRACE.json)")
 
     p = sub.add_parser("mesh", help="generate a mesh")
     common(p)
@@ -181,6 +186,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=None,
                    help="output JSON path (default BENCH_<schema>.json; '-' for stdout)")
+    p.add_argument("--trace", nargs="?", const="TRACE.json", default=None,
+                   metavar="PATH",
+                   help="record a runtime trace of the benchmark and write "
+                        "Chrome trace-event JSON (default PATH: TRACE.json)")
+
+    p = sub.add_parser(
+        "trace",
+        help="run a traced workload and export a Perfetto-loadable trace",
+        description=(
+            "Enable the repro.obs tracer, run one experiment grid "
+            "(optionally over a worker pool, whose spans are shipped back "
+            "and merged into a single pid/stream-tagged timeline), and "
+            "export the result as Chrome trace-event JSON (loadable in "
+            "Perfetto / chrome://tracing), flat JSON, or a terminal "
+            "summary.  See docs/observability.md."
+        ),
+    )
+    p.add_argument("--cells", type=int, default=300, help="target cell count")
+    p.add_argument("-k", "--directions", type=int, default=4)
+    p.add_argument("--workers", type=int, default=2,
+                   help="processes for the traced grid (0 = one per CPU)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="TRACE.json",
+                   help="output path (default TRACE.json; '-' for stdout)")
+    p.add_argument("--format", dest="fmt", default="chrome",
+                   choices=["chrome", "flat", "summary"],
+                   help="chrome trace-event JSON (default), flat JSON, or "
+                        "a terminal top-N summary")
+    p.add_argument("--top", type=int, default=15,
+                   help="span names in the summary table (default 15)")
 
     p = sub.add_parser(
         "lint",
@@ -188,7 +223,8 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Run the project's static invariant rules (RPL001 determinism, "
             "RPL002 engine parity, RPL003 shm lifecycle, RPL004 dtype "
-            "discipline, RPL005 hot-path hygiene) over python sources.  "
+            "discipline, RPL005 hot-path hygiene, RPL006 obs discipline) "
+            "over python sources.  "
             "Exits 0 when clean, 1 with file:line diagnostics otherwise.  "
             "See docs/linting.md for the rule pack and the pragma syntax."
         ),
@@ -236,7 +272,23 @@ def _cmd_schedule(args) -> int:
     return 0
 
 
+def _write_trace(path: str) -> None:
+    """Drain the obs buffers and write a Chrome trace to ``path``."""
+    from repro import obs
+
+    spans = obs.merge_spans([obs.drain_spans()])
+    metrics = obs.drain_metrics()
+    obs.write_chrome_trace(path, spans, metrics=metrics)
+    pids = {s.pid for s in spans}
+    print(f"wrote trace {path} ({len(spans)} spans from {len(pids)} pids)")
+
+
 def _cmd_figures(args) -> int:
+    if args.trace:
+        from repro import obs
+
+        obs.enable_tracing()
+        obs.reset()
     names = sorted(_FIGURES) if args.which == "all" else [args.which]
     for name in names:
         rows, text = _FIGURES[name](target_cells=args.cells, workers=args.workers)
@@ -249,6 +301,8 @@ def _cmd_figures(args) -> int:
             print(ascii_chart(rows, x="m", y=y, group_by="series",
                               title=f"{name} — {y} vs m (shape view)"))
         print()
+    if args.trace:
+        _write_trace(args.trace)
     return 0
 
 
@@ -411,6 +465,11 @@ def _cmd_bench(args) -> int:
         write_bench,
     )
 
+    if args.trace:
+        from repro import obs
+
+        obs.enable_tracing()
+        obs.reset()
     report = run_bench(
         smoke=args.smoke, cells=args.cells, repeats=args.repeats,
         seed=args.seed,
@@ -440,6 +499,59 @@ def _cmd_bench(args) -> int:
     else:
         write_bench(report, out)
         print(f"wrote {out}")
+    if args.trace:
+        _write_trace(args.trace)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro import obs
+    from repro.experiments.configs import ExperimentConfig
+    from repro.experiments.runner import run_grid
+
+    config = ExperimentConfig(
+        mesh="tetonly",
+        target_cells=args.cells,
+        k=args.directions,
+        m_values=(8,),
+        block_sizes=(1,),
+        algorithms=("random_delay_priority",),
+        seeds=(args.seed, args.seed + 1),
+        name="trace",
+    )
+    obs.enable_tracing()
+    obs.reset()
+    try:
+        run_grid(config, with_comm=True, workers=args.workers)
+    finally:
+        spans = obs.merge_spans([obs.drain_spans()])
+        metrics = obs.drain_metrics()
+        obs.disable_tracing()
+    pids = sorted({s.pid for s in spans})
+    print(f"{len(spans)} spans from {len(pids)} pids "
+          f"(workers={args.workers}, cells={args.cells}, k={args.directions})")
+    print(obs.summary_text(spans, metrics=metrics, top=args.top))
+    if args.fmt == "summary":
+        return 0
+    if args.fmt == "flat":
+        payload = obs.flat_json(spans, metrics=metrics)
+        if args.out == "-":
+            print(json.dumps(payload, indent=1, sort_keys=True))
+        else:
+            with open(args.out, "w") as fh:
+                json.dump(payload, fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {args.out}")
+        return 0
+    if args.out == "-":
+        print(json.dumps(obs.chrome_trace(spans, metrics=metrics),
+                         indent=1, sort_keys=True))
+    else:
+        obs.write_chrome_trace(args.out, spans, metrics=metrics)
+        print(f"wrote {args.out} (load it in https://ui.perfetto.dev "
+              "or chrome://tracing)")
     return 0
 
 
@@ -492,6 +604,7 @@ _COMMANDS = {
     "families": _cmd_families,
     "fuzz": _cmd_fuzz,
     "bench": _cmd_bench,
+    "trace": _cmd_trace,
     "lint": _cmd_lint,
 }
 

@@ -25,6 +25,7 @@ if TYPE_CHECKING:  # for annotations only; networkx stays a lazy import
 
 import numpy as np
 
+from repro import obs
 from repro.util.errors import InvalidInstanceError
 
 __all__ = ["Dag", "csr_from_edges"]
@@ -190,6 +191,11 @@ class Dag:
 
     def successor_csr(self) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(offsets, targets)`` CSR arrays for successors."""
+        obs.inc(
+            "dag.cache.succ_csr.hit"
+            if self._succ_off is not None
+            else "dag.cache.succ_csr.miss"
+        )
         self._build_succ()
         return self._succ_off, self._succ_tgt
 
@@ -237,8 +243,11 @@ class Dag:
         run many times per instance (once per seed / per m).
         """
         if self._succ_lists is None:
+            obs.inc("dag.cache.succ_lists.miss")
             off, tgt = self.successor_csr()
             self._succ_lists = (off.tolist(), tgt.tolist())
+        else:
+            obs.inc("dag.cache.succ_lists.hit")
         return self._succ_lists
 
     def indegree_list(self) -> list[int]:
@@ -262,6 +271,7 @@ class Dag:
         pool engine then falls back to CSR gathers.
         """
         if self._padded is None:
+            obs.inc("dag.cache.padded.miss")
             n = self.n
             off, tgt = self.successor_csr()
             deg = np.diff(off)
@@ -277,6 +287,8 @@ class Dag:
                 indeg0[:n] = self.indegree()
                 indeg0[n] = np.int64(1) << 60
                 self._padded = (P, indeg0)
+        else:
+            obs.inc("dag.cache.padded.hit")
         return None if self._padded[0] is None else self._padded
 
     # ------------------------------------------------------------------
@@ -381,7 +393,10 @@ class Dag:
     def num_levels(self) -> int:
         """Number of levels ``D_i`` of this DAG (0 for an empty graph)."""
         if self._num_levels is None:
+            obs.inc("dag.cache.levels.miss")
             self._compute_levels()
+        else:
+            obs.inc("dag.cache.levels.hit")
         return self._num_levels
 
     def _compute_levels(self) -> None:

@@ -40,6 +40,7 @@ from heapq import heappop, heappush
 
 import numpy as np
 
+from repro import obs
 from repro.core.dag import Dag, _gather_csr
 from repro.core.instance import SweepInstance
 from repro.core.schedule import Schedule
@@ -246,6 +247,7 @@ def _pool_schedule(
     start = np.full(n_tasks, -1, dtype=np.int64)
     remaining = n_tasks
     t = 0
+    peak_ready = 0
     # Reusable group-boundary mask: first[i] is True iff pool[i] is the
     # first (= smallest) code of its processor's run in the sorted pool.
     first = np.empty(n_tasks + 1, dtype=bool)
@@ -256,6 +258,8 @@ def _pool_schedule(
             raise InvalidScheduleError(
                 "no ready task but tasks remain — instance has a cycle"
             )
+        if r > peak_ready:
+            peak_ready = r
         pp = pool >> proc_shift
         f = first[:r]
         np.not_equal(pp[1:], pp[:-1], out=f[1:])
@@ -273,6 +277,8 @@ def _pool_schedule(
         else:
             pool = rest
         t += 1
+    obs.inc("scheduler.pool.steps", t)
+    obs.gauge_max("scheduler.pool.peak_ready", peak_ready)
     return start
 
 
@@ -291,11 +297,14 @@ def _pool_unassigned(
     machine = np.full(n_tasks, -1, dtype=np.int64)
     remaining = n_tasks
     t = 0
+    peak_ready = 0
     while remaining:
         if not pool.size:
             raise InvalidScheduleError(
                 "no ready task but tasks remain — instance has a cycle"
             )
+        if pool.size > peak_ready:
+            peak_ready = pool.size
         n_exec = min(m, pool.size)
         popped = pool[:n_exec]
         done = popped & tid_mask
@@ -310,6 +319,8 @@ def _pool_unassigned(
         else:
             pool = rest
         t += 1
+    obs.inc("scheduler.pool.steps", t)
+    obs.gauge_max("scheduler.pool.peak_ready", peak_ready)
     return start, machine
 
 
@@ -366,6 +377,7 @@ def _bucket_schedule(
     start = np.full(n_tasks, -1, dtype=np.int64)
     remaining = n_tasks
     t = 0
+    rotations = 0
     while remaining:
         if not nonempty:
             raise InvalidScheduleError(
@@ -379,6 +391,7 @@ def _bucket_schedule(
             cur = bp.get(mp)
             while cur is None:
                 mp += 1
+                rotations += 1
                 if mp > n_buckets:  # n_buckets absorbs the off-by-one fault
                     raise InvalidScheduleError(
                         "bucket queue bookkeeping error: processor marked "
@@ -409,6 +422,8 @@ def _bucket_schedule(
             push_batch(newly)
         start[np.array(step, dtype=np.int64)] = t
         t += 1
+    obs.inc("scheduler.bucket.steps", t)
+    obs.inc("scheduler.bucket.rotations", rotations)
     return start
 
 
@@ -447,6 +462,7 @@ def _bucket_unassigned(
     machine = np.full(n_tasks, -1, dtype=np.int64)
     remaining = n_tasks
     t = 0
+    rotations = 0
     while remaining:
         if not count:
             raise InvalidScheduleError(
@@ -459,6 +475,7 @@ def _bucket_unassigned(
             cur = buckets.get(minptr)
             while cur is None:
                 minptr += 1
+                rotations += 1
                 cur = buckets.get(minptr)
             if type(cur) is int:
                 tid = cur
@@ -484,6 +501,8 @@ def _bucket_unassigned(
             push_batch(newly)
         start[np.array(step, dtype=np.int64)] = t
         t += 1
+    obs.inc("scheduler.bucket.steps", t)
+    obs.inc("scheduler.bucket.rotations", rotations)
     return start, machine
 
 
@@ -511,9 +530,19 @@ def bucket_list_schedule(
     if _use_pool(inst, m):
         packed = _pool_codes(key, n_tasks, m)
         if packed is not None:
-            start = _pool_schedule(inst, m, assignment, *packed)
+            with obs.span(
+                "schedule.pool",
+                cat="scheduler",
+                args_fn=lambda: {"n_tasks": n_tasks, "m": m},
+            ):
+                start = _pool_schedule(inst, m, assignment, *packed)
     if start is None:
-        start = _bucket_schedule(inst, m, assignment, key)
+        with obs.span(
+            "schedule.bucket",
+            cat="scheduler",
+            args_fn=lambda: {"n_tasks": n_tasks, "m": m},
+        ):
+            start = _bucket_schedule(inst, m, assignment, key)
     return Schedule(
         instance=inst,
         m=m,
@@ -541,8 +570,18 @@ def bucket_list_schedule_unassigned(
     if _use_pool(inst, m):
         packed = _pool_codes(key, n_tasks, None)
         if packed is not None:
-            result = _pool_unassigned(inst, m, *packed)
+            with obs.span(
+                "schedule.pool",
+                cat="scheduler",
+                args_fn=lambda: {"n_tasks": n_tasks, "m": m},
+            ):
+                result = _pool_unassigned(inst, m, *packed)
     if result is None:
-        result = _bucket_unassigned(inst, m, key)
+        with obs.span(
+            "schedule.bucket",
+            cat="scheduler",
+            args_fn=lambda: {"n_tasks": n_tasks, "m": m},
+        ):
+            result = _bucket_unassigned(inst, m, key)
     start, machine = result
     return UnassignedSchedule(m=m, start=start, machine=machine)

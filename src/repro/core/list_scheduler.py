@@ -42,6 +42,7 @@ from heapq import heappush, heappop
 
 import numpy as np
 
+from repro import obs
 from repro.core.instance import SweepInstance
 from repro.core.schedule import Schedule
 from repro.util.errors import InvalidScheduleError
@@ -143,48 +144,59 @@ def list_schedule(
         from repro.core.fast_scheduler import bucket_list_schedule
 
         return bucket_list_schedule(inst, m, assignment, priority, meta=meta)
-    union = inst.union_dag()
-    off_l, tgt_l = union.successor_lists()
-    indeg = union.indegree_list()
-    proc_of_task = np.tile(assignment, inst.k).tolist()
-    if priority is None:
-        prio = [0] * n_tasks
-    else:
-        prio = priority.tolist()
+    with obs.span(
+        "schedule.heap",
+        cat="scheduler",
+        args_fn=lambda: {"n_tasks": n_tasks, "m": m},
+    ):
+        union = inst.union_dag()
+        off_l, tgt_l = union.successor_lists()
+        indeg = union.indegree_list()
+        proc_of_task = np.tile(assignment, inst.k).tolist()
+        if priority is None:
+            prio = [0] * n_tasks
+        else:
+            prio = priority.tolist()
 
-    heaps: list[list] = [[] for _ in range(m)]
-    nonempty: set[int] = set()
-    for tid in range(n_tasks):
-        if indeg[tid] == 0:
-            p = proc_of_task[tid]
-            heappush(heaps[p], (prio[tid], tid))
-            nonempty.add(p)
+        heaps: list[list] = [[] for _ in range(m)]
+        nonempty: set[int] = set()
+        for tid in range(n_tasks):
+            if indeg[tid] == 0:
+                p = proc_of_task[tid]
+                heappush(heaps[p], (prio[tid], tid))
+                nonempty.add(p)
 
-    start = np.full(n_tasks, -1, dtype=np.int64)
-    remaining = n_tasks
-    t = 0
-    while remaining:
-        if not nonempty:
-            raise InvalidScheduleError(
-                "no ready task but tasks remain — instance has a cycle"
-            )
-        executed = []
-        for p in list(nonempty):
-            heap = heaps[p]
-            _, tid = heappop(heap)
-            start[tid] = t
-            executed.append(tid)
-            if not heap:
-                nonempty.discard(p)
-        remaining -= len(executed)
-        for tid in executed:
-            for s in tgt_l[off_l[tid] : off_l[tid + 1]]:
-                indeg[s] -= 1
-                if indeg[s] == 0:
-                    p = proc_of_task[s]
-                    heappush(heaps[p], (prio[s], s))
-                    nonempty.add(p)
-        t += 1
+        start = np.full(n_tasks, -1, dtype=np.int64)
+        remaining = n_tasks
+        t = 0
+        while remaining:
+            if not nonempty:
+                raise InvalidScheduleError(
+                    "no ready task but tasks remain — instance has a cycle"
+                )
+            executed = []
+            for p in list(nonempty):
+                heap = heaps[p]
+                _, tid = heappop(heap)
+                start[tid] = t
+                executed.append(tid)
+                if not heap:
+                    nonempty.discard(p)
+            remaining -= len(executed)
+            for tid in executed:
+                for s in tgt_l[off_l[tid] : off_l[tid + 1]]:
+                    indeg[s] -= 1
+                    if indeg[s] == 0:
+                        p = proc_of_task[s]
+                        heappush(heaps[p], (prio[s], s))
+                        nonempty.add(p)
+            t += 1
+    # Heap-op counts are exact functions of the run (every task is pushed
+    # and popped exactly once), so the metrics cost nothing in the loop.
+    obs.inc("scheduler.heap.runs")
+    obs.inc("scheduler.heap.pushes", n_tasks)
+    obs.inc("scheduler.heap.pops", n_tasks)
+    obs.inc("scheduler.heap.steps", t)
 
     return Schedule(
         instance=inst,
@@ -242,42 +254,51 @@ def list_schedule_unassigned(
         from repro.core.fast_scheduler import bucket_list_schedule_unassigned
 
         return bucket_list_schedule_unassigned(inst, m, priority)
-    union = inst.union_dag()
-    off_l, tgt_l = union.successor_lists()
-    indeg = union.indegree_list()
-    if priority is None:
-        prio = [0] * n_tasks
-    else:
-        prio = priority.tolist()
+    with obs.span(
+        "schedule.heap_unassigned",
+        cat="scheduler",
+        args_fn=lambda: {"n_tasks": n_tasks, "m": m},
+    ):
+        union = inst.union_dag()
+        off_l, tgt_l = union.successor_lists()
+        indeg = union.indegree_list()
+        if priority is None:
+            prio = [0] * n_tasks
+        else:
+            prio = priority.tolist()
 
-    heap: list = []
-    for tid in range(n_tasks):
-        if indeg[tid] == 0:
-            heappush(heap, (prio[tid], tid))
+        heap: list = []
+        for tid in range(n_tasks):
+            if indeg[tid] == 0:
+                heappush(heap, (prio[tid], tid))
 
-    start = np.full(n_tasks, -1, dtype=np.int64)
-    machine = np.full(n_tasks, -1, dtype=np.int64)
-    remaining = n_tasks
-    t = 0
-    while remaining:
-        if not heap:
-            raise InvalidScheduleError(
-                "no ready task but tasks remain — instance has a cycle"
-            )
-        executed = []
-        mach = 0
-        while heap and mach < m:
-            _, tid = heappop(heap)
-            start[tid] = t
-            machine[tid] = mach
-            executed.append(tid)
-            mach += 1
-        remaining -= len(executed)
-        for tid in executed:
-            for s in tgt_l[off_l[tid] : off_l[tid + 1]]:
-                indeg[s] -= 1
-                if indeg[s] == 0:
-                    heappush(heap, (prio[s], s))
-        t += 1
+        start = np.full(n_tasks, -1, dtype=np.int64)
+        machine = np.full(n_tasks, -1, dtype=np.int64)
+        remaining = n_tasks
+        t = 0
+        while remaining:
+            if not heap:
+                raise InvalidScheduleError(
+                    "no ready task but tasks remain — instance has a cycle"
+                )
+            executed = []
+            mach = 0
+            while heap and mach < m:
+                _, tid = heappop(heap)
+                start[tid] = t
+                machine[tid] = mach
+                executed.append(tid)
+                mach += 1
+            remaining -= len(executed)
+            for tid in executed:
+                for s in tgt_l[off_l[tid] : off_l[tid + 1]]:
+                    indeg[s] -= 1
+                    if indeg[s] == 0:
+                        heappush(heap, (prio[s], s))
+            t += 1
+    obs.inc("scheduler.heap.runs")
+    obs.inc("scheduler.heap.pushes", n_tasks)
+    obs.inc("scheduler.heap.pops", n_tasks)
+    obs.inc("scheduler.heap.steps", t)
 
     return UnassignedSchedule(m=m, start=start, machine=machine)

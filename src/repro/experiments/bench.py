@@ -2,14 +2,16 @@
 
 Times the heap and bucket list-scheduling engines on a fixed set of case
 families, benchmarks the parallel grid dispatcher, and writes a
-schema-versioned JSON report (``BENCH_3.json`` at the repo root).  The
+schema-versioned JSON report (``BENCH_4.json`` at the repo root).  The
 committed report is the perf-regression baseline: the bucket engine must
 stay at least :data:`TARGET_SPEEDUP` times the heap engine's
 tasks/second on the large mesh family, ``engine="auto"`` must resolve to
 (within 10% of) the fastest engine on every family (the per-case
 ``auto_engine`` field pins the routing), and the makespan checksums pin
 that both engines still produce identical schedules on the benchmark
-cases.
+cases.  Schema v4 adds per-phase wall-clock breakdowns (``phases``) to
+every case and grid run, so future perf PRs can diff phase-level
+regressions — where the time moved, not just that it moved.
 
 Engine families
 ---------------
@@ -46,7 +48,6 @@ from __future__ import annotations
 
 import json
 import os
-import time
 import zlib
 
 import numpy as np
@@ -55,6 +56,7 @@ from repro.core.assignment import random_cell_assignment
 from repro.core.list_scheduler import list_schedule
 from repro.core.random_delay import delayed_task_layers, draw_delays
 from repro.util.rng import as_rng
+from repro.util.timing import Timer
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
@@ -72,7 +74,8 @@ __all__ = [
 
 #: Bump when the report layout changes; the filename tracks it
 #: (``BENCH_<version>.json``) so stale baselines cannot be misread.
-BENCH_SCHEMA_VERSION = 3
+#: v4: per-phase wall-clock breakdowns (``phases``) on cases + grid runs.
+BENCH_SCHEMA_VERSION = 4
 
 #: Mesh size when ``REPRO_BENCH_CELLS`` is unset.
 DEFAULT_BENCH_CELLS = 2000
@@ -98,6 +101,7 @@ _REQUIRED_CASE_KEYS = {
     "checksum",
     "engines",
     "auto_engine",
+    "phases",
 }
 _REQUIRED_ENGINE_KEYS = {"wall_time_s", "tasks_per_sec"}
 _REQUIRED_GRID_RUN_KEYS = {
@@ -107,7 +111,14 @@ _REQUIRED_GRID_RUN_KEYS = {
     "n_chunks",
     "peak_worker_rss_mb",
     "identical_to_serial",
+    "phases",
 }
+#: Per-phase keys required in every engine case's ``phases`` dict.
+_REQUIRED_CASE_PHASES = {"setup_s", "warm_s"}
+#: Per-phase keys required in a parallel grid run's ``phases`` dict
+#: (mirrors :meth:`repro.parallel.DispatchStats.phases`); the serial
+#: baseline records ``{"run_s"}`` instead.
+_REQUIRED_PARALLEL_PHASES = {"warm_s", "plan_s", "publish_s", "dispatch_s", "wait_s"}
 
 
 def _mesh_instance(cells: int, k: int):
@@ -160,11 +171,11 @@ def _time_engine(inst, m, assignment, priority, engine, repeats):
     best = float("inf")
     schedule = None
     for _ in range(repeats):
-        t0 = time.perf_counter()
-        schedule = list_schedule(
-            inst, m, assignment, priority=priority, engine=engine
-        )
-        best = min(best, time.perf_counter() - t0)
+        with Timer() as t:
+            schedule = list_schedule(
+                inst, m, assignment, priority=priority, engine=engine
+            )
+        best = min(best, t.elapsed)
     return best, schedule
 
 
@@ -175,7 +186,7 @@ def run_bench(
     seed: int = 0,
     grid_workers: tuple | None = None,
 ) -> dict:
-    """Run the full benchmark grid; returns the schema-v3 report dict.
+    """Run the full benchmark grid; returns the schema-v4 report dict.
 
     Each case times both engines on Algorithm 2's delayed-level
     priorities (best wall time over ``repeats`` runs, caches warmed
@@ -191,16 +202,18 @@ def run_bench(
     for case in bench_cases(smoke=smoke, cells=cells):
         inst = case["instance"]
         m = case["m"]
-        rng = as_rng(seed)
-        delays = draw_delays(inst.k, rng)
-        assignment = random_cell_assignment(inst.n_cells, m, rng)
-        priority = delayed_task_layers(inst, delays)
+        with Timer() as t_setup:
+            rng = as_rng(seed)
+            delays = draw_delays(inst.k, rng)
+            assignment = random_cell_assignment(inst.n_cells, m, rng)
+            priority = delayed_task_layers(inst, delays)
         # Warm the per-instance caches (CSR lists, padded matrix, levels)
         # so both engines are timed on scheduling work alone.
-        union = inst.union_dag()
-        union.successor_lists()
-        union.padded_successors()
-        union.num_levels()
+        with Timer() as t_warm:
+            union = inst.union_dag()
+            union.successor_lists()
+            union.padded_successors()
+            union.num_levels()
 
         engines = {}
         schedules = {}
@@ -235,6 +248,10 @@ def run_bench(
                 "auto_engine": resolve_engine("auto", priority, inst, m),
                 "speedup": engines["heap"]["wall_time_s"]
                 / max(engines["bucket"]["wall_time_s"], 1e-12),
+                "phases": {
+                    "setup_s": t_setup.elapsed,
+                    "warm_s": t_warm.elapsed,
+                },
             }
         )
     return {
@@ -315,11 +332,21 @@ def grid_bench(
     serial_rows = None
     for workers in workers_list:
         stats = DispatchStats()
-        t0 = time.perf_counter()
-        rows = run_grid(config, with_comm=True, workers=workers, stats=stats)
-        wall = time.perf_counter() - t0
+        with Timer() as t_run:
+            rows = run_grid(
+                config, with_comm=True, workers=workers, stats=stats
+            )
+        wall = t_run.elapsed
         if workers == 1:
             serial_rows = rows
+        # The serial path never enters the dispatcher, so its breakdown
+        # is the single phase it has; parallel runs record the
+        # dispatcher's full warm/plan/publish/dispatch/wait split.
+        phases = (
+            {"run_s": wall}
+            if workers == 1
+            else {k: float(v) for k, v in stats.phases().items()}
+        )
         runs.append(
             {
                 "workers": int(workers),
@@ -331,6 +358,7 @@ def grid_bench(
                 "identical_to_serial": bool(
                     serial_rows is not None and rows == serial_rows
                 ),
+                "phases": phases,
             }
         )
     serial = next(r for r in runs if r["workers"] == 1)
@@ -385,6 +413,11 @@ def validate_bench(report: dict) -> list[str]:
                 f"case {i} auto_engine is {case['auto_engine']!r}, "
                 "expected 'heap' or 'bucket'"
             )
+        problems.extend(
+            _validate_phases(
+                case["phases"], _REQUIRED_CASE_PHASES, f"case {i}"
+            )
+        )
         for eng in ("heap", "bucket"):
             entry = case["engines"].get(eng)
             if entry is None:
@@ -406,6 +439,22 @@ def validate_bench(report: dict) -> list[str]:
     return problems
 
 
+def _validate_phases(phases, required: set, where: str) -> list[str]:
+    """Check one ``phases`` dict: required keys, non-negative numbers."""
+    if not isinstance(phases, dict) or not phases:
+        return [f"{where} phases is missing or empty"]
+    problems = []
+    missing = required - set(phases)
+    if missing:
+        problems.append(f"{where} phases missing keys: {sorted(missing)}")
+    for key, value in phases.items():
+        if not isinstance(value, (int, float)) or value < 0:
+            problems.append(
+                f"{where} phase {key!r} is not a non-negative number"
+            )
+    return problems
+
+
 def _validate_grid(grid) -> list[str]:
     """Schema check for the report's ``grid`` section."""
     if not isinstance(grid, dict):
@@ -423,6 +472,14 @@ def _validate_grid(grid) -> list[str]:
         worker_counts.add(run["workers"])
         if run["wall_time_s"] <= 0 or run["rows_per_sec"] <= 0:
             problems.append(f"grid run {i} has non-positive timings")
+        required_phases = (
+            {"run_s"} if run["workers"] == 1 else _REQUIRED_PARALLEL_PHASES
+        )
+        problems.extend(
+            _validate_phases(
+                run["phases"], required_phases, f"grid run {i}"
+            )
+        )
         if not run["identical_to_serial"]:
             problems.append(
                 f"grid run {i} (workers={run['workers']}) rows differ "

@@ -200,14 +200,21 @@ def run_grid(
 
         run_dispatch(config, with_comm, workers, sink, stats=stats)
     else:
-        for cell in cells:
-            sink(
-                cell.index,
-                run_cell(
-                    config, cell.algorithm, cell.m, cell.block_size,
-                    cell.seed, with_comm,
-                ),
-            )
+        from repro import obs
+
+        with obs.span(
+            "grid.serial",
+            cat="parallel",
+            args_fn=lambda: {"cells": len(cells)},
+        ):
+            for cell in cells:
+                sink(
+                    cell.index,
+                    run_cell(
+                        config, cell.algorithm, cell.m, cell.block_size,
+                        cell.seed, with_comm,
+                    ),
+                )
 
     missing = [row for row, agg in enumerate(rows) if agg is None]
     if missing:

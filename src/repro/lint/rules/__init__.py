@@ -21,6 +21,7 @@ from repro.lint.rules import determinism as _determinism  # noqa: F401
 from repro.lint.rules import dtype_discipline as _dtype  # noqa: F401
 from repro.lint.rules import engine_parity as _engine  # noqa: F401
 from repro.lint.rules import hot_path as _hot_path  # noqa: F401
+from repro.lint.rules import obs_discipline as _obs  # noqa: F401
 from repro.lint.rules import shm_lifecycle as _shm  # noqa: F401
 
 __all__ = [

@@ -13,7 +13,8 @@ rule bans them statically:
   :func:`repro.util.rng.as_rng` / :func:`~repro.util.rng.spawn_rng`;
 * unseeded ``default_rng()`` anywhere (fresh OS entropy);
 * wall-clock ``time.time()`` (schedule output must not depend on when it
-  ran; ``perf_counter`` for *measuring* elapsed time is fine).
+  ran; :mod:`repro.util.timing` is the sanctioned way to *measure*
+  elapsed time — RPL006 polices raw ``perf_counter`` reads).
 
 ``util/rng.py`` (the chokepoint itself) and ``fuzz/`` (whose campaigns
 may use ambient entropy to *search*, never to schedule) are exempt.
@@ -84,7 +85,8 @@ class DeterminismRule(Rule):
             return [ctx.diagnostic(
                 self, node,
                 "time.time() makes output depend on the wall clock; "
-                "use time.perf_counter() for measurement-only timing",
+                "use repro.util.timing (now/Timer) for measurement-only "
+                "timing",
             )]
         if full == "random" or full.startswith("random."):
             return [ctx.diagnostic(

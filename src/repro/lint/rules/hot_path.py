@@ -2,7 +2,7 @@
 
 ``fast_scheduler.py``, ``list_scheduler.py``, and
 ``parallel/dispatcher.py`` are the three files the benchmark baseline
-(``BENCH_3.json``) times; a single accidentally-quadratic idiom there
+(``BENCH_4.json``) times; a single accidentally-quadratic idiom there
 erases the engine's measured 2x headroom long before any test fails.
 Three APIs are banned in those files because each hides an O(n) copy or
 shift inside an innocent-looking call:

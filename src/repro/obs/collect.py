@@ -1,0 +1,84 @@
+"""Cross-process span/metric collection over the existing result channel.
+
+Workers buffer spans locally (same ring buffer as the parent) and ship
+them back piggybacked on each chunk's return value — no extra IPC
+channel, no shared-memory traffic.  The parent folds every payload into
+its own buffer/registry, so one :func:`repro.obs.tracer.drain_spans`
+at the end of a grid run yields the full multi-process timeline.
+
+The failure path matters as much as the success path: a worker that
+raises (e.g. a :class:`~repro.util.errors.SanitizerError` mid-chunk)
+attaches its drained spans to the exception object before it pickles
+back, and :func:`recover_payload_from_exception` rescues them in the
+parent — a crashing chunk loses no trace data.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Mapping
+
+from repro.obs import metrics, tracer
+
+__all__ = [
+    "export_payload",
+    "ingest_payload",
+    "attach_payload_to_exception",
+    "recover_payload_from_exception",
+]
+
+#: Attribute name used to smuggle a payload across the pickle boundary on
+#: the exception path.  ``BaseException.__reduce__`` preserves instance
+#: ``__dict__``, so the payload survives the pool's round trip verbatim.
+_EXC_ATTR = "obs_payload"
+
+
+def export_payload() -> dict[str, Any] | None:
+    """Drain this process's spans/metrics into a picklable payload.
+
+    Returns ``None`` when tracing is disabled — the common case costs
+    one boolean check and ships nothing over the result channel.
+    """
+    if not tracer.tracing_enabled():
+        return None
+    return {
+        "pid": os.getpid(),
+        "spans": tuple(tracer.drain_spans()),
+        "metrics": metrics.drain_metrics(),
+    }
+
+
+def ingest_payload(payload: Mapping[str, Any] | None) -> None:
+    """Fold a worker payload into this process's buffer and registry."""
+    if not payload:
+        return
+    tracer.ingest_spans(payload.get("spans", ()))
+    metrics.ingest_metrics(payload.get("metrics"))
+
+
+def attach_payload_to_exception(exc: BaseException) -> None:
+    """Stash this process's drained payload on ``exc`` before it pickles.
+
+    No-op when tracing is disabled.  Worker-side half of the
+    no-silent-trace-loss contract.
+    """
+    payload = export_payload()
+    if payload is not None:
+        setattr(exc, _EXC_ATTR, payload)
+
+
+def recover_payload_from_exception(exc: BaseException) -> bool:
+    """Parent-side half: ingest any payload a failing worker attached.
+
+    Returns True when a payload was recovered (and removed from the
+    exception, so a retry cannot double-ingest it).
+    """
+    payload = getattr(exc, _EXC_ATTR, None)
+    if not payload:
+        return False
+    ingest_payload(payload)
+    try:
+        delattr(exc, _EXC_ATTR)
+    except AttributeError:
+        pass
+    return True

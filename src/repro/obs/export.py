@@ -1,0 +1,208 @@
+"""Trace exporters: Chrome trace-event JSON, flat JSON, terminal summary.
+
+The Chrome format is the `trace-event`_ JSON-object form Perfetto and
+``chrome://tracing`` both load: complete (``"ph": "X"``) events with
+microsecond ``ts``/``dur``, one track per ``(pid, tid)``, plus
+``process_name`` metadata events so worker processes are labelled in
+the UI.  :func:`validate_chrome_trace` checks the structural contract
+tests and CI rely on; the flat JSON form round-trips spans and metrics
+losslessly for ad-hoc analysis; :func:`summary_text` renders a top-N
+table with p50/p95 per span name for quick terminal reads.
+
+.. _trace-event:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping, Sequence
+
+from repro.obs.tracer import Span, merge_spans
+
+__all__ = [
+    "chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "flat_json",
+    "summary_text",
+]
+
+
+def chrome_trace(
+    spans: Sequence[Span],
+    metrics: Mapping[str, Any] | None = None,
+    min_pid: int | None = None,
+) -> dict[str, Any]:
+    """Build a Perfetto-loadable trace-event payload from merged spans.
+
+    ``min_pid`` (default: the smallest pid present) is labelled as the
+    driver process; every other pid is labelled as a worker.  Metrics
+    ride along under ``otherData`` so one artifact carries the whole
+    observation.
+    """
+    ordered = merge_spans([spans])
+    events: list[dict[str, Any]] = []
+    pids = sorted({s.pid for s in ordered})
+    driver = min_pid if min_pid is not None else (pids[0] if pids else 0)
+    for pid in pids:
+        label = "repro driver" if pid == driver else "repro worker"
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"{label} (pid {pid})"},
+            }
+        )
+    for s in ordered:
+        events.append(
+            {
+                "name": s.name,
+                "cat": s.cat,
+                "ph": "X",
+                "ts": s.start * 1e6,
+                "dur": s.dur * 1e6,
+                "pid": s.pid,
+                "tid": s.stream,
+                "args": dict(s.args) if s.args else {},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"metrics": dict(metrics) if metrics else {}},
+    }
+
+
+def validate_chrome_trace(payload: Any) -> list[str]:
+    """Structural check of a trace-event payload; returns problems found."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not a dict"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["traceEvents is missing or empty"]
+    n_complete = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i} is not a dict")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "M"):
+            problems.append(f"event {i} has unsupported ph {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            problems.append(f"event {i} lacks a name")
+        if not isinstance(ev.get("pid"), int):
+            problems.append(f"event {i} lacks an integer pid")
+        if not isinstance(ev.get("tid"), int):
+            problems.append(f"event {i} lacks an integer tid")
+        if ph == "M":
+            continue
+        n_complete += 1
+        for key in ("ts", "dur"):
+            value = ev.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(f"event {i} {key} is not a non-negative number")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            problems.append(f"event {i} args is not a dict")
+    if n_complete == 0:
+        problems.append("no complete ('ph': 'X') events in trace")
+    return problems
+
+
+def write_chrome_trace(
+    path: str,
+    spans: Sequence[Span],
+    metrics: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Validate and write a Chrome trace; returns the payload written."""
+    payload = chrome_trace(spans, metrics=metrics)
+    problems = validate_chrome_trace(payload)
+    if problems:
+        raise ValueError("invalid chrome trace: " + "; ".join(problems))
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return payload
+
+
+def flat_json(
+    spans: Sequence[Span],
+    metrics: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Lossless flat form: every span field verbatim, metrics alongside."""
+    return {
+        "spans": [
+            {
+                "name": s.name,
+                "cat": s.cat,
+                "start": s.start,
+                "dur": s.dur,
+                "pid": s.pid,
+                "stream": s.stream,
+                "depth": s.depth,
+                "args": dict(s.args) if s.args else None,
+            }
+            for s in merge_spans([spans])
+        ],
+        "metrics": dict(metrics) if metrics else {},
+    }
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending sequence (q in [0, 1])."""
+    if not sorted_values:
+        return 0.0
+    rank = min(int(q * len(sorted_values)), len(sorted_values) - 1)
+    return sorted_values[rank]
+
+
+def summary_text(
+    spans: Sequence[Span],
+    metrics: Mapping[str, Any] | None = None,
+    top: int = 15,
+) -> str:
+    """Top-N span-name table (count/total/p50/p95/max ms) plus metrics."""
+    by_name: dict[str, list[float]] = {}
+    for s in spans:
+        by_name.setdefault(s.name, []).append(s.dur)
+    rows = []
+    for name, durs in by_name.items():
+        durs.sort()
+        rows.append(
+            (
+                name,
+                len(durs),
+                sum(durs) * 1e3,
+                _percentile(durs, 0.50) * 1e3,
+                _percentile(durs, 0.95) * 1e3,
+                durs[-1] * 1e3,
+            )
+        )
+    rows.sort(key=lambda r: (-r[2], r[0]))
+    lines = [
+        f"{'span':<28} {'count':>7} {'total_ms':>10} "
+        f"{'p50_ms':>9} {'p95_ms':>9} {'max_ms':>9}"
+    ]
+    for name, count, total, p50, p95, mx in rows[: max(top, 1)]:
+        lines.append(
+            f"{name:<28} {count:>7} {total:>10.3f} "
+            f"{p50:>9.3f} {p95:>9.3f} {mx:>9.3f}"
+        )
+    if len(rows) > top:
+        lines.append(f"... {len(rows) - top} more span names")
+    if metrics:
+        counters = metrics.get("counters", {})
+        gauges = metrics.get("gauges", {})
+        if counters:
+            lines.append("counters:")
+            for name in sorted(counters):
+                lines.append(f"  {name} = {counters[name]}")
+        if gauges:
+            lines.append("gauges:")
+            for name in sorted(gauges):
+                lines.append(f"  {name} = {gauges[name]:.6g}")
+    return "\n".join(lines)

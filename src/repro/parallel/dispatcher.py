@@ -68,13 +68,37 @@ class CellBatch:
 
 @dataclass
 class DispatchStats:
-    """Observability counters for one dispatched grid."""
+    """Observability counters for one dispatched grid.
+
+    The ``*_s`` fields are the per-phase wall-clock breakdown the bench
+    schema (v4) records per grid run: ``warm_s`` (parent-side cache
+    warm-up), ``plan_s`` (batch/chunk planning), ``publish_s`` (shared
+    segment publish), ``dispatch_s`` (pool lifetime: submit through last
+    result), and ``wait_s`` — the portion of ``dispatch_s`` the parent
+    spent blocked on ``wait()`` with no finished chunk to ingest, i.e.
+    aggregation stalls.
+    """
 
     workers: int = 0
     n_cells: int = 0
     n_chunks: int = 0
     peak_worker_rss_mb: float = 0.0
     chunk_cells: list = field(default_factory=list)
+    warm_s: float = 0.0
+    plan_s: float = 0.0
+    publish_s: float = 0.0
+    dispatch_s: float = 0.0
+    wait_s: float = 0.0
+
+    def phases(self) -> dict:
+        """The per-phase breakdown as the bench schema's ``phases`` dict."""
+        return {
+            "warm_s": self.warm_s,
+            "plan_s": self.plan_s,
+            "publish_s": self.publish_s,
+            "dispatch_s": self.dispatch_s,
+            "wait_s": self.wait_s,
+        }
 
 
 def grid_cells(config) -> list:
@@ -181,54 +205,80 @@ def run_dispatch(
     """
     from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
+    from repro import obs
     from repro.experiments.runner import get_blocks, get_instance
     from repro.parallel.shm_store import SharedInstanceStore
     from repro.parallel.worker import init_worker, run_chunk, warm_instance
+    from repro.util.timing import Timer
 
-    inst = get_instance(config)
-    warm_instance(inst, config.algorithms)
-    blocks = {
-        size: get_blocks(config, size)
-        for size in config.block_sizes
-        if size > 1
-    }
-    batches = plan_batches(config)
-    chunks = plan_chunks(batches, workers, cell_cost=inst.n_tasks)
     if stats is None:
         stats = DispatchStats()
-    stats.workers = workers
-    stats.n_cells = sum(len(b.cells) for b in batches)
-    stats.n_chunks = len(chunks)
-    stats.chunk_cells = [sum(len(b.cells) for b in c) for c in chunks]
-
-    with SharedInstanceStore.publish(inst, blocks=blocks) as store:
-        manifest = store.manifest
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=init_worker,
-            initargs=(manifest,),
-        ) as pool:
-            pending = {
-                pool.submit(
-                    run_chunk,
-                    manifest,
-                    tuple(c for b in chunk for c in b.cells),
-                    with_comm,
-                    config.engine,
-                )
-                for chunk in chunks
+    with obs.span(
+        "grid.dispatch",
+        cat="parallel",
+        args_fn=lambda: {"workers": workers, "n_chunks": stats.n_chunks},
+    ):
+        inst = get_instance(config)
+        with obs.span("grid.warm", cat="parallel"), Timer() as t_warm:
+            warm_instance(inst, config.algorithms)
+            blocks = {
+                size: get_blocks(config, size)
+                for size in config.block_sizes
+                if size > 1
             }
-            try:
-                while pending:
-                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        pairs, worker_rss = future.result()
-                        stats.peak_worker_rss_mb = max(
-                            stats.peak_worker_rss_mb, worker_rss
-                        )
-                        for index, summary in pairs:
-                            sink(index, summary)
-            except BaseException:
-                for future in pending:
-                    future.cancel()
-                raise
+        stats.warm_s = t_warm.elapsed
+        with obs.span("grid.plan", cat="parallel"), Timer() as t_plan:
+            batches = plan_batches(config)
+            chunks = plan_chunks(batches, workers, cell_cost=inst.n_tasks)
+        stats.plan_s = t_plan.elapsed
+        stats.workers = workers
+        stats.n_cells = sum(len(b.cells) for b in batches)
+        stats.n_chunks = len(chunks)
+        stats.chunk_cells = [sum(len(b.cells) for b in c) for c in chunks]
+
+        with obs.span("grid.publish", cat="parallel"), Timer() as t_pub:
+            store = SharedInstanceStore.publish(inst, blocks=blocks)
+        stats.publish_s = t_pub.elapsed
+        obs.gauge_max("parallel.publish_s", t_pub.elapsed)
+        with store:
+            manifest = store.manifest
+            with Timer() as t_disp, ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=init_worker,
+                initargs=(manifest, obs.tracing_enabled()),
+            ) as pool:
+                pending = {
+                    pool.submit(
+                        run_chunk,
+                        manifest,
+                        tuple(c for b in chunk for c in b.cells),
+                        with_comm,
+                        config.engine,
+                    )
+                    for chunk in chunks
+                }
+                try:
+                    while pending:
+                        with Timer() as t_wait:
+                            done, pending = wait(
+                                pending, return_when=FIRST_COMPLETED
+                            )
+                        stats.wait_s += t_wait.elapsed
+                        for future in done:
+                            pairs, worker_rss, payload = future.result()
+                            obs.ingest_payload(payload)
+                            stats.peak_worker_rss_mb = max(
+                                stats.peak_worker_rss_mb, worker_rss
+                            )
+                            for index, summary in pairs:
+                                sink(index, summary)
+                except BaseException as exc:
+                    # A failing worker drains its span buffer onto the
+                    # exception before it pickles back; rescue it so the
+                    # failure path loses no trace data.
+                    obs.recover_payload_from_exception(exc)
+                    for future in pending:
+                        future.cancel()
+                    raise
+            stats.dispatch_s = t_disp.elapsed
+        obs.gauge_max("parallel.peak_worker_rss_mb", stats.peak_worker_rss_mb)

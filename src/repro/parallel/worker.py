@@ -54,15 +54,27 @@ def warm_instance(inst: "SweepInstance", algorithms: Iterable[str] = ()) -> None
             g.successor_csr()
 
 
-def init_worker(manifest: "StoreManifest") -> None:
+def init_worker(manifest: "StoreManifest", trace: bool = False) -> None:
     """Pool initializer: attach to the shared store before the first task.
 
     Attachment is memoised per process, so this only front-loads the
     (tiny) mapping cost; :func:`run_chunk` would attach lazily anyway.
     Registers an exit hook that drops the mapping when the worker dies.
+
+    ``trace`` mirrors the parent's tracing switch explicitly (env
+    inheritance is not enough when the parent enabled tracing
+    programmatically, and spawn-context workers inherit no module
+    state).  The buffers are reset either way so a fork-started worker
+    never re-ships spans it inherited from the parent's buffer.
     """
+    from repro import obs
     from repro.parallel.shm_store import attach, detach_all
 
+    if trace:
+        obs.enable_tracing()
+    else:
+        obs.disable_tracing()
+    obs.reset()
     atexit.register(detach_all)
     attach(manifest)
 
@@ -72,34 +84,66 @@ def run_chunk(
     cells: Sequence["GridCell"],
     with_comm: bool,
     engine: str,
-) -> tuple[list[tuple[int, "ScheduleSummary"]], float]:
+) -> tuple[list[tuple[int, "ScheduleSummary"]], float, dict | None]:
     """Execute one chunk of grid cells against the shared instance.
 
-    Returns ``(pairs, peak_rss_mb)`` where ``pairs`` is a list of
-    ``(cell index, ScheduleSummary)`` — keyed results, so the dispatcher
-    aggregates by cell index and a transport reordering cannot silently
-    mis-assign rows — and ``peak_rss_mb`` is this worker's peak RSS (the
-    bench harness's flat-memory evidence).
+    Returns ``(pairs, peak_rss_mb, obs_payload)`` where ``pairs`` is a
+    list of ``(cell index, ScheduleSummary)`` — keyed results, so the
+    dispatcher aggregates by cell index and a transport reordering
+    cannot silently mis-assign rows — ``peak_rss_mb`` is this worker's
+    peak RSS (the bench harness's flat-memory evidence), and
+    ``obs_payload`` carries this worker's buffered spans/metrics back
+    over the result channel (``None`` when tracing is disabled).
+
+    On failure the drained payload is attached to the raised exception
+    (:func:`repro.obs.attach_payload_to_exception`), so even a
+    :class:`~repro.util.errors.SanitizerError` mid-chunk loses no trace
+    data — the dispatcher recovers it in the parent.
     """
+    from repro import obs
     from repro.experiments.runner import run_cell_on
     from repro.parallel.dispatcher import process_peak_rss_mb
     from repro.parallel.shm_store import attach, verify_attached
+    from repro.util.timing import Timer
 
-    inst, blocks = attach(manifest)
-    pairs = []
-    for cell in cells:
-        summary = run_cell_on(
-            inst,
-            cell.algorithm,
-            cell.m,
-            cell.block_size,
-            cell.seed,
-            with_comm=with_comm,
-            engine=engine,
-            blocks=blocks.get(cell.block_size) if cell.block_size > 1 else None,
-        )
-        pairs.append((cell.index, summary))
-    # Under REPRO_SANITIZE=1 pin any stray segment write to the chunk
-    # that made it (no-op otherwise).
-    verify_attached(manifest)
-    return pairs, process_peak_rss_mb()
+    try:
+        with obs.span(
+            "worker.chunk",
+            cat="parallel",
+            args_fn=lambda: {"cells": len(cells)},
+        ):
+            with obs.span("worker.attach", cat="parallel"), Timer() as t_at:
+                inst, blocks = attach(manifest)
+            obs.gauge_max("parallel.attach_s", t_at.elapsed)
+            pairs = []
+            for cell in cells:
+                with obs.span(
+                    "worker.cell",
+                    cat="parallel",
+                    args_fn=lambda cell=cell: {
+                        "index": cell.index,
+                        "algorithm": cell.algorithm,
+                        "m": cell.m,
+                    },
+                ):
+                    summary = run_cell_on(
+                        inst,
+                        cell.algorithm,
+                        cell.m,
+                        cell.block_size,
+                        cell.seed,
+                        with_comm=with_comm,
+                        engine=engine,
+                        blocks=blocks.get(cell.block_size)
+                        if cell.block_size > 1
+                        else None,
+                    )
+                pairs.append((cell.index, summary))
+            # Under REPRO_SANITIZE=1 pin any stray segment write to the
+            # chunk that made it (no-op otherwise).
+            with obs.span("sanitize.verify_chunk", cat="sanitize"):
+                verify_attached(manifest)
+    except BaseException as exc:
+        obs.attach_payload_to_exception(exc)
+        raise
+    return pairs, process_peak_rss_mb(), obs.export_payload()

@@ -14,7 +14,7 @@ from repro.util.errors import (
 # SeedLike (the seed-argument alias) lives in repro.util.rng; it is a
 # typing construct, not a callable export, so it stays out of __all__.
 from repro.util.rng import as_rng, spawn_rng, spawn_rngs
-from repro.util.timing import Timer
+from repro.util.timing import Timer, now
 
 __all__ = [
     "ReproError",
@@ -26,4 +26,5 @@ __all__ = [
     "spawn_rng",
     "spawn_rngs",
     "Timer",
+    "now",
 ]

@@ -1,8 +1,25 @@
-"""Tiny wall-clock timing helper used by the experiment harness."""
+"""Wall-clock timing: the repo's single raw-clock chokepoint.
+
+:func:`now` is the only place the package reads ``time.perf_counter``
+directly (lint rule RPL006 enforces this outside :mod:`repro.obs`).
+Everything that measures wall-clock time — :class:`Timer`, the bench
+harness, and the :mod:`repro.obs` span tracer — goes through it, so
+timestamps from different layers land on one comparable monotonic
+timeline.  On Linux ``perf_counter`` is ``CLOCK_MONOTONIC``, which is
+system-wide, so readings taken in different processes of one grid run
+are directly comparable after a cross-process trace merge.
+"""
 
 from __future__ import annotations
 
 import time
+
+__all__ = ["now", "Timer"]
+
+
+def now() -> float:
+    """Current monotonic reading in seconds (the raw-clock chokepoint)."""
+    return time.perf_counter()
 
 
 class Timer:
@@ -20,10 +37,10 @@ class Timer:
         self._start: float | None = None
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        self._start = now()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         assert self._start is not None
-        self.elapsed = time.perf_counter() - self._start
+        self.elapsed = now() - self._start
         self._start = None

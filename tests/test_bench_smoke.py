@@ -1,10 +1,10 @@
 """Smoke test for the benchmark harness (``repro bench --smoke``).
 
 Runs the real harness end to end on a tiny mesh and validates the
-schema-v3 report (engine families + the parallel grid section), so CI
-catches a broken benchmark (or a drifted schema) without paying for the
-full ``BENCH_3.json`` regeneration.  Marked ``bench_smoke`` so CI can
-also run it as a dedicated step:
+schema-v4 report (engine families, per-phase timing breakdowns, and the
+parallel grid section), so CI catches a broken benchmark (or a drifted
+schema) without paying for the full ``BENCH_4.json`` regeneration.
+Marked ``bench_smoke`` so CI can also run it as a dedicated step:
 
     python -m pytest -q -m bench_smoke
 """
@@ -26,7 +26,7 @@ from repro.experiments.bench import (
 
 pytestmark = pytest.mark.bench_smoke
 
-_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_3.json"
+_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_4.json"
 
 
 @pytest.fixture(scope="module")
@@ -71,8 +71,39 @@ def test_smoke_report_grid_section(smoke_report):
     assert grid["leaked_segments"] == []
 
 
+def test_smoke_report_case_phases(smoke_report):
+    """Schema v4: every engine case carries its setup/warm breakdown."""
+    for case in smoke_report["cases"]:
+        phases = case["phases"]
+        assert set(phases) >= {"setup_s", "warm_s"}
+        for value in phases.values():
+            assert value >= 0.0
+
+
+def test_smoke_report_grid_phases(smoke_report):
+    """Schema v4: serial runs record ``run_s``; parallel runs record the
+    dispatcher's warm/plan/publish/dispatch/wait breakdown, with the
+    sub-phases consistent with the run's total wall time."""
+    for run in smoke_report["grid"]["runs"]:
+        phases = run["phases"]
+        if run["workers"] == 1:
+            assert set(phases) == {"run_s"}
+            assert phases["run_s"] >= 0.0
+        else:
+            assert set(phases) == {
+                "warm_s", "plan_s", "publish_s", "dispatch_s", "wait_s"
+            }
+            for value in phases.values():
+                assert value >= 0.0
+            # wait_s is the stalled portion of the pool's lifetime.
+            assert phases["wait_s"] <= phases["dispatch_s"] + 1e-9
+            setup = (phases["warm_s"] + phases["plan_s"]
+                     + phases["publish_s"] + phases["dispatch_s"])
+            assert setup <= run["wall_time_s"] * 1.5 + 1e-9
+
+
 def test_write_bench_round_trips(smoke_report, tmp_path):
-    out = tmp_path / "BENCH_3.json"
+    out = tmp_path / "BENCH_4.json"
     write_bench(smoke_report, str(out))
     on_disk = json.loads(out.read_text())
     assert validate_bench(on_disk) == []
@@ -86,7 +117,7 @@ def test_write_bench_rejects_invalid_report(tmp_path):
 
 
 def test_cli_smoke_writes_report(tmp_path):
-    out = tmp_path / "BENCH_3.json"
+    out = tmp_path / "BENCH_4.json"
     rc = main(["bench", "--smoke", "--out", str(out)])
     assert rc in (0, None)
     report = json.loads(out.read_text())
@@ -94,7 +125,7 @@ def test_cli_smoke_writes_report(tmp_path):
 
 
 def test_committed_baseline_is_schema_valid(baseline):
-    """The checked-in BENCH_3.json must always parse and validate."""
+    """The checked-in BENCH_4.json must always parse and validate."""
     assert validate_bench(baseline) == []
     assert baseline["smoke"] is False
 

@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.instances",
     "repro.experiments",
     "repro.parallel",
+    "repro.obs",
     "repro.util",
 ]
 
@@ -59,7 +60,8 @@ def _code_names(markdown: str) -> set[str]:
 class TestDocReferences:
     @pytest.mark.parametrize(
         "doc", ["README.md", "docs/usage.md", "docs/deviations.md",
-                "docs/architecture.md", "docs/linting.md"]
+                "docs/architecture.md", "docs/linting.md",
+                "docs/observability.md"]
     )
     def test_repro_paths_in_docs_resolve(self, doc):
         text = (ROOT / doc).read_text()

@@ -159,3 +159,72 @@ class TestDisabledIsFree:
             store._shm.buf[0] ^= 0xFF  # corruption goes undetected
             verify_attached(store.manifest)
             detach_all()
+
+
+class TestTracingCompose:
+    """``REPRO_SANITIZE=1`` and ``REPRO_TRACE`` compose.
+
+    The per-chunk digest verification shows up as a span on the
+    success path, and a :class:`SanitizerError` raised mid-chunk still
+    flushes every buffered span back to the parent via the payload
+    attached to the exception (the no-silent-trace-loss contract).
+    """
+
+    @pytest.fixture
+    def traced(self):
+        from repro import obs
+
+        was = obs.tracing_enabled()
+        obs.reset()
+        obs.enable_tracing()
+        yield obs
+        obs.reset()
+        if not was:
+            obs.disable_tracing()
+
+    @staticmethod
+    def _cells():
+        from repro.parallel.dispatcher import GridCell
+
+        return [GridCell(0, "random_delay_priority", 4, 1, 0)]
+
+    def test_verify_chunk_appears_as_span(self, inst, sanitized, traced):
+        from repro.parallel.worker import run_chunk
+
+        with SharedInstanceStore.publish(inst) as store:
+            pairs, _rss, payload = run_chunk(
+                store.manifest, self._cells(), False, "auto"
+            )
+            detach_all()
+        assert len(pairs) == 1
+        names = [s.name for s in payload["spans"]]
+        assert "sanitize.verify_chunk" in names
+        assert "worker.cell" in names
+        # The verification span nests inside the chunk span.
+        by_name = {s.name: s for s in payload["spans"]}
+        assert by_name["sanitize.verify_chunk"].depth \
+            > by_name["worker.chunk"].depth
+
+    def test_sanitizer_error_mid_chunk_flushes_spans(
+        self, inst, sanitized, traced
+    ):
+        from repro.parallel.worker import run_chunk
+
+        store = SharedInstanceStore.publish(inst)
+        try:
+            attach(store.manifest)  # clean memoised attach
+            store._shm.buf[0] ^= 0xFF  # stray write mid-chunk
+            with pytest.raises(SanitizerError) as excinfo:
+                run_chunk(store.manifest, self._cells(), False, "auto")
+            # The payload rode the exception across the (would-be)
+            # process boundary; recovering it ingests the worker spans.
+            assert traced.recover_payload_from_exception(excinfo.value)
+            names = {s.name for s in traced.drain_spans()}
+            # The cell finished before verification failed, and the
+            # interrupted chunk/verify spans flushed on exception.
+            assert {"worker.cell", "worker.chunk",
+                    "sanitize.verify_chunk"} <= names
+        finally:
+            detach_all()
+            store._shm.buf[0] ^= 0xFF
+            store.close()
