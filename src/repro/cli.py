@@ -8,7 +8,7 @@ Commands
 ``partition``  partition a mesh into blocks, report cut/balance
 ``transport``  run the S_n transport solve in schedule order
 ``fuzz``       differential fuzzing of every registered scheduler
-``bench``      time the heap vs bucket scheduling engines, write JSON
+``bench``      time the heap/bucket/vector scheduling engines, write JSON
 ``trace``      run a traced grid and export a Perfetto-loadable timeline
 ``lint``       AST invariant linter (RPL rules) over python sources
 
@@ -165,9 +165,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench",
-        help="benchmark the heap vs bucket list-scheduling engines",
+        help="benchmark the heap/bucket/vector list-scheduling engines",
         description=(
-            "Time both list-scheduling engines on the benchmark families "
+            "Time all three list-scheduling engines on the benchmark families "
             "(large/standard mesh, chains, wide layers), cross-check that "
             "they produce identical schedules, and write a schema-"
             "versioned JSON report."
@@ -476,13 +476,13 @@ def _cmd_bench(args) -> int:
         grid_workers=tuple(args.grid_workers) if args.grid_workers else None,
     )
     for case in report["cases"]:
-        heap = case["engines"]["heap"]
-        bucket = case["engines"]["bucket"]
+        cols = " ".join(
+            f"{eng} {entry['wall_time_s'] * 1e3:8.1f}ms"
+            for eng, entry in case["engines"].items()
+        )
         print(
             f"{case['family']:14s} n={case['n_tasks']:8d} m={case['m']:4d} "
-            f"heap {heap['wall_time_s'] * 1e3:8.1f}ms "
-            f"bucket {bucket['wall_time_s'] * 1e3:8.1f}ms "
-            f"speedup x{case['speedup']:.2f} auto={case['auto_engine']}"
+            f"{cols} speedup x{case['speedup']:.2f} auto={case['auto_engine']}"
         )
     for run in report["grid"]["runs"]:
         same = "ok" if run["identical_to_serial"] else "DIFFERS"

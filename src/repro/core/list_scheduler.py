@@ -22,13 +22,21 @@ Two interchangeable engines implement both modes:
   per-processor monotone bucket queues on narrow ones.  Bit-identical
   output (pinned by ``tests/test_engine_equivalence.py``), 1.5–3x faster
   than the heap on wide wavefronts.
-* ``engine="auto"`` (default) — bucket when the priorities are numeric
-  and NaN-free *and* the instance is wide enough for the bucket engine to
-  win (average wavefront of at least
-  :data:`repro.core.fast_scheduler._POOL_MIN_WIDTH` tasks per step); heap
+* ``engine="vector"`` — :mod:`repro.core.vector_scheduler`: the
+  level-synchronous batch kernel.  Whole ready frontiers are processed as
+  sorted packed-code arrays per superstep, with vectorised in-degree
+  decrements and an exact endgame drain that batches the final
+  promotion-free phase in one shot.  Bit-identical output, fastest on
+  very wide shallow instances.
+* ``engine="auto"`` (default) — a batched engine when the priorities are
+  numeric and NaN-free *and* the instance is wide enough for batching to
+  win: vector above an uncapped mean wavefront of
+  :data:`repro.core.vector_scheduler._VECTOR_MIN_WIDTH` tasks per level,
+  bucket above an effective width of
+  :data:`repro.core.fast_scheduler._POOL_MIN_WIDTH` tasks per step, heap
   otherwise.  Narrow instances stay on the heap because C ``heapq`` beats
-  any pure-Python bucket scheme there; object/tuple keys stay on the heap
-  because they need real comparisons.
+  any pure-Python batching scheme there; object/tuple keys stay on the
+  heap because they need real comparisons.
 
 Priorities are *minimised*; callers wanting "higher is better" negate
 their keys.  Ties break deterministically by task id, so results are
@@ -56,19 +64,23 @@ __all__ = [
 ]
 
 #: Valid values of the ``engine`` parameter.
-ENGINES = ("heap", "bucket", "auto")
+ENGINES = ("heap", "bucket", "vector", "auto")
 
 
 def resolve_engine(engine: str, priority, inst=None, m=None) -> str:
     """Map an ``engine`` request to the engine that will actually run.
 
-    ``"auto"`` picks the bucket engine when it can reproduce the heap
+    ``"auto"`` picks a batched engine when it can reproduce the heap
     engine exactly (numeric, NaN-free priorities — see
     :func:`repro.core.fast_scheduler.bucket_supports`) *and*, when
-    ``inst``/``m`` are given, the instance is wide enough for it to be
-    faster (:func:`repro.core.fast_scheduler.bucket_preferred`).  An
-    explicit ``"bucket"`` runs the bucket engine on any supported
-    priorities regardless of width, and raises on unsupported ones.
+    ``inst``/``m`` are given, the instance is wide enough for batching to
+    be faster: the vector engine in the very wide shallow regime
+    (:func:`repro.core.vector_scheduler.vector_preferred`), the bucket
+    engine in the merely wide one
+    (:func:`repro.core.fast_scheduler.bucket_preferred`), the heap
+    otherwise.  An explicit ``"bucket"`` or ``"vector"`` runs that engine
+    on any supported priorities regardless of width, and raises on
+    unsupported ones.
     """
     if engine not in ENGINES:
         raise InvalidScheduleError(
@@ -79,15 +91,19 @@ def resolve_engine(engine: str, priority, inst=None, m=None) -> str:
     from repro.core.fast_scheduler import bucket_preferred, bucket_supports
 
     if not bucket_supports(priority):
-        if engine == "bucket":
+        if engine in ("bucket", "vector"):
             raise InvalidScheduleError(
-                "bucket engine requires numeric NaN-free priorities; "
+                f"{engine} engine requires numeric NaN-free priorities; "
                 "use engine='heap' (or 'auto') for non-scalar keys"
             )
         return "heap"
-    if engine == "bucket":
-        return "bucket"
+    if engine in ("bucket", "vector"):
+        return engine
     if inst is not None and m is not None:
+        from repro.core.vector_scheduler import vector_preferred
+
+        if vector_preferred(inst, m, priority):
+            return "vector"
         return "bucket" if bucket_preferred(inst, m, priority) else "heap"
     return "bucket"
 
@@ -140,10 +156,15 @@ def list_schedule(
             raise InvalidScheduleError(
                 f"priority has shape {priority.shape}, expected ({n_tasks},)"
             )
-    if resolve_engine(engine, priority, inst, m) == "bucket":
+    resolved = resolve_engine(engine, priority, inst, m)
+    if resolved == "bucket":
         from repro.core.fast_scheduler import bucket_list_schedule
 
         return bucket_list_schedule(inst, m, assignment, priority, meta=meta)
+    if resolved == "vector":
+        from repro.core.vector_scheduler import vector_list_schedule
+
+        return vector_list_schedule(inst, m, assignment, priority, meta=meta)
     with obs.span(
         "schedule.heap",
         cat="scheduler",
@@ -250,10 +271,15 @@ def list_schedule_unassigned(
             raise InvalidScheduleError(
                 f"priority has shape {priority.shape}, expected ({n_tasks},)"
             )
-    if resolve_engine(engine, priority, inst, m) == "bucket":
+    resolved = resolve_engine(engine, priority, inst, m)
+    if resolved == "bucket":
         from repro.core.fast_scheduler import bucket_list_schedule_unassigned
 
         return bucket_list_schedule_unassigned(inst, m, priority)
+    if resolved == "vector":
+        from repro.core.vector_scheduler import vector_list_schedule_unassigned
+
+        return vector_list_schedule_unassigned(inst, m, priority)
     with obs.span(
         "schedule.heap_unassigned",
         cat="scheduler",

@@ -1,0 +1,356 @@
+"""Level-synchronous vectorised list-scheduling engine (``engine="vector"``).
+
+The third scheduling engine behind
+:func:`repro.core.list_scheduler.list_schedule` and
+:func:`~repro.core.list_scheduler.list_schedule_unassigned`.  Where the
+bucket engine (:mod:`repro.core.fast_scheduler`) pops tasks through bucket
+queues or a sorted pool one *step* at a time, this engine treats the whole
+ready frontier as one numpy array per superstep — the BSP view of DAG
+scheduling: supersteps over entire ready frontiers are exactly the right
+granularity to vectorise.
+
+One superstep of the kernel:
+
+1. **pop** — the frontier is a sorted ``int64`` array of packed
+   ``(processor, key, tid)`` codes (``(key, tid)`` in unassigned mode), so
+   each processor's minimum is the first code of its run: one
+   group-boundary mask pops every processor's task at once (unassigned
+   mode pops the first ``m`` codes instead).
+2. **decrement** — successors of all popped tasks are gathered in one CSR
+   slice-concatenation; ``np.unique(..., return_counts=True)`` folds
+   duplicate edges and same-step sibling completions into a single
+   vectorised in-degree subtraction.  The engine never builds the dense
+   padded successor matrix the pool path uses — a deliberate memory/warm
+   saving for attached workers.
+3. **merge** — newly-ready tasks are packed, sorted, and merged into the
+   remaining frontier with one ``np.searchsorted`` + ``np.insert``.
+
+**Endgame drain batching**: once ``frontier.size == remaining`` every
+unexecuted task is ready, so no promotion can ever happen again and the
+rest of the schedule is a pure drain.  The engine then assigns *all*
+remaining start times in one shot — per-processor rank within the sorted
+frontier (assigned mode) or ``t + i // m`` with machine ``i % m``
+(unassigned mode), i.e. batched machine assignment via cumulative
+position arrays.  This is exact, not an approximation: with no promotions
+pending, list scheduling degenerates to round-robin over each queue in
+``(key, tid)`` order.  On wide shallow instances the drain collapses
+thousands of steps into one superstep.
+
+Output is bit-identical to the heap and bucket engines — same start
+times, same machine numbers, same tie-breaks, same errors — which
+``tests/test_engine_equivalence.py`` pins on every fuzz spec family,
+every registry golden, the corpus, and hypothesis-random instances, and
+``tests/test_engine_mutations.py`` proves by killing the seeded faults
+below.  Callers normally never import this module: they pass
+``engine="vector"`` (or let ``engine="auto"`` route very wide shallow
+instances here) to the public entry points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import obs
+from repro.core.dag import _gather_csr
+from repro.core.fast_scheduler import _pool_codes, bucket_keys, bucket_supports
+from repro.core.instance import SweepInstance
+from repro.core.schedule import Schedule
+from repro.util.errors import InvalidScheduleError
+
+__all__ = [
+    "vector_list_schedule",
+    "vector_list_schedule_unassigned",
+    "vector_preferred",
+]
+
+#: ``engine="auto"`` routes to the vector engine only above this mean
+#: uncapped wavefront width (``n_tasks / num_levels``, *not* capped at
+#: ``m`` — on wide instances both the pool and vector kernels pop ``m``
+#: tasks per step, so the capped width cannot separate them; the uncapped
+#: width measures how much of the instance the endgame drain can batch).
+#: Calibrated on the bench families: the wide_layer family (width 8000)
+#: is ~2x faster here than the bucket pool, while mesh_large (width
+#: ~1100) still favours the pool's padded-matrix promotion.
+_VECTOR_MIN_WIDTH = 4000
+
+#: Test-only fault-injection point for the mutation-kill suite
+#: (``tests/test_engine_mutations.py``).  One of ``None`` (production),
+#: ``"frontier_off_by_one"`` (the pop cut loses its last task each
+#: superstep), ``"stale_indegree"`` (duplicate same-step decrements are
+#: folded to one), or ``"unstable_tiebreak"`` (the tid component of the
+#: packed code is inverted, flipping equal-priority tie-breaks).  Arming
+#: any fault disables the endgame drain so the faults always exercise
+#: the superstep loop.  Never set outside tests.
+_MUTATION = None
+
+
+def vector_preferred(inst: SweepInstance, m: int, priority) -> bool:
+    """Should ``engine="auto"`` pick the vector engine here?
+
+    True when the priorities are bucketable (the packed-code kernel needs
+    the same numeric NaN-free keys the bucket engine does) *and* the mean
+    wavefront is at least :data:`_VECTOR_MIN_WIDTH` tasks per level —
+    the wide shallow regime where frontier-at-a-time supersteps and the
+    endgame drain beat the sorted pool's per-step ``np.insert``.
+    """
+    if not bucket_supports(priority):
+        return False
+    union = inst.union_dag()
+    d = union.num_levels()
+    if d <= 0:
+        return False
+    return inst.n_tasks // d >= _VECTOR_MIN_WIDTH
+
+
+def _codes(
+    key: np.ndarray, n_tasks: int, m: int | None
+) -> tuple[np.ndarray, np.ndarray, int] | None:
+    """Packed codes plus decode mask, or ``None`` when 62 bits overflow.
+
+    Returns ``(code_of, tid_of, shift)`` where ``code_of[tid]`` is the
+    packed ``(key, tid)`` code (processor bits are added by the caller in
+    assigned mode) and ``tid_of`` decodes ``code & ((1 << logn) - 1)``
+    back to a task id.  The ``unstable_tiebreak`` fault inverts the tid
+    component symmetrically in both directions, so the mutated engine
+    still emits a *valid* schedule — just with every equal-priority
+    tie-break reversed.
+    """
+    packed = _pool_codes(key, n_tasks, m)
+    if packed is None:
+        return None
+    key, logn, kb = packed
+    tid = np.arange(n_tasks, dtype=np.int64)
+    low = n_tasks - 1 - tid if _MUTATION == "unstable_tiebreak" else tid
+    code_of = (key << logn) | low
+    tid_of = np.empty(1 << logn, dtype=np.int64)
+    tid_of[low] = tid
+    return code_of, tid_of, logn + kb
+
+
+def _decrement(
+    indeg: np.ndarray, off: np.ndarray, tgt: np.ndarray, done: np.ndarray
+) -> np.ndarray:
+    """Vectorised in-degree decrement; returns the newly-ready task ids.
+
+    Hybrid of two exact formulations: a dense ``np.bincount`` histogram
+    when the gathered successor batch rivals the vertex count (wide
+    supersteps — O(n) and branch-free beats sorting the batch), and
+    ``np.unique(..., return_counts=True)`` when the batch is sparse.
+    Both fold duplicate edges and same-step sibling completions into one
+    subtraction per target, so the result is identical either way.
+    """
+    succ = _gather_csr(off, tgt, done)
+    if not succ.size:
+        return np.empty(0, dtype=np.int64)
+    if succ.size >= indeg.size // 4:
+        counts = np.bincount(succ, minlength=indeg.size)
+        touched = np.flatnonzero(counts)
+        if _MUTATION == "stale_indegree":
+            indeg[touched] -= 1
+        else:
+            indeg[touched] -= counts[touched]
+        return touched[indeg[touched] == 0]
+    uniq, counts = np.unique(succ, return_counts=True)
+    if _MUTATION == "stale_indegree":
+        indeg[uniq] -= 1
+    else:
+        indeg[uniq] -= counts
+    return uniq[indeg[uniq] == 0]
+
+
+def _merge(rest: np.ndarray, new_codes: np.ndarray) -> np.ndarray:
+    """Merge sorted new codes into the sorted remaining frontier."""
+    if not new_codes.size:
+        return rest
+    return np.insert(rest, np.searchsorted(rest, new_codes), new_codes)
+
+
+def _vector_schedule(
+    inst: SweepInstance,
+    m: int,
+    assignment: np.ndarray,
+    code_of: np.ndarray,
+    tid_of: np.ndarray,
+    shift: int,
+) -> np.ndarray:
+    n_tasks = inst.n_tasks
+    union = inst.union_dag()
+    off, tgt = union.successor_csr()
+    indeg = union.indegree()
+    proc_of = np.tile(np.asarray(assignment, dtype=np.int64), inst.k)
+    gcode_of = (proc_of << shift) | code_of
+    tid_mask = np.int64(tid_of.size - 1)
+
+    frontier = np.sort(gcode_of[np.flatnonzero(indeg == 0)])
+    start = np.full(n_tasks, -1, dtype=np.int64)
+    remaining = n_tasks
+    t = 0
+    supersteps = 0
+    peak = 0
+    first = np.empty(n_tasks, dtype=bool)
+    mut = _MUTATION
+    while remaining:
+        r = frontier.size
+        if not r:
+            raise InvalidScheduleError(
+                "no ready task but tasks remain — instance has a cycle"
+            )
+        if r > peak:
+            peak = r
+        supersteps += 1
+        pp = frontier >> shift
+        if r == remaining and mut is None:
+            # Endgame drain: every unexecuted task is ready, so no future
+            # promotion exists and each processor just drains its queue in
+            # (key, tid) order — batch all remaining starts at once.
+            idx = np.arange(r, dtype=np.int64)
+            f = first[:r]
+            f[0] = True
+            np.not_equal(pp[1:], pp[:-1], out=f[1:])
+            rank = idx - np.maximum.accumulate(np.where(f, idx, 0))
+            start[tid_of[frontier & tid_mask]] = t + rank
+            t += int(rank.max()) + 1
+            remaining = 0
+            break
+        f = first[:r]
+        f[0] = True
+        np.not_equal(pp[1:], pp[:-1], out=f[1:])
+        if mut == "frontier_off_by_one":
+            hits = np.flatnonzero(f)
+            if hits.size > 1:
+                f[hits[-1]] = False
+        done = tid_of[frontier[f] & tid_mask]
+        start[done] = t
+        remaining -= done.size
+        newly = _decrement(indeg, off, tgt, done)
+        frontier = _merge(frontier[~f], np.sort(gcode_of[newly]))
+        t += 1
+    obs.inc("scheduler.vector.steps", t)
+    obs.inc("scheduler.vector.supersteps", supersteps)
+    obs.gauge_max("scheduler.vector.peak_frontier", peak)
+    return start
+
+
+def _vector_unassigned(
+    inst: SweepInstance,
+    m: int,
+    code_of: np.ndarray,
+    tid_of: np.ndarray,
+    shift: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    n_tasks = inst.n_tasks
+    union = inst.union_dag()
+    off, tgt = union.successor_csr()
+    indeg = union.indegree()
+    tid_mask = np.int64(tid_of.size - 1)
+
+    frontier = np.sort(code_of[np.flatnonzero(indeg == 0)])
+    start = np.full(n_tasks, -1, dtype=np.int64)
+    machine = np.full(n_tasks, -1, dtype=np.int64)
+    remaining = n_tasks
+    t = 0
+    supersteps = 0
+    peak = 0
+    mut = _MUTATION
+    while remaining:
+        r = frontier.size
+        if not r:
+            raise InvalidScheduleError(
+                "no ready task but tasks remain — instance has a cycle"
+            )
+        if r > peak:
+            peak = r
+        supersteps += 1
+        if r == remaining and mut is None:
+            # Endgame drain: the m machines round-robin the sorted frontier.
+            idx = np.arange(r, dtype=np.int64)
+            done = tid_of[frontier & tid_mask]
+            start[done] = t + idx // m
+            machine[done] = idx % m
+            t += (r - 1) // m + 1
+            remaining = 0
+            break
+        n_exec = min(m, r)
+        if mut == "frontier_off_by_one" and n_exec > 1:
+            n_exec -= 1
+        done = tid_of[frontier[:n_exec] & tid_mask]
+        start[done] = t
+        machine[done] = np.arange(n_exec, dtype=np.int64)
+        remaining -= n_exec
+        newly = _decrement(indeg, off, tgt, done)
+        frontier = _merge(frontier[n_exec:], np.sort(code_of[newly]))
+        t += 1
+    obs.inc("scheduler.vector.steps", t)
+    obs.inc("scheduler.vector.supersteps", supersteps)
+    obs.gauge_max("scheduler.vector.peak_frontier", peak)
+    return start, machine
+
+
+# ----------------------------------------------------------------------
+# public entry points
+# ----------------------------------------------------------------------
+
+
+def vector_list_schedule(
+    inst: SweepInstance,
+    m: int,
+    assignment: np.ndarray,
+    priority: np.ndarray | None = None,
+    meta: dict | None = None,
+) -> Schedule:
+    """Vector-engine twin of :func:`repro.core.list_scheduler.list_schedule`.
+
+    Arguments are identical; output is bit-identical.  Callers should go
+    through ``list_schedule(..., engine="vector")``, which validates the
+    shapes once and dispatches here.  The (astronomically rare) instance
+    whose packed codes exceed 62 bits falls back to the bucket engine,
+    which shares the exact-equivalence contract.
+    """
+    n_tasks = inst.n_tasks
+    key = bucket_keys(priority, n_tasks)
+    packed = _codes(key, n_tasks, m)
+    if packed is None:
+        from repro.core.fast_scheduler import bucket_list_schedule
+
+        return bucket_list_schedule(inst, m, assignment, priority, meta=meta)
+    with obs.span(
+        "schedule.vector",
+        cat="scheduler",
+        args_fn=lambda: {"n_tasks": n_tasks, "m": m},
+    ):
+        start = _vector_schedule(inst, m, assignment, *packed)
+    return Schedule(
+        instance=inst,
+        m=m,
+        start=start,
+        assignment=np.asarray(assignment, dtype=np.int64),
+        meta=dict(meta or {}),
+    )
+
+
+def vector_list_schedule_unassigned(
+    inst: SweepInstance,
+    m: int,
+    priority: np.ndarray | None = None,
+):
+    """Vector-engine twin of ``list_schedule_unassigned`` (Graham mode).
+
+    Pops the ``m`` smallest ``(key, task id)`` codes per superstep in the
+    order the heap engine would, so machine numbers match bit-for-bit.
+    """
+    from repro.core.list_scheduler import UnassignedSchedule
+
+    n_tasks = inst.n_tasks
+    key = bucket_keys(priority, n_tasks)
+    packed = _codes(key, n_tasks, None)
+    if packed is None:
+        from repro.core.fast_scheduler import bucket_list_schedule_unassigned
+
+        return bucket_list_schedule_unassigned(inst, m, priority)
+    with obs.span(
+        "schedule.vector",
+        cat="scheduler",
+        args_fn=lambda: {"n_tasks": n_tasks, "m": m},
+    ):
+        start, machine = _vector_unassigned(inst, m, *packed)
+    return UnassignedSchedule(m=m, start=start, machine=machine)

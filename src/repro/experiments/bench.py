@@ -1,17 +1,25 @@
 """Engine + grid benchmark harness (``repro bench`` / ``scripts/run_bench.py``).
 
-Times the heap and bucket list-scheduling engines on a fixed set of case
-families, benchmarks the parallel grid dispatcher, and writes a
-schema-versioned JSON report (``BENCH_4.json`` at the repo root).  The
-committed report is the perf-regression baseline: the bucket engine must
-stay at least :data:`TARGET_SPEEDUP` times the heap engine's
+Times the heap, bucket, and vector list-scheduling engines on a fixed
+set of case families, benchmarks the parallel grid dispatcher, and
+writes a schema-versioned JSON report (``BENCH_5.json`` at the repo
+root).  The committed report is the perf-regression baseline: the bucket
+engine must stay at least :data:`TARGET_SPEEDUP` times the heap engine's
 tasks/second on the large mesh family, ``engine="auto"`` must resolve to
 (within 10% of) the fastest engine on every family (the per-case
 ``auto_engine`` field pins the routing), and the makespan checksums pin
-that both engines still produce identical schedules on the benchmark
-cases.  Schema v4 adds per-phase wall-clock breakdowns (``phases``) to
-every case and grid run, so future perf PRs can diff phase-level
-regressions — where the time moved, not just that it moved.
+that all three engines still produce identical schedules on the
+benchmark cases.  Schema v4 added per-phase wall-clock breakdowns
+(``phases``) to every case and grid run.  Schema v5 times three engines
+per case, slims the timed warm phase to the structural caches every
+engine shares (CSR, in-degrees, levels — engine-specific caches are
+built by an untimed warm-up run instead, so ``warm_s`` no longer hides a
+padded-matrix build), and gates worker memory: every parallel grid run
+must keep peak worker RSS under :data:`WORKER_RSS_CEILING_MB` (spawn
+workers attach to the shared store instead of inheriting the parent
+heap) and the best parallel run on a ``cpu_count >= 4`` machine must
+sustain :data:`TARGET_GRID_ROWS_FACTOR` times the committed v4 serial
+baseline of :data:`BASELINE_SERIAL_ROWS_PER_SEC` rows/second.
 
 Engine families
 ---------------
@@ -24,7 +32,8 @@ Engine families
   visible in the report.
 * ``chain`` — identical chains (depth = n, width = k): worst case for
   any batched engine, pure pipeline.
-* ``wide_layer`` — wide shallow DAGs: best case for the vectorised pool.
+* ``wide_layer`` — wide shallow DAGs: best case for frontier batching;
+  ``engine="auto"`` routes this family to the vector engine.
 
 Grid family
 -----------
@@ -60,10 +69,14 @@ from repro.util.timing import Timer
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "BASELINE_SERIAL_ROWS_PER_SEC",
+    "BENCH_ENGINES",
     "DEFAULT_BENCH_CELLS",
     "GRID_WORKERS",
     "TARGET_SPEEDUP",
     "TARGET_GRID_SPEEDUP",
+    "TARGET_GRID_ROWS_FACTOR",
+    "WORKER_RSS_CEILING_MB",
     "bench_cases",
     "grid_bench",
     "grid_bench_config",
@@ -74,8 +87,12 @@ __all__ = [
 
 #: Bump when the report layout changes; the filename tracks it
 #: (``BENCH_<version>.json``) so stale baselines cannot be misread.
-#: v4: per-phase wall-clock breakdowns (``phases``) on cases + grid runs.
-BENCH_SCHEMA_VERSION = 4
+#: v5: three timed engines per case, structural-only ``warm_s``, worker
+#: RSS ceiling and absolute grid-throughput gates.
+BENCH_SCHEMA_VERSION = 5
+
+#: Engines every bench case times and cross-checks.
+BENCH_ENGINES = ("heap", "bucket", "vector")
 
 #: Mesh size when ``REPRO_BENCH_CELLS`` is unset.
 DEFAULT_BENCH_CELLS = 2000
@@ -88,6 +105,24 @@ TARGET_SPEEDUP = 1.5
 #: machine reporting ``cpu_count >= 4`` (a 1-core container cannot show
 #: wall-clock parallel speedup no matter how good the dispatcher is).
 TARGET_GRID_SPEEDUP = 1.5
+
+#: Peak worker RSS (MiB) no parallel grid run may exceed.  Spawn-context
+#: workers map the shared segment into a fresh interpreter, so their
+#: high-water mark is attach + scheduling working set — the fork-era
+#: copy-on-write snapshot of the parent heap put this near 860 MiB.
+WORKER_RSS_CEILING_MB = 150.0
+
+#: The committed schema-v4 serial grid throughput (rows/second) on the
+#: reference container — the absolute baseline the parallel gate below
+#: multiplies.  Frozen, not re-measured: re-deriving it each run would
+#: let a serial regression silently lower the parallel bar.
+BASELINE_SERIAL_ROWS_PER_SEC = 8.527
+
+#: Required ratio of the best parallel run's rows/second over
+#: :data:`BASELINE_SERIAL_ROWS_PER_SEC`, gated on ``cpu_count >= 4`` and
+#: full (non-smoke) reports — smoke grids are too small for absolute
+#: throughput to mean anything.
+TARGET_GRID_ROWS_FACTOR = 3.0
 
 #: Worker counts the grid family times in a full (non-smoke) run.
 GRID_WORKERS = (1, 2, 4)
@@ -168,8 +203,14 @@ def bench_cases(smoke: bool = False, cells: int | None = None) -> list[dict]:
 
 
 def _time_engine(inst, m, assignment, priority, engine, repeats):
+    # One untimed warm-up run: the first run on an engine builds that
+    # engine's private caches (heap: Python successor lists, bucket: the
+    # padded successor matrix), so the timed repeats measure scheduling
+    # work alone and the case's ``warm_s`` phase stays structural.
+    schedule = list_schedule(
+        inst, m, assignment, priority=priority, engine=engine
+    )
     best = float("inf")
-    schedule = None
     for _ in range(repeats):
         with Timer() as t:
             schedule = list_schedule(
@@ -186,15 +227,17 @@ def run_bench(
     seed: int = 0,
     grid_workers: tuple | None = None,
 ) -> dict:
-    """Run the full benchmark grid; returns the schema-v4 report dict.
+    """Run the full benchmark grid; returns the schema-v5 report dict.
 
-    Each case times both engines on Algorithm 2's delayed-level
-    priorities (best wall time over ``repeats`` runs, caches warmed
-    beforehand) and cross-checks that the two schedules are identical —
-    a benchmark that silently compared different schedules would be
-    meaningless.  The ``grid`` section then times the parallel grid
-    dispatcher at each count in ``grid_workers`` (default
-    :data:`GRID_WORKERS`, or ``(1, 2)`` in smoke mode).
+    Each case times all of :data:`BENCH_ENGINES` on Algorithm 2's
+    delayed-level priorities (best wall time over ``repeats`` runs,
+    after one untimed warm-up run per engine) and cross-checks that the
+    schedules are identical — a benchmark that silently compared
+    different schedules would be meaningless.  The timed ``warm_s``
+    phase covers only the structural caches every engine shares.  The
+    ``grid`` section then times the parallel grid dispatcher at each
+    count in ``grid_workers`` (default :data:`GRID_WORKERS`, or
+    ``(1, 2)`` in smoke mode).
     """
     if repeats is None:
         repeats = 1 if smoke else 5
@@ -207,17 +250,20 @@ def run_bench(
             delays = draw_delays(inst.k, rng)
             assignment = random_cell_assignment(inst.n_cells, m, rng)
             priority = delayed_task_layers(inst, delays)
-        # Warm the per-instance caches (CSR lists, padded matrix, levels)
-        # so both engines are timed on scheduling work alone.
+        # Warm only the structural caches shared by every engine (CSR,
+        # in-degrees, level structure); engine-private caches are built
+        # by each engine's untimed warm-up run in ``_time_engine``, so
+        # ``warm_s`` no longer charges a padded-matrix build to families
+        # whose winning engine never touches it.
         with Timer() as t_warm:
             union = inst.union_dag()
-            union.successor_lists()
-            union.padded_successors()
+            union.successor_csr()
+            union.indegree()
             union.num_levels()
 
         engines = {}
         schedules = {}
-        for engine in ("heap", "bucket"):
+        for engine in BENCH_ENGINES:
             wall, sched = _time_engine(
                 inst, m, assignment, priority, engine, repeats
             )
@@ -226,13 +272,14 @@ def run_bench(
                 "tasks_per_sec": inst.n_tasks / wall if wall > 0 else 0.0,
             }
             schedules[engine] = sched
-        if not np.array_equal(
-            schedules["heap"].start, schedules["bucket"].start
-        ):
-            raise AssertionError(
-                f"engines disagree on bench family {case['family']!r} — "
-                "benchmark aborted"
-            )
+        for engine in BENCH_ENGINES[1:]:
+            if not np.array_equal(
+                schedules["heap"].start, schedules[engine].start
+            ):
+                raise AssertionError(
+                    f"heap and {engine} engines disagree on bench family "
+                    f"{case['family']!r} — benchmark aborted"
+                )
         from repro.core.list_scheduler import resolve_engine
 
         start = np.ascontiguousarray(schedules["heap"].start, dtype=np.int64)
@@ -408,17 +455,17 @@ def validate_bench(report: dict) -> list[str]:
             problems.append(f"case {i} missing keys: {sorted(missing)}")
             continue
         families.add(case["family"])
-        if case["auto_engine"] not in ("heap", "bucket"):
+        if case["auto_engine"] not in BENCH_ENGINES:
             problems.append(
                 f"case {i} auto_engine is {case['auto_engine']!r}, "
-                "expected 'heap' or 'bucket'"
+                f"expected one of {BENCH_ENGINES}"
             )
         problems.extend(
             _validate_phases(
                 case["phases"], _REQUIRED_CASE_PHASES, f"case {i}"
             )
         )
-        for eng in ("heap", "bucket"):
+        for eng in BENCH_ENGINES:
             entry = case["engines"].get(eng)
             if entry is None:
                 problems.append(f"case {i} ({case['family']}) lacks {eng}")
@@ -435,7 +482,13 @@ def validate_bench(report: dict) -> list[str]:
     for fam in ("mesh_large", "mesh_standard", "chain", "wide_layer"):
         if fam not in families:
             problems.append(f"family {fam!r} missing from report")
-    problems.extend(_validate_grid(report.get("grid")))
+    problems.extend(
+        _validate_grid(
+            report.get("grid"),
+            smoke=bool(report.get("smoke")),
+            cpu_count=report.get("cpu_count", 0),
+        )
+    )
     return problems
 
 
@@ -455,8 +508,15 @@ def _validate_phases(phases, required: set, where: str) -> list[str]:
     return problems
 
 
-def _validate_grid(grid) -> list[str]:
-    """Schema check for the report's ``grid`` section."""
+def _validate_grid(grid, smoke: bool = True, cpu_count: int = 0) -> list[str]:
+    """Schema + gate check for the report's ``grid`` section.
+
+    Beyond the per-run schema, parallel runs must keep peak worker RSS
+    under :data:`WORKER_RSS_CEILING_MB`, and a full (non-smoke) report
+    on a ``cpu_count >= 4`` machine must show at least one parallel run
+    sustaining :data:`TARGET_GRID_ROWS_FACTOR` times
+    :data:`BASELINE_SERIAL_ROWS_PER_SEC` rows/second.
+    """
     if not isinstance(grid, dict):
         return ["grid section is missing or not a dict"]
     problems = []
@@ -464,6 +524,7 @@ def _validate_grid(grid) -> list[str]:
     if not isinstance(runs, list) or not runs:
         return ["grid.runs is missing or empty"]
     worker_counts = set()
+    best_parallel_rows = 0.0
     for i, run in enumerate(runs):
         missing = _REQUIRED_GRID_RUN_KEYS - set(run)
         if missing:
@@ -485,14 +546,34 @@ def _validate_grid(grid) -> list[str]:
                 f"grid run {i} (workers={run['workers']}) rows differ "
                 "from the serial baseline"
             )
-        if run["workers"] > 1 and run["peak_worker_rss_mb"] <= 0:
-            problems.append(
-                f"grid run {i} (workers={run['workers']}) lacks worker RSS"
-            )
+        if run["workers"] > 1:
+            best_parallel_rows = max(best_parallel_rows, run["rows_per_sec"])
+            if run["peak_worker_rss_mb"] <= 0:
+                problems.append(
+                    f"grid run {i} (workers={run['workers']}) lacks worker RSS"
+                )
+            elif run["peak_worker_rss_mb"] >= WORKER_RSS_CEILING_MB:
+                problems.append(
+                    f"grid run {i} (workers={run['workers']}) peak worker "
+                    f"RSS {run['peak_worker_rss_mb']:.1f} MiB breaches the "
+                    f"{WORKER_RSS_CEILING_MB:.0f} MiB ceiling"
+                )
     if 1 not in worker_counts:
         problems.append("grid section lacks the serial (workers=1) baseline")
     if len(worker_counts) < 2:
         problems.append("grid section needs at least one parallel run")
+    target_rows = TARGET_GRID_ROWS_FACTOR * BASELINE_SERIAL_ROWS_PER_SEC
+    if (
+        not smoke
+        and cpu_count >= 4
+        and worker_counts - {1}
+        and best_parallel_rows < target_rows
+    ):
+        problems.append(
+            f"best parallel grid throughput {best_parallel_rows:.2f} rows/s "
+            f"is below the {target_rows:.2f} rows/s gate "
+            f"({TARGET_GRID_ROWS_FACTOR}x the v4 serial baseline)"
+        )
     if grid.get("leaked_segments"):
         problems.append(
             f"grid run leaked shm segments: {grid['leaked_segments']}"

@@ -9,8 +9,8 @@ cross-checks the results three ways:
    consistency, ...);
 2. **determinism** — an identical (instance, seed) pair must produce a
    bit-identical schedule on a second run;
-3. **engine equivalence** — the heap and bucket list-scheduling engines
-   (both internal bucket-engine paths) must produce bit-identical
+3. **engine equivalence** — the heap, bucket (both internal paths), and
+   vector list-scheduling engines must produce bit-identical
    schedules on the case, assigned and unassigned, with and without
    priorities;
 4. **cross-engine anomalies** — the minimum makespan over all engines is
@@ -162,12 +162,13 @@ def _check_determinism(
 def _check_engine_equivalence(
     inst: SweepInstance, m: int, seed: int
 ) -> list[Violation]:
-    """Heap vs bucket engine, both internal bucket paths, bit-for-bit.
+    """Heap vs bucket (both internal paths) vs vector, bit-for-bit.
 
     Runs :func:`list_schedule` and :func:`list_schedule_unassigned` on the
     case with uniform and delayed-level priorities, forcing the bucket
-    engine through both its sorted-pool and bucket-queue paths, and
-    reports any deviation from the heap reference.
+    engine through both its sorted-pool and bucket-queue paths and the
+    vector engine through its superstep kernel, and reports any
+    deviation from the heap reference.
     """
     from repro.core import fast_scheduler as fs
     from repro.core.assignment import random_cell_assignment
@@ -192,20 +193,24 @@ def _check_engine_equivalence(
                 )
             )
             continue
-        for path in ("bucket", "pool"):
+        for label, engine, path in (
+            ("bucket[bucket]", "bucket", "bucket"),
+            ("bucket[pool]", "bucket", "pool"),
+            ("vector", "vector", None),
+        ):
             saved = fs._FORCE_PATH
             fs._FORCE_PATH = path
             try:
                 got = list_schedule(
-                    inst, m, assignment, priority=prio, engine="bucket"
+                    inst, m, assignment, priority=prio, engine=engine
                 )
                 ugot = list_schedule_unassigned(
-                    inst, m, priority=prio, engine="bucket"
+                    inst, m, priority=prio, engine=engine
                 )
             except Exception as exc:  # noqa: BLE001
                 out.append(
                     Violation(
-                        "engine_equivalence", f"bucket[{path}]",
+                        "engine_equivalence", label,
                         f"crash on {pname} priorities: "
                         f"{type(exc).__name__}: {exc}",
                     )
@@ -216,7 +221,7 @@ def _check_engine_equivalence(
             if not np.array_equal(got.start, ref.start):
                 out.append(
                     Violation(
-                        "engine_equivalence", f"bucket[{path}]",
+                        "engine_equivalence", label,
                         f"assigned schedule differs from heap on {pname} "
                         f"priorities (makespans {got.makespan} vs "
                         f"{ref.makespan})",
@@ -227,7 +232,7 @@ def _check_engine_equivalence(
             ):
                 out.append(
                     Violation(
-                        "engine_equivalence", f"bucket[{path}]",
+                        "engine_equivalence", label,
                         f"unassigned schedule differs from heap on {pname} "
                         f"priorities (makespans {ugot.makespan} vs "
                         f"{uref.makespan})",

@@ -204,6 +204,7 @@ def run_dispatch(
     failure alike — a worker exception propagates *after* cleanup.
     """
     from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+    from multiprocessing import get_context
 
     from repro import obs
     from repro.experiments.runner import get_blocks, get_instance
@@ -220,7 +221,7 @@ def run_dispatch(
     ):
         inst = get_instance(config)
         with obs.span("grid.warm", cat="parallel"), Timer() as t_warm:
-            warm_instance(inst, config.algorithms)
+            warm_instance(inst, config.algorithms, engine=config.engine)
             blocks = {
                 size: get_blocks(config, size)
                 for size in config.block_sizes
@@ -242,8 +243,15 @@ def run_dispatch(
         obs.gauge_max("parallel.publish_s", t_pub.elapsed)
         with store:
             manifest = store.manifest
+            # Spawn-context workers: a fresh interpreter per worker maps
+            # the shared segment and nothing else, so worker peak RSS is
+            # the attach cost instead of a copy-on-write snapshot of the
+            # parent's whole heap (fork inherited ~860 MB of parent pages
+            # into every worker's VmHWM on the bench grid; spawn stays
+            # under the BENCH_5 worker-RSS ceiling).
             with Timer() as t_disp, ProcessPoolExecutor(
                 max_workers=workers,
+                mp_context=get_context("spawn"),
                 initializer=init_worker,
                 initargs=(manifest, obs.tracing_enabled()),
             ) as pool:

@@ -24,26 +24,46 @@ if TYPE_CHECKING:  # annotation-only imports; runtime imports stay lazy
 __all__ = ["warm_instance", "init_worker", "run_chunk"]
 
 
-def warm_instance(inst: "SweepInstance", algorithms: Iterable[str] = ()) -> None:
-    """Materialise the memo caches the given algorithms will need.
+def warm_instance(
+    inst: "SweepInstance",
+    algorithms: Iterable[str] = (),
+    engine: str = "auto",
+) -> None:
+    """Materialise the memo caches the given workload will need.
 
     Always warmed (every list-scheduling engine touches them): the union
-    DAG, its successor CSR, padded successor matrix, and level structure,
-    plus the per-direction levels behind ``task_levels`` (the priority
-    basis of the random-delay family).  Warmed on demand: per-direction
-    descendant counts (``descendant*``), b-levels and successor CSR
-    (``dfds*`` / ``blevel*``).  T-levels are supported by the cache wire
-    format but warmed only here if an algorithm family starts using them
-    — nothing in the registry does today.
+    DAG, its successor CSR, indegree/outdegree, and level structure, plus
+    the per-direction levels behind ``task_levels`` (the priority basis
+    of the random-delay family).  Warmed per engine: the dense padded
+    successor matrix only when the bucket engine's sorted pool can run
+    (``engine`` in ``("bucket", "auto")``) — the heap and vector engines
+    never touch it, and on wide shallow instances its build dwarfs the
+    structural warm.  Warmed on demand: per-direction descendant counts
+    (``descendant*``), b-levels and successor CSR (``dfds*`` /
+    ``blevel*``).  T-levels are supported by the cache wire format but
+    warmed only here if an algorithm family starts using them — nothing
+    in the registry does today.
+
+    Everything warmed here ships to attached workers through the
+    shared-memory cache wire format, so a worker running the same engine
+    performs zero cache rebuilds (``dag.cache.rebuild`` stays 0 — pinned
+    by ``tests/test_parallel_rss.py`` for the vector engine, whose caches
+    are all numpy arrays; the heap engine's Python-list conversions are
+    per-process by nature).
     """
     union = inst.union_dag()
     union.successor_csr()
-    union.padded_successors()
+    union.indegree()
+    union.outdegree()
     union.num_levels()
     union.topological_order()
+    if engine in ("bucket", "auto"):
+        union.padded_successors()
     inst.task_levels()
     for g in inst.dags:
         g.num_levels()
+        g.indegree()
+        g.outdegree()
     names = set(algorithms)
     if any(n.startswith("descendant") for n in names):
         for g in inst.dags:

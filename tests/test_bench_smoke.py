@@ -1,10 +1,14 @@
 """Smoke test for the benchmark harness (``repro bench --smoke``).
 
 Runs the real harness end to end on a tiny mesh and validates the
-schema-v4 report (engine families, per-phase timing breakdowns, and the
-parallel grid section), so CI catches a broken benchmark (or a drifted
-schema) without paying for the full ``BENCH_4.json`` regeneration.
-Marked ``bench_smoke`` so CI can also run it as a dedicated step:
+schema-v5 report (three engine timings per family, per-phase timing
+breakdowns, and the parallel grid section), so CI catches a broken
+benchmark (or a drifted schema) without paying for the full
+``BENCH_5.json`` regeneration.  The committed-baseline tests at the
+bottom are the perf-regression gates: bucket's mesh_large speedup, the
+structural-only warm on wide_layer, the worker RSS ceiling, and the
+(cpu-gated) absolute grid throughput target.  Marked ``bench_smoke`` so
+CI can also run it as a dedicated step:
 
     python -m pytest -q -m bench_smoke
 """
@@ -16,9 +20,13 @@ import pytest
 
 from repro.cli import main
 from repro.experiments.bench import (
+    BASELINE_SERIAL_ROWS_PER_SEC,
+    BENCH_ENGINES,
     BENCH_SCHEMA_VERSION,
+    TARGET_GRID_ROWS_FACTOR,
     TARGET_GRID_SPEEDUP,
     TARGET_SPEEDUP,
+    WORKER_RSS_CEILING_MB,
     run_bench,
     validate_bench,
     write_bench,
@@ -26,7 +34,7 @@ from repro.experiments.bench import (
 
 pytestmark = pytest.mark.bench_smoke
 
-_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_4.json"
+_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_5.json"
 
 
 @pytest.fixture(scope="module")
@@ -53,8 +61,8 @@ def test_smoke_report_covers_all_families(smoke_report):
         assert case["n_tasks"] > 0
         assert case["makespan"] > 0
         assert isinstance(case["checksum"], int)
-        assert case["auto_engine"] in ("heap", "bucket")
-        for eng in ("heap", "bucket"):
+        assert case["auto_engine"] in BENCH_ENGINES
+        for eng in BENCH_ENGINES:
             assert case["engines"][eng]["wall_time_s"] > 0
             assert case["engines"][eng]["tasks_per_sec"] > 0
 
@@ -72,7 +80,7 @@ def test_smoke_report_grid_section(smoke_report):
 
 
 def test_smoke_report_case_phases(smoke_report):
-    """Schema v4: every engine case carries its setup/warm breakdown."""
+    """Schema v5: every engine case carries its setup/warm breakdown."""
     for case in smoke_report["cases"]:
         phases = case["phases"]
         assert set(phases) >= {"setup_s", "warm_s"}
@@ -81,7 +89,7 @@ def test_smoke_report_case_phases(smoke_report):
 
 
 def test_smoke_report_grid_phases(smoke_report):
-    """Schema v4: serial runs record ``run_s``; parallel runs record the
+    """Schema v5: serial runs record ``run_s``; parallel runs record the
     dispatcher's warm/plan/publish/dispatch/wait breakdown, with the
     sub-phases consistent with the run's total wall time."""
     for run in smoke_report["grid"]["runs"]:
@@ -103,7 +111,7 @@ def test_smoke_report_grid_phases(smoke_report):
 
 
 def test_write_bench_round_trips(smoke_report, tmp_path):
-    out = tmp_path / "BENCH_4.json"
+    out = tmp_path / "BENCH_5.json"
     write_bench(smoke_report, str(out))
     on_disk = json.loads(out.read_text())
     assert validate_bench(on_disk) == []
@@ -117,7 +125,7 @@ def test_write_bench_rejects_invalid_report(tmp_path):
 
 
 def test_cli_smoke_writes_report(tmp_path):
-    out = tmp_path / "BENCH_4.json"
+    out = tmp_path / "BENCH_5.json"
     rc = main(["bench", "--smoke", "--out", str(out)])
     assert rc in (0, None)
     report = json.loads(out.read_text())
@@ -125,7 +133,7 @@ def test_cli_smoke_writes_report(tmp_path):
 
 
 def test_committed_baseline_is_schema_valid(baseline):
-    """The checked-in BENCH_4.json must always parse and validate."""
+    """The checked-in BENCH_5.json must always parse and validate."""
     assert validate_bench(baseline) == []
     assert baseline["smoke"] is False
 
@@ -176,3 +184,62 @@ def test_committed_baseline_grid_criteria(baseline):
     if baseline["cpu_count"] >= 4 and 4 in runs:
         speedup = runs[1]["wall_time_s"] / runs[4]["wall_time_s"]
         assert speedup >= TARGET_GRID_SPEEDUP
+
+
+def test_committed_baseline_worker_rss_ceiling(baseline):
+    """Every parallel run's peak worker RSS sits under the v5 ceiling.
+
+    Spawn-context workers attach to the shared store in a fresh
+    interpreter; a regression toward fork-style heap inheritance (the
+    old ~860 MiB VmHWM) or a worker-side rebuild of the big caches
+    breaches this immediately.
+    """
+    for run in baseline["grid"]["runs"]:
+        if run["workers"] > 1:
+            assert 0 < run["peak_worker_rss_mb"] < WORKER_RSS_CEILING_MB, (
+                f"workers={run['workers']}: peak worker RSS "
+                f"{run['peak_worker_rss_mb']:.1f} MiB vs ceiling "
+                f"{WORKER_RSS_CEILING_MB:.0f} MiB"
+            )
+
+
+def test_committed_baseline_wide_layer_warm_is_structural(baseline):
+    """The wide_layer warm phase stays under a second.
+
+    Schema v4 charged a padded-matrix build plus an ``np.subtract.at``
+    level sweep to this family's warm (6.77 s committed); v5's warm is
+    the structural trio (CSR, in-degrees, hybrid-decrement levels) and
+    must stay two orders of magnitude below that.
+    """
+    wide = next(
+        c for c in baseline["cases"] if c["family"] == "wide_layer"
+    )
+    assert wide["phases"]["warm_s"] < 1.0
+
+
+def test_committed_baseline_vector_wins_wide_layer(baseline):
+    """The vector engine is the fastest engine on wide_layer and auto
+    routes there — the tentpole's raison d'être, pinned."""
+    wide = next(
+        c for c in baseline["cases"] if c["family"] == "wide_layer"
+    )
+    engines = wide["engines"]
+    best = min(engines, key=lambda e: engines[e]["wall_time_s"])
+    assert best == "vector"
+    assert wide["auto_engine"] == "vector"
+
+
+def test_committed_baseline_grid_throughput(baseline):
+    """Absolute grid throughput: the best parallel run must reach
+    ``TARGET_GRID_ROWS_FACTOR`` x the committed v4 serial baseline —
+    gated on ``cpu_count >= 4``, because a 1-core container cannot show
+    wall-clock parallel speedup no matter how good the dispatcher is.
+    """
+    if baseline["cpu_count"] < 4:
+        pytest.skip("grid throughput gate needs cpu_count >= 4")
+    best = max(
+        run["rows_per_sec"]
+        for run in baseline["grid"]["runs"]
+        if run["workers"] > 1
+    )
+    assert best >= TARGET_GRID_ROWS_FACTOR * BASELINE_SERIAL_ROWS_PER_SEC

@@ -4,17 +4,24 @@ The repository has three independent ways to evaluate a schedule's
 quality (the standard engine, the timed engine, the exact oracle) and
 two independent feasibility oracles (the validator, the transport
 sweep).  These properties tie them together on random instances — the
-strongest internal-consistency net the library can cast.
+strongest internal-consistency net the library can cast.  The last
+class closes the net over the three list-scheduling engine
+implementations (heap, bucket, vector): identical makespans,
+assignments, and CRC-32 start checksums on hypothesis-random instances.
 """
+
+import zlib
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.analysis import gantt_text
 from repro.core import (
     latency_list_schedule,
     list_schedule,
+    list_schedule_unassigned,
     optimal_makespan_for_assignment,
 )
 
@@ -78,3 +85,69 @@ class TestTimedGantt:
         lines = text.splitlines()
         # Proc 1 idles 5 steps (task 0 runs 1, then 4 latency) then runs.
         assert lines[1].startswith("P1   .....0")
+
+
+class TestThreeEngineChecksums:
+    """heap == bucket == vector, summarised three independent ways.
+
+    The equivalence suite compares start arrays elementwise; these
+    properties pin the *derived* quantities every consumer actually
+    reads — makespan, the echoed assignment, and the CRC-32 start
+    checksum the bench report commits — across all three engines on
+    hypothesis-random instances, assigned and unassigned mode alike.
+    """
+
+    ENGINES = ("heap", "bucket", "vector")
+
+    @staticmethod
+    def _crc(arr):
+        return zlib.crc32(
+            np.ascontiguousarray(arr, dtype=np.int64).tobytes()
+        )
+
+    @given(
+        sweep_instances(max_n=12, max_k=3),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_assigned_mode_summaries_agree(self, inst, m, seed):
+        from repro.util.rng import as_rng
+
+        rng = as_rng(seed)
+        assignment = rng.integers(0, m, inst.n_cells)
+        prio = rng.integers(-4, 4, inst.n_tasks)
+        results = {
+            engine: list_schedule(
+                inst, m, assignment, priority=prio, engine=engine
+            )
+            for engine in self.ENGINES
+        }
+        ref = results["heap"]
+        for engine, got in results.items():
+            assert got.makespan == ref.makespan, engine
+            assert np.array_equal(got.assignment, ref.assignment), engine
+            assert self._crc(got.start) == self._crc(ref.start), engine
+
+    @given(
+        sweep_instances(max_n=12, max_k=3),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_unassigned_mode_summaries_agree(self, inst, m, seed):
+        from repro.util.rng import as_rng
+
+        rng = as_rng(seed)
+        prio = rng.integers(-4, 4, inst.n_tasks)
+        results = {
+            engine: list_schedule_unassigned(
+                inst, m, priority=prio, engine=engine
+            )
+            for engine in self.ENGINES
+        }
+        ref = results["heap"]
+        for engine, got in results.items():
+            assert got.makespan == ref.makespan, engine
+            assert self._crc(got.start) == self._crc(ref.start), engine
+            assert self._crc(got.machine) == self._crc(ref.machine), engine

@@ -1,7 +1,8 @@
-"""Cross-engine equivalence: heap vs bucket, bit for bit.
+"""Cross-engine equivalence: heap vs bucket vs vector, bit for bit.
 
-The headline guarantee of the bucket engine
-(:mod:`repro.core.fast_scheduler`) is that it is a pure optimisation:
+The headline guarantee of the batched engines
+(:mod:`repro.core.fast_scheduler` and
+:mod:`repro.core.vector_scheduler`) is that they are pure optimisations:
 same start times, same machine numbers, same tie-breaks, same errors as
 the heap engine, on every input.  This suite pins that guarantee on
 
@@ -12,16 +13,21 @@ the heap engine, on every input.  This suite pins that guarantee on
 
 always exercising *both* internal bucket-engine paths (the vectorised
 sorted pool and the narrow bucket queues) via the ``_FORCE_PATH`` test
-hook, so the ``auto`` width heuristic can never hide a broken path.
+hook and the vector engine's superstep kernel, so the ``auto`` width
+heuristic can never hide a broken path.  Start arrays are compared both
+elementwise and by CRC-32 checksum — the same digest the bench report
+commits — so a checksum scheme that ever diverged from the arrays would
+be caught here first.
 
 The priority-property tests at the bottom cover the tie-break contract
 itself: ``priority=None`` is the all-zeros priority, schedules depend
 only on the *relative order* of priorities, and permuting equal-priority
-task ids leaves both engines deterministic, mutually identical, and
+task ids leaves every engine deterministic, mutually identical, and
 oracle-clean.
 """
 
 import json
+import zlib
 from contextlib import contextmanager
 
 import numpy as np
@@ -53,27 +59,47 @@ def force_path(path):
         fs._FORCE_PATH = saved
 
 
+def start_checksum(schedule):
+    """The bench report's schedule digest: CRC-32 of the start array."""
+    start = np.ascontiguousarray(schedule.start, dtype=np.int64)
+    return zlib.crc32(start.tobytes())
+
+
+def engine_variants():
+    """Every (label, engine, forced path) combination the suite runs."""
+    yield "bucket[bucket]", "bucket", "bucket"
+    yield "bucket[pool]", "bucket", "pool"
+    yield "vector", "vector", None
+
+
 def assert_engines_match(inst, m, assignment, priority, label=""):
-    """Heap vs bucket (both internal paths), assigned and unassigned."""
+    """Heap vs bucket (both paths) vs vector, assigned and unassigned.
+
+    Asserts identical start arrays, assignments, machine numbers,
+    makespans, and CRC-32 start checksums for every engine variant.
+    """
     ref = list_schedule(inst, m, assignment, priority=priority, engine="heap")
     uref = list_schedule_unassigned(inst, m, priority=priority, engine="heap")
-    for path in PATHS:
+    for vlabel, engine, path in engine_variants():
         with force_path(path):
             got = list_schedule(
-                inst, m, assignment, priority=priority, engine="bucket"
+                inst, m, assignment, priority=priority, engine=engine
             )
             ugot = list_schedule_unassigned(
-                inst, m, priority=priority, engine="bucket"
+                inst, m, priority=priority, engine=engine
             )
-        assert np.array_equal(got.start, ref.start), f"{label} [{path}] start"
+        where = f"{label} [{vlabel}]"
+        assert np.array_equal(got.start, ref.start), f"{where} start"
         assert np.array_equal(got.assignment, ref.assignment), (
-            f"{label} [{path}] assignment"
+            f"{where} assignment"
         )
+        assert got.makespan == ref.makespan, f"{where} makespan"
+        assert start_checksum(got) == start_checksum(ref), f"{where} checksum"
         assert np.array_equal(ugot.start, uref.start), (
-            f"{label} [{path}] unassigned start"
+            f"{where} unassigned start"
         )
         assert np.array_equal(ugot.machine, uref.machine), (
-            f"{label} [{path}] machine"
+            f"{where} machine"
         )
 
 
@@ -125,13 +151,14 @@ class TestRegistryGoldens:
         fn = get_algorithm(algorithm)
         for label, inst, m in golden_cases:
             ref = fn(inst, m, seed=0, engine="heap")
-            for path in PATHS:
+            for vlabel, engine, path in engine_variants():
                 with force_path(path):
-                    got = fn(inst, m, seed=0, engine="bucket")
+                    got = fn(inst, m, seed=0, engine=engine)
                 assert np.array_equal(got.start, ref.start), (
-                    f"{label}/{algorithm} [{path}]"
+                    f"{label}/{algorithm} [{vlabel}]"
                 )
                 assert got.makespan == ref.makespan
+                assert start_checksum(got) == start_checksum(ref)
 
 
 class TestCorpus:
@@ -167,13 +194,13 @@ class TestHypothesisEquivalence:
 
 
 class TestPriorityProperties:
-    """Satellite: tie-break determinism pinned for both engines."""
+    """Satellite: tie-break determinism pinned for every engine."""
 
     def _engines(self):
-        for engine in ("heap", "bucket"):
-            paths = (None,) if engine == "heap" else PATHS
-            for path in paths:
-                yield engine, path
+        yield "heap", None
+        yield "vector", None
+        for path in PATHS:
+            yield "bucket", path
 
     @given(sweep_instances(max_n=12, max_k=3))
     @settings(max_examples=25, deadline=None)
@@ -245,36 +272,63 @@ class TestPriorityProperties:
             again = list_schedule(vinst, m, assignment, priority=None,
                                   engine="heap")
             assert np.array_equal(ref.start, again.start), variant
-            for path in PATHS:
+            for vlabel, engine, path in engine_variants():
                 with force_path(path):
                     got = list_schedule(vinst, m, assignment, priority=None,
-                                        engine="bucket")
-                assert np.array_equal(got.start, ref.start), (variant, path)
+                                        engine=engine)
+                assert np.array_equal(got.start, ref.start), (variant, vlabel)
             ctx = OracleContext(vinst, m)
             violations = check_schedule(ref, algorithm="fifo", ctx=ctx)
             assert not violations, (variant, [str(v) for v in violations])
 
 
 class TestAutoRule:
-    def test_auto_is_heap_on_narrow_and_bucket_on_wide(self):
+    def test_auto_crossover_heap_bucket_vector(self):
+        """The three-way width rule: heap below the bucket crossover,
+        bucket in the merely-wide regime, vector once the *uncapped* mean
+        wavefront reaches ``_VECTOR_MIN_WIDTH`` tasks per level.
+        """
         from repro.core.list_scheduler import resolve_engine
+        from repro.core.vector_scheduler import _VECTOR_MIN_WIDTH
         from repro.instances.families import identical_chains, wide_shallow
 
         narrow = identical_chains(64, 2)
         assert resolve_engine("auto", None, narrow, 4) == "heap"
-        wide = wide_shallow(4000, 2, seed=0)
+        # Wide but below the vector crossover: the bucket engine's regime.
+        wide = wide_shallow(1000, 2, seed=0)
+        assert wide.n_tasks // wide.union_dag().num_levels() < _VECTOR_MIN_WIDTH
         assert resolve_engine("auto", None, wide, 512) == "bucket"
-        # Unsupported keys force the heap even on wide instances.
-        obj = np.empty(wide.n_tasks, dtype=object)
-        obj[:] = [(0, i) for i in range(wide.n_tasks)]
-        assert resolve_engine("auto", obj, wide, 512) == "heap"
+        # At/above the vector crossover the frontier batch kernel wins.
+        very_wide = wide_shallow(4000, 2, seed=0)
+        assert (
+            very_wide.n_tasks // very_wide.union_dag().num_levels()
+            >= _VECTOR_MIN_WIDTH
+        )
+        assert resolve_engine("auto", None, very_wide, 512) == "vector"
+        # Unsupported keys force the heap even on very wide instances.
+        obj = np.empty(very_wide.n_tasks, dtype=object)
+        obj[:] = [(0, i) for i in range(very_wide.n_tasks)]
+        assert resolve_engine("auto", obj, very_wide, 512) == "heap"
 
-    def test_explicit_bucket_ignores_width(self):
+    @pytest.mark.parametrize("engine", ["bucket", "vector"])
+    def test_explicit_engine_ignores_width(self, engine):
         from repro.core.list_scheduler import resolve_engine
         from repro.instances.families import identical_chains
 
         narrow = identical_chains(64, 2)
-        assert resolve_engine("bucket", None, narrow, 4) == "bucket"
+        assert resolve_engine(engine, None, narrow, 4) == engine
+
+    @pytest.mark.parametrize("engine", ["bucket", "vector"])
+    def test_explicit_engine_rejects_object_keys(self, engine):
+        from repro.core.list_scheduler import resolve_engine
+        from repro.instances.families import identical_chains
+        from repro.util.errors import InvalidScheduleError
+
+        narrow = identical_chains(8, 2)
+        obj = np.empty(narrow.n_tasks, dtype=object)
+        obj[:] = [(0, i) for i in range(narrow.n_tasks)]
+        with pytest.raises(InvalidScheduleError, match="NaN-free"):
+            resolve_engine(engine, obj, narrow, 4)
 
     def test_unknown_engine_rejected(self):
         from repro.core.list_scheduler import resolve_engine

@@ -1,13 +1,14 @@
-"""Mutation-kill tests for the bucket scheduling engine.
+"""Mutation-kill tests for the bucket and vector scheduling engines.
 
 Same philosophy as :mod:`tests.test_validator_mutations`: each seeded
-fault in :mod:`repro.core.fast_scheduler` must be *killed* (detected) by
-at least one case in this file, and each case documents exactly which
-fault it targets and why the other faults slip through it.  A fault that
-every case survives would mean the equivalence suite's coverage has a
-hole exactly where the engine's bookkeeping is subtlest.
+fault in :mod:`repro.core.fast_scheduler` and
+:mod:`repro.core.vector_scheduler` must be *killed* (detected) by at
+least one case in this file, and each case documents exactly which
+fault it targets and why (or whether) the other faults slip through it.
+A fault that every case survives would mean the equivalence suite's
+coverage has a hole exactly where the engine's bookkeeping is subtlest.
 
-The three seeded faults (``fast_scheduler._MUTATION``):
+The three bucket-engine faults (``fast_scheduler._MUTATION``):
 
 * ``"bucket_off_by_one"`` — promoted tasks are filed one bucket too
   high, i.e. their priority is silently inflated by one.
@@ -19,18 +20,39 @@ The three seeded faults (``fast_scheduler._MUTATION``):
 Setting ``_MUTATION`` forces the narrow bucket-queue path (the faults
 live in its ``push_batch``); the initial frontier push is exempt, so a
 kill case must route the target task through a *promotion*.
+
+The three vector-engine faults (``vector_scheduler._MUTATION``) target
+the superstep kernel's three moving parts (pop cut, in-degree
+decrement, packed-code tie-break); arming any of them also disables the
+endgame drain so the superstep loop is always the code under test:
+
+* ``"frontier_off_by_one"`` — the pop mask loses its last processor (its
+  last ``min(m, r)``-th task in unassigned mode) whenever a superstep
+  pops more than one task.
+* ``"stale_indegree"`` — same-superstep sibling completions are folded
+  to a single decrement, so a task whose predecessors finish together
+  keeps a positive in-degree forever.
+* ``"unstable_tiebreak"`` — the task-id component of the packed code is
+  inverted (symmetrically, so decode still works): every equal-priority
+  tie now breaks toward the *higher* id.
 """
 
 import numpy as np
 import pytest
 
 import repro.core.fast_scheduler as fs
+import repro.core.vector_scheduler as vs
 from repro.core.dag import Dag
 from repro.core.instance import SweepInstance
-from repro.core.list_scheduler import list_schedule
+from repro.core.list_scheduler import list_schedule, list_schedule_unassigned
 from repro.util.errors import InvalidScheduleError
 
 MUTATIONS = ("bucket_off_by_one", "skip_promotion", "stale_minptr")
+VECTOR_MUTATIONS = (
+    "frontier_off_by_one",
+    "stale_indegree",
+    "unstable_tiebreak",
+)
 
 
 def run(inst, prio, mutation=None, monkeypatch=None):
@@ -168,5 +190,192 @@ class TestKillMatrix:
                 case
                 for case in CASES
                 if KILL_MATRIX[(case, mutation)] != "correct"
+            ]
+            assert kills, f"no case kills {mutation}"
+
+
+# ----------------------------------------------------------------------
+# vector engine
+# ----------------------------------------------------------------------
+
+
+def vrun(inst, m, assignment, prio, mutation=None, monkeypatch=None):
+    if mutation is not None:
+        monkeypatch.setattr(vs, "_MUTATION", mutation)
+    try:
+        return list_schedule(
+            inst, m, np.asarray(assignment, dtype=np.int64),
+            priority=np.asarray(prio), engine="vector",
+        )
+    finally:
+        if mutation is not None:
+            monkeypatch.setattr(vs, "_MUTATION", None)
+
+
+def vcase_frontier_off_by_one():
+    """Kills ``frontier_off_by_one``.
+
+    Two free tasks on two processors, uniform priorities: production
+    runs both at step 0; the fault clears the second processor's pop, so
+    its task slips to step 1.  ``stale_indegree`` survives (no edges, so
+    the decrement never runs) and ``unstable_tiebreak`` survives (each
+    processor's queue holds a single task — there is no tie to flip).
+    """
+    inst = SweepInstance(2, [Dag.from_edge_list(2, [])])
+    return inst, 2, [0, 1], [0, 0], np.array([0, 0])
+
+
+def vcase_stale_indegree():
+    """Kills ``stale_indegree``.
+
+    a(0) -> z(2) and b(1) -> z(2) with a, b on different processors:
+    both predecessors complete in the same superstep, so the gathered
+    successor batch is ``[z, z]`` and the correct decrement is 2.  The
+    fault subtracts 1, z's in-degree never reaches zero, and the engine
+    must report the false cycle.  ``unstable_tiebreak`` survives (each
+    processor run is a singleton at every superstep; z's promotion step
+    and processor are unchanged).  ``frontier_off_by_one`` does NOT
+    survive — it drops b's step-0 pop, serialising the predecessors —
+    which is the price of a fault that perturbs *every* multi-pop
+    superstep; the cell below records the honest outcome.
+    """
+    inst = SweepInstance(3, [Dag.from_edge_list(3, [(0, 2), (1, 2)])])
+    return inst, 2, [0, 1, 0], [0, 0, 0], np.array([0, 0, 1])
+
+
+def vcase_unstable_tiebreak():
+    """Kills ``unstable_tiebreak``.
+
+    Two free tasks tied at priority 0 on one processor: id order says
+    task 0 first, the inverted packed codes say task 1 first.  The other
+    faults survive: one processor run per superstep means the off-by-one
+    cut never fires (it needs more than one pop), and no edges means no
+    decrement for ``stale_indegree`` to corrupt.
+    """
+    inst = SweepInstance(2, [Dag.from_edge_list(2, [])])
+    return inst, 1, [0, 0], [0, 0], np.array([0, 1])
+
+
+VECTOR_CASES = {
+    "frontier_off_by_one": vcase_frontier_off_by_one,
+    "stale_indegree": vcase_stale_indegree,
+    "unstable_tiebreak": vcase_unstable_tiebreak,
+}
+
+VECTOR_KILL_MATRIX = {
+    ("frontier_off_by_one", "frontier_off_by_one"): "wrong_schedule",
+    ("frontier_off_by_one", "stale_indegree"): "correct",
+    ("frontier_off_by_one", "unstable_tiebreak"): "correct",
+    ("stale_indegree", "frontier_off_by_one"): "wrong_schedule",
+    ("stale_indegree", "stale_indegree"): "false_cycle",
+    ("stale_indegree", "unstable_tiebreak"): "correct",
+    ("unstable_tiebreak", "frontier_off_by_one"): "correct",
+    ("unstable_tiebreak", "stale_indegree"): "correct",
+    ("unstable_tiebreak", "unstable_tiebreak"): "wrong_schedule",
+}
+
+
+class TestVectorProductionBaseline:
+    """Unmutated vector engine: correct result, identical to the heap."""
+
+    @pytest.mark.parametrize("case", sorted(VECTOR_CASES))
+    def test_vector_matches_expected_and_heap(self, case):
+        inst, m, assignment, prio, expected_start = VECTOR_CASES[case]()
+        got = vrun(inst, m, assignment, prio)
+        assert np.array_equal(got.start, expected_start)
+        ref = list_schedule(
+            inst, m, np.asarray(assignment, dtype=np.int64),
+            priority=np.asarray(prio), engine="heap",
+        )
+        assert np.array_equal(got.start, ref.start)
+
+    def test_mutation_disables_endgame_drain(self, monkeypatch):
+        """An armed fault must force the superstep loop even when the
+        whole instance is one ready frontier, or drain-batched cases
+        would never execute the mutated code at all.  Pinned through the
+        superstep metric: the drain finishes the two-task single-proc
+        case in one superstep, the loop needs two.
+        """
+        from repro import obs
+
+        inst, m, assignment, prio, _ = vcase_unstable_tiebreak()
+        was_on = obs.tracing_enabled()
+        obs.enable_tracing()
+        obs.reset()
+        try:
+            vrun(inst, m, assignment, prio)
+            drained = obs.drain_metrics()["counters"]
+            assert drained.get("scheduler.vector.supersteps") == 1
+            vrun(inst, m, assignment, prio, "stale_indegree", monkeypatch)
+            looped = obs.drain_metrics()["counters"]
+            assert looped.get("scheduler.vector.supersteps") == 2
+        finally:
+            obs.reset()
+            if not was_on:
+                obs.disable_tracing()
+
+
+class TestVectorKillMatrix:
+    @pytest.mark.parametrize("case", sorted(VECTOR_CASES))
+    @pytest.mark.parametrize("mutation", VECTOR_MUTATIONS)
+    def test_cell(self, case, mutation, monkeypatch):
+        inst, m, assignment, prio, expected_start = VECTOR_CASES[case]()
+        outcome = VECTOR_KILL_MATRIX[(case, mutation)]
+        if outcome == "correct":
+            got = vrun(inst, m, assignment, prio, mutation, monkeypatch)
+            assert np.array_equal(got.start, expected_start), (
+                f"{mutation} unexpectedly changed the {case} schedule"
+            )
+        elif outcome == "wrong_schedule":
+            got = vrun(inst, m, assignment, prio, mutation, monkeypatch)
+            assert not np.array_equal(got.start, expected_start), (
+                f"{case} failed to kill {mutation}"
+            )
+        elif outcome == "false_cycle":
+            with pytest.raises(InvalidScheduleError, match="cycle"):
+                vrun(inst, m, assignment, prio, mutation, monkeypatch)
+        else:  # pragma: no cover - matrix typo guard
+            raise AssertionError(f"unknown outcome {outcome!r}")
+
+    def test_unassigned_mode_kills(self, monkeypatch):
+        """Graham mode exercises the same faults through its own pop cut
+        and machine assignment: two free tied tasks on two machines run
+        ``(start 0, machines 0 and 1)`` in production; the off-by-one
+        cut pops only one of them per superstep, and the inverted
+        tie-break hands machine 0 to the wrong task.  ``stale_indegree``
+        survives (no edges).
+        """
+        inst = SweepInstance(2, [Dag.from_edge_list(2, [])])
+
+        def urun(mutation=None):
+            if mutation is not None:
+                monkeypatch.setattr(vs, "_MUTATION", mutation)
+            try:
+                return list_schedule_unassigned(
+                    inst, 2,
+                    priority=np.zeros(2, dtype=np.int64), engine="vector",
+                )
+            finally:
+                if mutation is not None:
+                    monkeypatch.setattr(vs, "_MUTATION", None)
+
+        base = urun()
+        assert np.array_equal(base.start, [0, 0])
+        assert np.array_equal(base.machine, [0, 1])
+        off = urun("frontier_off_by_one")
+        assert not np.array_equal(off.start, base.start)
+        tie = urun("unstable_tiebreak")
+        assert not np.array_equal(tie.machine, base.machine)
+        stale = urun("stale_indegree")
+        assert np.array_equal(stale.start, base.start)
+        assert np.array_equal(stale.machine, base.machine)
+
+    def test_every_vector_mutation_is_killed(self):
+        """Census: each vector fault has at least one non-surviving cell."""
+        for mutation in VECTOR_MUTATIONS:
+            kills = [
+                case
+                for case in VECTOR_CASES
+                if VECTOR_KILL_MATRIX[(case, mutation)] != "correct"
             ]
             assert kills, f"no case kills {mutation}"

@@ -1,0 +1,94 @@
+"""Worker memory + zero-rebuild contract of the parallel grid plane.
+
+Spawn-context pool workers attach to the shared instance store instead
+of inheriting a copy-on-write snapshot of the parent heap, so each
+worker's peak RSS (``VmHWM``) must stay under the bench schema's
+:data:`repro.experiments.bench.WORKER_RSS_CEILING_MB` — the fork-era
+figure was ~860 MiB against a 150 MiB ceiling.  And because
+:func:`repro.parallel.worker.warm_instance` ships every cache the vector
+engine touches through the shm wire format, a vector-engine grid must
+perform *zero* cache rebuilds inside workers: the ``dag.cache.rebuild``
+counter (incremented whenever an adopted Dag re-materialises a cache it
+should have received) stays at zero across the whole run.  A heap-engine
+control grid proves the counter is live — the heap's Python-list caches
+are per-process by nature, so its workers *must* rebuild — which keeps
+the vector assertion falsifiable rather than vacuous.
+
+Marked ``grid_smoke`` alongside the other dispatcher end-to-end tests:
+
+    python -m pytest -q -m grid_smoke
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.experiments.bench import WORKER_RSS_CEILING_MB
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.runner import run_grid
+from repro.parallel import DispatchStats
+
+
+def _grid_config(engine: str) -> ExperimentConfig:
+    return ExperimentConfig(
+        mesh="tetonly", target_cells=250, k=4,
+        m_values=(8,), block_sizes=(1,),
+        algorithms=("random_delay_priority",),
+        seeds=(0, 1, 2, 3), name=f"rss-grid-{engine}",
+        engine=engine,
+    )
+
+
+@pytest.fixture
+def traced_env():
+    was = obs.tracing_enabled()
+    obs.reset()
+    obs.enable_tracing()
+    yield obs
+    obs.reset()
+    if not was:
+        obs.disable_tracing()
+
+
+@pytest.mark.grid_smoke
+class TestWorkerRssAndZeroRebuild:
+    def test_vector_grid_stays_under_rss_ceiling(self, traced_env):
+        stats = DispatchStats()
+        rows = run_grid(
+            _grid_config("vector"), with_comm=True, workers=2, stats=stats
+        )
+        assert rows
+        # VmHWM was actually sampled in the workers...
+        assert stats.peak_worker_rss_mb > 0
+        # ...and every worker stayed under the committed ceiling.
+        assert stats.peak_worker_rss_mb < WORKER_RSS_CEILING_MB, (
+            f"peak worker RSS {stats.peak_worker_rss_mb:.1f} MiB breaches "
+            f"the {WORKER_RSS_CEILING_MB:.0f} MiB BENCH_5 ceiling — workers "
+            "are rebuilding or copying parent state again"
+        )
+
+    def test_vector_grid_workers_rebuild_no_caches(self, traced_env):
+        serial = run_grid(_grid_config("vector"), with_comm=True, workers=1)
+        obs.reset()
+        parallel = run_grid(_grid_config("vector"), with_comm=True, workers=2)
+        metrics = obs.drain_metrics()
+        rebuilds = metrics["counters"].get("dag.cache.rebuild", 0)
+        assert rebuilds == 0, (
+            f"vector-engine workers re-materialised {rebuilds} adopted "
+            "caches — warm_instance no longer ships everything the engine "
+            "touches"
+        )
+        # Adopting instead of rebuilding must not change the results.
+        assert parallel == serial
+
+    def test_rebuild_counter_is_live(self, traced_env):
+        """Heap-engine control: its Python-list caches cannot ship over
+        shm, so workers must rebuild them — proving the counter the
+        vector test pins at zero actually fires.
+        """
+        obs.reset()
+        rows = run_grid(_grid_config("heap"), with_comm=False, workers=2)
+        assert rows
+        metrics = obs.drain_metrics()
+        assert metrics["counters"].get("dag.cache.rebuild", 0) > 0

@@ -1,4 +1,7 @@
-"""Tests for instance structure statistics."""
+"""Tests for instance structure statistics and repository-tree hygiene."""
+
+import re
+from pathlib import Path
 
 import numpy as np
 
@@ -62,3 +65,28 @@ class TestInstanceStats:
         bar = instance_stats(build_instance(long_like(500, seed=0), dirs))
         # The elongated bar sweeps through more levels per cell.
         assert bar.depth / bar.n_cells > cube.depth / cube.n_cells
+
+
+class TestRepoRootHygiene:
+    """No shell-mangled filenames at the repository root.
+
+    A truncated redirect or an unquoted variable in a shell one-liner
+    leaves droppings like ``hich,$p`` — names containing metacharacters
+    that the next unquoted command then re-expands.  Every legitimate
+    root-level file is plain ``[A-Za-z0-9._-]``, so anything else is an
+    accident by construction.
+    """
+
+    _CLEAN_NAME = re.compile(r"^[A-Za-z0-9._-]+$")
+
+    def test_root_filenames_are_shell_safe(self):
+        root = Path(__file__).resolve().parent.parent
+        offenders = [
+            entry.name
+            for entry in root.iterdir()
+            if entry.is_file() and not self._CLEAN_NAME.match(entry.name)
+        ]
+        assert not offenders, (
+            f"repo root contains shell-unsafe filenames: {offenders!r} — "
+            "likely droppings of a mangled shell command; delete them"
+        )
