@@ -1,0 +1,56 @@
+"""Declarative, resumable experiment campaigns over the grid runner.
+
+The campaign plane turns the paper's cartesian sweeps into data plus a
+durable store, so large comparisons survive interruption and figures
+are rebuilt without re-execution:
+
+* :mod:`repro.campaign.spec` — TOML/JSON campaign specs (cartesian
+  ``[[grid]]`` blocks and explicit ``[[cells]]``) compiled to a
+  deterministic, content-hashed, duplicate-free cell universe.
+* :mod:`repro.campaign.store` — a sqlite result store keyed by cell
+  hash: status, summary, timing, worker provenance; every write is an
+  atomic commit, unknown/duplicate writes fail loudly.
+* :mod:`repro.campaign.executor` — ``run_campaign`` plans only the
+  cells without a committed result and shards them through
+  :mod:`repro.parallel` (workers- and engine-aware), checkpointing as
+  results stream in; it survives ``SIGKILL`` mid-run and a rerun picks
+  up exactly the unfinished cells.
+* :mod:`repro.campaign.report` — status and grid-summary reports built
+  purely from the store, byte-identical to a fresh ``run_grid``.
+
+Front doors: the ``repro campaign run|status|report`` CLI and the
+functions re-exported here.  See ``docs/campaigns.md``.
+"""
+
+from repro.campaign.executor import (
+    CampaignStats,
+    group_config,
+    group_key,
+    run_campaign,
+)
+from repro.campaign.report import campaign_rows, report_json, status_text
+from repro.campaign.spec import (
+    SPEC_VERSION,
+    CampaignCell,
+    CampaignSpec,
+    cell_hash,
+    load_spec,
+)
+from repro.campaign.store import STORE_SCHEMA_VERSION, ResultStore
+
+__all__ = [
+    "SPEC_VERSION",
+    "STORE_SCHEMA_VERSION",
+    "CampaignCell",
+    "CampaignSpec",
+    "CampaignStats",
+    "ResultStore",
+    "cell_hash",
+    "load_spec",
+    "group_key",
+    "group_config",
+    "run_campaign",
+    "campaign_rows",
+    "report_json",
+    "status_text",
+]

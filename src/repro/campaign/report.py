@@ -1,0 +1,95 @@
+"""Campaign status and reporting, rebuilt purely from the result store.
+
+The report path never re-runs a cell: it loads every stored summary of
+the spec's universe and folds them with the *same* aggregation the grid
+runner uses (:func:`repro.experiments.runner.aggregate_row`, keyed by
+the same :func:`~repro.experiments.runner.row_key`), walking groups and
+rows in the universe's canonical order.  For a complete campaign the
+rows — and their canonical JSON serialisation
+(:func:`report_json`) — are byte-identical to running
+``run_grid(group_config(...))`` from scratch, which is what the
+crash-injection battery and the CI campaign-smoke job assert.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+from repro.campaign.executor import group_config, group_key
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore
+from repro.util.errors import CampaignError
+
+__all__ = ["campaign_rows", "report_json", "status_text"]
+
+
+def _universe_groups(spec: CampaignSpec):
+    """Canonically ordered ``(group key, [(hash, cell), ...])`` pairs."""
+    universe = spec.universe_hashes()
+    return [
+        (key, list(items))
+        for key, items in itertools.groupby(
+            universe.items(), key=lambda pair: group_key(pair[1])
+        )
+    ]
+
+
+def campaign_rows(spec: CampaignSpec, store: ResultStore) -> list[dict]:
+    """Grid summary rows for the whole campaign, purely from the store.
+
+    Rows appear in canonical universe order (instance group, then
+    algorithm / block size / m), each aggregated over its seeds exactly
+    as ``run_grid`` would.  A universe cell without a committed result
+    raises :class:`CampaignError` — report only what actually ran.
+    """
+    from repro.experiments.runner import aggregate_row
+
+    done = store.done_hashes()
+    missing = [
+        digest for digest in spec.universe_hashes() if digest not in done
+    ]
+    if missing:
+        raise CampaignError(
+            f"campaign is incomplete: {len(missing)} of "
+            f"{len(spec.universe_hashes())} cells have no result "
+            "(run `repro campaign run` to finish it)"
+        )
+    rows = []
+    for _, items in _universe_groups(spec):
+        for (algorithm, block_size, m), row_items in itertools.groupby(
+            items, key=lambda pair: (pair[1].algorithm, pair[1].block_size, pair[1].m)
+        ):
+            summaries = [store.result_for(digest) for digest, _ in row_items]
+            rows.append(aggregate_row(summaries, algorithm, m, block_size))
+    return rows
+
+
+def report_json(spec: CampaignSpec, store: ResultStore) -> str:
+    """The canonical report serialisation (the byte-identity artifact)."""
+    return json.dumps(campaign_rows(spec, store), indent=1, sort_keys=True) + "\n"
+
+
+def status_text(spec: CampaignSpec, store: ResultStore) -> str:
+    """Human-readable progress: per-group and total done/pending counts."""
+    done = store.done_hashes()
+    lines = [f"campaign {spec.name!r} — store {store.path}"]
+    total_done = total = 0
+    for key, items in _universe_groups(spec):
+        mesh, target_cells, mesh_seed, k = key
+        group_done = sum(1 for digest, _ in items if digest in done)
+        total_done += group_done
+        total += len(items)
+        lines.append(
+            f"  {mesh}[{target_cells} cells, seed {mesh_seed}] k={k}: "
+            f"{group_done}/{len(items)} cells done"
+        )
+    counts = store.counts(spec.universe_hashes())
+    state = "complete" if total_done == total else "resumable"
+    lines.append(f"total: {total_done}/{total} cells done ({state})")
+    if counts["stale_rows"]:
+        lines.append(
+            f"note: {counts['stale_rows']} stored row(s) are stale "
+            "(from an earlier spec) and ignored"
+        )
+    return "\n".join(lines)

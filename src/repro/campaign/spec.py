@@ -1,0 +1,306 @@
+"""Campaign specs: declarative sweeps compiled to a content-hashed universe.
+
+A campaign describes the paper's cartesian experiment space (mesh family
+× directions × algorithm × partitioner block size × m × seed) as data —
+TOML or JSON — instead of code.  Compilation turns the spec into a
+**cell universe**: a canonically ordered, duplicate-free tuple of
+:class:`CampaignCell`\\ s, each identified by a content hash over the
+spec version, the cell's instance/run parameters, and the code-relevant
+config (engine, with_comm).  The hash is the resume contract: the result
+store keys rows by it, so a rerun recognises finished work no matter how
+the spec file was formatted or ordered, and any change to an axis value
+(or to :data:`SPEC_VERSION` when cell semantics change) yields new
+hashes — stale results are never silently reused.
+
+Spec format (TOML shown; JSON is the same shape)::
+
+    name = "fig2-sweep"
+    engine = "auto"          # optional, default "auto"
+    with_comm = true         # optional, default true
+
+    [[grid]]                 # one or more cartesian blocks
+    mesh = ["tetonly"]       # every axis: scalar or list
+    target_cells = 500
+    mesh_seed = 0
+    k = [8]
+    algorithms = ["random_delay_priority"]
+    block_sizes = [1, 8]
+    m = [4, 16]
+    seeds = [0, 1]
+
+    [[cells]]                # plus explicit single cells
+    mesh = "long"
+    target_cells = 300
+    mesh_seed = 0
+    k = 4
+    algorithm = "dfds"
+    block_size = 1
+    m = 8
+    seed = 0
+
+See ``docs/campaigns.md`` for the full format and resume semantics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.util.errors import CampaignError
+
+__all__ = [
+    "SPEC_VERSION",
+    "CampaignCell",
+    "CampaignSpec",
+    "cell_hash",
+    "load_spec",
+]
+
+#: Bump when the meaning of a cell changes (e.g. a field is added to the
+#: hashed identity): every existing store row becomes stale by
+#: construction, so old results can never masquerade as new ones.
+SPEC_VERSION = 1
+
+#: Cartesian-axis spellings accepted in a ``[[grid]]`` block, mapped to
+#: the singular :class:`CampaignCell` field each one sweeps.
+_GRID_AXES = {
+    "mesh": "mesh",
+    "target_cells": "target_cells",
+    "mesh_seed": "mesh_seed",
+    "k": "k",
+    "algorithms": "algorithm",
+    "block_sizes": "block_size",
+    "m": "m",
+    "seeds": "seed",
+}
+
+#: Fields of one explicit ``[[cells]]`` entry (also the per-cell fields
+#: of the hash identity, in canonical order).
+_CELL_FIELDS = (
+    "mesh",
+    "target_cells",
+    "mesh_seed",
+    "k",
+    "algorithm",
+    "block_size",
+    "m",
+    "seed",
+)
+
+_INT_FIELDS = ("target_cells", "mesh_seed", "k", "block_size", "m", "seed")
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One fully-specified experiment cell of a campaign universe."""
+
+    mesh: str
+    target_cells: int
+    mesh_seed: int
+    k: int
+    algorithm: str
+    block_size: int
+    m: int
+    seed: int
+
+    def sort_key(self) -> tuple:
+        """The canonical universe ordering (field order of the hash)."""
+        return tuple(getattr(self, f) for f in _CELL_FIELDS)
+
+    def params(self) -> dict:
+        """The cell's parameters as a plain JSON-able dict."""
+        return {f: getattr(self, f) for f in _CELL_FIELDS}
+
+
+def cell_hash(cell: CampaignCell, engine: str, with_comm: bool) -> str:
+    """Content hash identifying one cell's result.
+
+    Covers :data:`SPEC_VERSION`, every instance/run parameter of the
+    cell, and the code-relevant config (``engine``, ``with_comm``) — the
+    inputs that can change the stored summary.  Deliberately excludes
+    presentation-only data (campaign name, axis ordering, file format),
+    so reformatting a spec never invalidates results.
+    """
+    identity = {
+        "spec_version": SPEC_VERSION,
+        "engine": engine,
+        "with_comm": bool(with_comm),
+        **cell.params(),
+    }
+    blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(blob.encode(), digest_size=16).hexdigest()
+
+
+def _coerce_cell(raw: dict, where: str) -> CampaignCell:
+    unknown = set(raw) - set(_CELL_FIELDS)
+    if unknown:
+        raise CampaignError(f"{where}: unknown cell field(s) {sorted(unknown)}")
+    missing = [f for f in _CELL_FIELDS if f not in raw]
+    if missing:
+        raise CampaignError(f"{where}: missing cell field(s) {missing}")
+    values = {}
+    for name in _CELL_FIELDS:
+        value = raw[name]
+        if name in _INT_FIELDS:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise CampaignError(
+                    f"{where}: field {name!r} must be an int, got {value!r}"
+                )
+            values[name] = int(value)
+        else:
+            if not isinstance(value, str):
+                raise CampaignError(
+                    f"{where}: field {name!r} must be a string, got {value!r}"
+                )
+            values[name] = value
+    return CampaignCell(**values)
+
+
+def _axis_values(raw: dict, axis: str, where: str) -> list:
+    value = raw[axis]
+    values = list(value) if isinstance(value, (list, tuple)) else [value]
+    if not values:
+        raise CampaignError(f"{where}: axis {axis!r} is empty")
+    return values
+
+
+def _grid_cells(raw: dict, where: str) -> list[CampaignCell]:
+    unknown = set(raw) - set(_GRID_AXES)
+    if unknown:
+        raise CampaignError(f"{where}: unknown grid axis(es) {sorted(unknown)}")
+    missing = [a for a in _GRID_AXES if a not in raw]
+    if missing:
+        raise CampaignError(f"{where}: missing grid axis(es) {missing}")
+    axes = [_axis_values(raw, axis, where) for axis in _GRID_AXES]
+    cells = []
+    for combo in itertools.product(*axes):
+        params = dict(zip(_GRID_AXES.values(), combo))
+        cells.append(_coerce_cell(params, where))
+    return cells
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative campaign: cartesian grid blocks plus explicit cells.
+
+    ``compile()`` is the only consumer-facing operation; everything else
+    (executor, store, report) works on the compiled universe.
+    """
+
+    name: str = "campaign"
+    engine: str = "auto"
+    with_comm: bool = True
+    grids: tuple = field(default_factory=tuple)
+    cells: tuple = field(default_factory=tuple)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignSpec":
+        """Build a spec from parsed TOML/JSON, validating the shape."""
+        if not isinstance(data, dict):
+            raise CampaignError(f"campaign spec must be a table, got {type(data)}")
+        known = {"name", "engine", "with_comm", "grid", "cells"}
+        unknown = set(data) - known
+        if unknown:
+            raise CampaignError(f"spec: unknown top-level key(s) {sorted(unknown)}")
+        grids = data.get("grid", [])
+        if isinstance(grids, dict):
+            grids = [grids]
+        cells = data.get("cells", [])
+        if not grids and not cells:
+            raise CampaignError("spec has no [[grid]] blocks and no [[cells]]")
+        name = data.get("name", "campaign")
+        engine = data.get("engine", "auto")
+        with_comm = data.get("with_comm", True)
+        if not isinstance(with_comm, bool):
+            raise CampaignError(f"spec: with_comm must be a bool, got {with_comm!r}")
+        from repro.core.list_scheduler import ENGINES
+
+        if engine not in ENGINES:
+            raise CampaignError(
+                f"spec: unknown engine {engine!r} (choose from {sorted(ENGINES)})"
+            )
+        return cls(
+            name=str(name),
+            engine=str(engine),
+            with_comm=with_comm,
+            grids=tuple(dict(g) for g in grids),
+            cells=tuple(dict(c) for c in cells),
+        )
+
+    def compile(self) -> tuple[CampaignCell, ...]:
+        """The cell universe: canonically ordered and duplicate-free.
+
+        The output is a pure function of the cell *set* the spec
+        denotes: axis ordering, grid-vs-explicit spelling, and duplicate
+        entries never change it (pinned by the hypothesis property
+        suite in ``tests/test_campaign_properties.py``).
+        """
+        cells: list[CampaignCell] = []
+        for i, grid in enumerate(self.grids):
+            cells.extend(_grid_cells(grid, f"grid[{i}]"))
+        for i, raw in enumerate(self.cells):
+            cells.append(_coerce_cell(raw, f"cells[{i}]"))
+        self._validate_names(cells)
+        unique = {cell.sort_key(): cell for cell in cells}
+        return tuple(unique[key] for key in sorted(unique))
+
+    def universe_hashes(self) -> dict[str, CampaignCell]:
+        """``{cell hash: cell}`` for the compiled universe (hash-keyed view)."""
+        universe = self.compile()
+        hashes = {}
+        for cell in universe:
+            digest = cell_hash(cell, self.engine, self.with_comm)
+            hashes[digest] = cell
+        if len(hashes) != len(universe):
+            raise CampaignError("cell hash collision inside one universe")
+        return hashes
+
+    def spec_hash(self) -> str:
+        """Hash of the whole universe (cells + code-relevant config)."""
+        blob = json.dumps(sorted(self.universe_hashes()))
+        return hashlib.blake2b(blob.encode(), digest_size=16).hexdigest()
+
+    def _validate_names(self, cells: list[CampaignCell]) -> None:
+        from repro.heuristics.registry import ALGORITHMS
+        from repro.mesh import MESH_GENERATORS
+
+        for cell in cells:
+            if cell.mesh not in MESH_GENERATORS:
+                raise CampaignError(
+                    f"spec: unknown mesh {cell.mesh!r} "
+                    f"(choose from {sorted(MESH_GENERATORS)})"
+                )
+            if cell.algorithm not in ALGORITHMS:
+                raise CampaignError(f"spec: unknown algorithm {cell.algorithm!r}")
+            if cell.m < 1 or cell.block_size < 1 or cell.k < 1:
+                raise CampaignError(
+                    f"spec: m/block_size/k must be >= 1 on {cell.params()}"
+                )
+
+
+def load_spec(path) -> CampaignSpec:
+    """Load a campaign spec from a ``.toml`` or ``.json`` file."""
+    path = Path(path)
+    if not path.exists():
+        raise CampaignError(f"campaign spec not found: {path}")
+    text = path.read_text()
+    if path.suffix == ".toml":
+        import tomllib
+
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise CampaignError(f"{path}: invalid TOML: {exc}") from exc
+    elif path.suffix == ".json":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CampaignError(f"{path}: invalid JSON: {exc}") from exc
+    else:
+        raise CampaignError(
+            f"campaign spec must be .toml or .json, got {path.suffix!r}"
+        )
+    return CampaignSpec.from_dict(data)

@@ -1,0 +1,242 @@
+"""Sqlite-backed campaign result store: the resume source of truth.
+
+One store file holds one campaign's results, keyed by the content hash
+of each cell (:func:`repro.campaign.spec.cell_hash`).  The contract:
+
+* **Registration** — opening a store against a spec registers every
+  universe cell as ``pending`` (``INSERT`` for unseen hashes only);
+  rows whose hash fell out of the universe (the spec changed) are kept
+  but ignored by planning and reporting — stale results never leak into
+  a report.
+* **Checkpointing** — :meth:`ResultStore.record_result` writes one
+  finished cell and commits immediately, so a ``SIGKILL`` at any moment
+  loses at most the in-flight cell.  Sqlite's journal makes each commit
+  atomic: after a crash the store holds exactly the committed cells.
+* **Fail loudly** — recording an unknown hash, or a hash that is
+  already ``done``, raises :class:`~repro.util.errors.CampaignError`;
+  a dispatcher bug can never silently overwrite or invent results.
+* **Corruption surfaces clearly** — a store file that sqlite cannot
+  read (or that fails ``PRAGMA integrity_check``, or lacks the schema)
+  raises ``CampaignError`` naming the file, instead of an opaque
+  ``sqlite3`` traceback deep inside a run.
+
+Only summaries, timings, and provenance live here; report bytes are
+derived (deterministically) by :mod:`repro.campaign.report`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import sqlite3
+from dataclasses import fields as dataclass_fields
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.metrics import ScheduleSummary
+from repro.campaign.spec import SPEC_VERSION, CampaignCell, CampaignSpec
+from repro.util.errors import CampaignError
+
+__all__ = ["ResultStore", "STORE_SCHEMA_VERSION"]
+
+#: Bump on any change to the sqlite schema below.
+STORE_SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS cells (
+    cell_hash    TEXT PRIMARY KEY,
+    params_json  TEXT NOT NULL,
+    status       TEXT NOT NULL DEFAULT 'pending',
+    summary_json TEXT,
+    elapsed_s    REAL,
+    worker       TEXT,
+    finished_at  TEXT
+);
+"""
+
+_SUMMARY_FIELDS = tuple(f.name for f in dataclass_fields(ScheduleSummary))
+
+
+def _coerce(value):
+    # numpy scalars -> python scalars so json round-trips exactly.
+    return value.item() if hasattr(value, "item") else value
+
+
+class ResultStore:
+    """One campaign's sqlite result store (see module docstring)."""
+
+    def __init__(self, path: Path, conn: sqlite3.Connection):
+        self.path = path
+        self._conn = conn
+
+    # -- lifecycle -----------------------------------------------------
+
+    @classmethod
+    def open(cls, path, spec: CampaignSpec) -> "ResultStore":
+        """Open (creating if needed) the store for ``spec`` at ``path``.
+
+        Registers every universe cell that the store has not seen yet
+        and refreshes the recorded spec hash; existing rows — finished
+        or pending — are never modified by opening.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            conn = sqlite3.connect(path)
+            conn.execute("PRAGMA journal_mode=WAL")
+            check = conn.execute("PRAGMA integrity_check").fetchone()
+            if check is None or check[0] != "ok":
+                raise sqlite3.DatabaseError(f"integrity_check: {check}")
+            conn.executescript(_SCHEMA)
+        except sqlite3.DatabaseError as exc:
+            raise CampaignError(
+                f"corrupted campaign store {path}: {exc} "
+                "(delete the file to start the campaign from scratch)"
+            ) from exc
+        store = cls(path, conn)
+        store._register(spec)
+        return store
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _register(self, spec: CampaignSpec) -> None:
+        universe = spec.universe_hashes()
+        with self._conn:
+            for key, value in (
+                ("spec_version", str(SPEC_VERSION)),
+                ("store_schema", str(STORE_SCHEMA_VERSION)),
+                ("campaign", spec.name),
+                ("spec_hash", spec.spec_hash()),
+            ):
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                    (key, value),
+                )
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO cells (cell_hash, params_json) "
+                "VALUES (?, ?)",
+                [
+                    (digest, json.dumps(cell.params(), sort_keys=True))
+                    for digest, cell in universe.items()
+                ],
+            )
+
+    # -- reads ---------------------------------------------------------
+
+    def meta(self) -> dict[str, str]:
+        """The store's metadata table as a dict."""
+        return dict(self._conn.execute("SELECT key, value FROM meta"))
+
+    def status_of(self, cell_hash: str) -> str | None:
+        """``'pending'``/``'done'`` for a registered hash, else ``None``."""
+        row = self._conn.execute(
+            "SELECT status FROM cells WHERE cell_hash = ?", (cell_hash,)
+        ).fetchone()
+        return row[0] if row else None
+
+    def done_hashes(self) -> set[str]:
+        """Hashes of every finished cell in the store (universe or stale)."""
+        return {
+            row[0]
+            for row in self._conn.execute(
+                "SELECT cell_hash FROM cells WHERE status = 'done'"
+            )
+        }
+
+    def result_for(self, cell_hash: str) -> ScheduleSummary:
+        """The stored summary of one finished cell."""
+        row = self._conn.execute(
+            "SELECT status, summary_json FROM cells WHERE cell_hash = ?",
+            (cell_hash,),
+        ).fetchone()
+        if row is None:
+            raise CampaignError(f"cell hash {cell_hash} is not in the store")
+        status, summary_json = row
+        if status != "done" or summary_json is None:
+            raise CampaignError(f"cell hash {cell_hash} has no result yet")
+        data = json.loads(summary_json)
+        return ScheduleSummary(**{f: data[f] for f in _SUMMARY_FIELDS})
+
+    def provenance(self) -> Iterator[tuple[str, str, float, str]]:
+        """``(cell_hash, worker, elapsed_s, finished_at)`` per done cell."""
+        yield from self._conn.execute(
+            "SELECT cell_hash, worker, elapsed_s, finished_at FROM cells "
+            "WHERE status = 'done' ORDER BY cell_hash"
+        )
+
+    def counts(self, universe_hashes) -> dict[str, int]:
+        """Done/pending/stale counts against the given universe."""
+        universe = set(universe_hashes)
+        done = self.done_hashes()
+        total_rows = self._conn.execute("SELECT COUNT(*) FROM cells").fetchone()[0]
+        return {
+            "universe": len(universe),
+            "done": len(done & universe),
+            "pending": len(universe - done),
+            "stale_rows": total_rows - len(universe),
+        }
+
+    # -- writes --------------------------------------------------------
+
+    def record_result(
+        self,
+        cell_hash: str,
+        summary: ScheduleSummary,
+        elapsed_s: float = 0.0,
+        worker: str | None = None,
+    ) -> None:
+        """Checkpoint one finished cell (atomic commit, fail-loud keys)."""
+        status = self.status_of(cell_hash)
+        if status is None:
+            raise CampaignError(
+                f"refusing to record result for unknown cell hash {cell_hash}"
+            )
+        if status == "done":
+            raise CampaignError(
+                f"refusing to record duplicate result for cell hash {cell_hash}"
+            )
+        payload = {f: _coerce(getattr(summary, f)) for f in _SUMMARY_FIELDS}
+        if worker is None:
+            worker = f"{socket.gethostname()}:{os.getpid()}"
+        with self._conn:
+            self._conn.execute(
+                "UPDATE cells SET status = 'done', summary_json = ?, "
+                "elapsed_s = ?, worker = ?, finished_at = ? "
+                "WHERE cell_hash = ?",
+                (
+                    json.dumps(payload, sort_keys=True),
+                    float(elapsed_s),
+                    worker,
+                    datetime.now(timezone.utc).isoformat(),
+                    cell_hash,
+                ),
+            )
+
+    # -- planning ------------------------------------------------------
+
+    def pending_cells(self, spec: CampaignSpec) -> list[tuple[str, CampaignCell]]:
+        """Universe cells without a committed result, in canonical order.
+
+        This is the resume plan: after a crash it is exactly the
+        unfinished cells; on a fresh store it is the whole universe.
+        """
+        done = self.done_hashes()
+        universe = spec.universe_hashes()
+        return [
+            (digest, cell)
+            for digest, cell in universe.items()
+            if digest not in done
+        ]

@@ -10,6 +10,7 @@ Commands
 ``fuzz``       differential fuzzing of every registered scheduler
 ``bench``      time the heap/bucket/vector scheduling engines, write JSON
 ``trace``      run a traced grid and export a Perfetto-loadable timeline
+``campaign``   resumable declarative sweeps over a sqlite result store
 ``lint``       AST invariant linter (RPL rules) over python sources
 
 All commands take ``--seed`` and print deterministic output.  The CLI is
@@ -216,6 +217,35 @@ def build_parser() -> argparse.ArgumentParser:
                         "a terminal top-N summary")
     p.add_argument("--top", type=int, default=15,
                    help="span names in the summary table (default 15)")
+
+    p = sub.add_parser(
+        "campaign",
+        help="declarative, resumable experiment campaigns",
+        description=(
+            "Compile a TOML/JSON campaign spec to a content-hashed cell "
+            "universe, execute only the cells without a committed result "
+            "(checkpointing each into a sqlite store, so a killed run "
+            "resumes where it stopped), and rebuild grid summaries "
+            "purely from the store — byte-identical to a fresh "
+            "run_grid.  See docs/campaigns.md."
+        ),
+    )
+    p.add_argument("action", choices=["run", "status", "report"],
+                   help="run/resume the campaign, show progress, or "
+                        "rebuild the report from the store")
+    p.add_argument("spec", help="campaign spec path (.toml or .json)")
+    p.add_argument("--store", default=None,
+                   help="sqlite result store path "
+                        "(default: <spec>.campaign.sqlite)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="processes per instance group (0 = one per CPU); "
+                        "results are bit-identical for any value")
+    p.add_argument("--out", default="-",
+                   help="report output path (default '-' for stdout)")
+    p.add_argument("--trace", nargs="?", const="TRACE.json", default=None,
+                   metavar="PATH",
+                   help="record a runtime trace of the run and write Chrome "
+                        "trace-event JSON (default PATH: TRACE.json)")
 
     p = sub.add_parser(
         "lint",
@@ -555,6 +585,52 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    from pathlib import Path
+
+    from repro.campaign import (
+        ResultStore,
+        load_spec,
+        report_json,
+        run_campaign,
+        status_text,
+    )
+
+    spec = load_spec(args.spec)
+    store_path = args.store or str(
+        Path(args.spec).with_suffix(".campaign.sqlite")
+    )
+    if args.action == "run":
+        if args.trace:
+            from repro import obs
+
+            obs.enable_tracing()
+            obs.reset()
+        stats = run_campaign(spec, store_path, workers=args.workers)
+        print(
+            f"campaign {spec.name!r}: {stats.cells_executed} cells executed, "
+            f"{stats.cells_skipped} already done, "
+            f"{stats.cells_total} total "
+            f"({stats.groups} instance groups, workers={stats.workers})"
+        )
+        print(f"store: {store_path}")
+        if args.trace:
+            _write_trace(args.trace)
+        return 0
+    with ResultStore.open(store_path, spec) as store:
+        if args.action == "status":
+            print(status_text(spec, store))
+            return 0
+        text = report_json(spec, store)
+        if args.out == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.out, "w") as fh:
+                fh.write(text)
+            print(f"wrote {args.out}")
+        return 0
+
+
 def _cmd_lint(args) -> int:
     import os
 
@@ -605,6 +681,7 @@ _COMMANDS = {
     "fuzz": _cmd_fuzz,
     "bench": _cmd_bench,
     "trace": _cmd_trace,
+    "campaign": _cmd_campaign,
     "lint": _cmd_lint,
 }
 

@@ -29,9 +29,23 @@ __all__ = [
     "run_cell",
     "run_cell_on",
     "run_grid",
+    "row_key",
+    "aggregate_row",
     "resolve_workers",
     "clear_caches",
 ]
+
+
+def row_key(algorithm: str, m: int, block_size: int) -> str:
+    """Stable identity of one output row of a grid.
+
+    Positional cell indices are an artifact of one enumeration; this key
+    is a function of the row's parameters alone, so the grid runner, the
+    parallel dispatcher's keyed aggregation, and the campaign result
+    store (:mod:`repro.campaign`) all name the same row the same way.
+    Every ``run_grid`` row carries it as ``row["row_key"]``.
+    """
+    return f"{algorithm}/b{block_size}/m{m}"
 
 
 @lru_cache(maxsize=32)
@@ -187,7 +201,7 @@ def run_grid(
         bucket[index] = summary
         if len(bucket) == n_seeds:
             cell = cells[row * n_seeds]
-            rows[row] = _aggregate(
+            rows[row] = aggregate_row(
                 [bucket[i] for i in sorted(bucket)],
                 cell.algorithm,
                 cell.m,
@@ -225,12 +239,24 @@ def run_grid(
     return rows
 
 
-def _aggregate(summaries: list[ScheduleSummary], algorithm, m, block_size) -> dict:
+def aggregate_row(
+    summaries: list[ScheduleSummary], algorithm, m, block_size
+) -> dict:
+    """Fold one row's per-seed summaries into the grid's output row.
+
+    The one aggregation used by every results plane: the serial runner,
+    the parallel dispatcher's keyed sink, and the campaign report
+    (:mod:`repro.campaign.report`) all call it, so a stored campaign is
+    byte-identical to a fresh ``run_grid`` by construction.  Each row
+    carries its stable :func:`row_key` next to the parameters.
+    """
+
     def mean(attr):
         return float(np.mean([getattr(s, attr) for s in summaries]))
 
     first = summaries[0]
     return {
+        "row_key": row_key(algorithm, m, block_size),
         "algorithm": algorithm,
         "mesh": first.mesh,
         "n_cells": first.n_cells,

@@ -122,14 +122,38 @@ def grid_cells(config) -> list:
     return cells
 
 
-def plan_batches(config) -> list:
-    """Group the grid into one :class:`CellBatch` per output row."""
-    cells = grid_cells(config)
-    n_seeds = max(len(config.seeds), 1)
+def plan_batches(config, cells: list | None = None) -> list:
+    """Group cells into one :class:`CellBatch` per output row.
+
+    With ``cells=None`` the full grid of ``config`` is enumerated and
+    rows are the consecutive ``len(config.seeds)``-cell runs.  An
+    explicit ``cells`` list (the campaign plane's resume path, where
+    only *unfinished* cells are dispatched) is instead split on row
+    identity — maximal consecutive runs sharing
+    ``(algorithm, block size, m)`` — so partial rows batch correctly.
+    """
+    if cells is None:
+        cells = grid_cells(config)
+        n_seeds = max(len(config.seeds), 1)
+        batches = []
+        for row, i in enumerate(range(0, len(cells), n_seeds)):
+            group = tuple(cells[i : i + n_seeds])
+            batches.append(CellBatch(row, group[0].block_size, group))
+        return batches
     batches = []
-    for row, i in enumerate(range(0, len(cells), n_seeds)):
-        group = tuple(cells[i : i + n_seeds])
-        batches.append(CellBatch(row, group[0].block_size, group))
+    group: list = []
+    for cell in cells:
+        identity = (cell.algorithm, cell.block_size, cell.m)
+        if group and identity != (
+            group[0].algorithm, group[0].block_size, group[0].m
+        ):
+            batches.append(CellBatch(len(batches), group[0].block_size,
+                                     tuple(group)))
+            group = []
+        group.append(cell)
+    if group:
+        batches.append(CellBatch(len(batches), group[0].block_size,
+                                 tuple(group)))
     return batches
 
 
@@ -195,13 +219,20 @@ def run_dispatch(
     workers: int,
     sink,
     stats: DispatchStats | None = None,
+    cells: list | None = None,
 ) -> None:
-    """Run the full grid on ``workers`` processes over a shared store.
+    """Run a grid on ``workers`` processes over a shared store.
 
     ``sink(index, summary)`` is called for every cell as its chunk
     completes (arrival order; the keyed index carries the determinism).
     The shared segment is unlinked before returning, on success and on
     failure alike — a worker exception propagates *after* cleanup.
+
+    By default the full grid of ``config`` runs; ``cells`` dispatches an
+    explicit :class:`GridCell` list instead (the campaign executor's
+    streaming hook: only unfinished cells, pre-indexed by the caller,
+    while ``config`` still provides the instance, block sizes, engine,
+    and warm-up algorithm set).
     """
     from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
     from multiprocessing import get_context
@@ -229,7 +260,7 @@ def run_dispatch(
             }
         stats.warm_s = t_warm.elapsed
         with obs.span("grid.plan", cat="parallel"), Timer() as t_plan:
-            batches = plan_batches(config)
+            batches = plan_batches(config, cells=cells)
             chunks = plan_chunks(batches, workers, cell_cost=inst.n_tasks)
         stats.plan_s = t_plan.elapsed
         stats.workers = workers

@@ -74,12 +74,41 @@ def warm_instance(
             g.successor_csr()
 
 
+def _die_with_parent() -> None:
+    """Arm ``PR_SET_PDEATHSIG`` so a dead driver takes its pool down.
+
+    A driver that dies without cleanup (``SIGKILL``, OOM kill, a hard
+    crash — exactly what the campaign plane's resume contract covers)
+    would otherwise orphan every pool worker on its call-queue read
+    forever.  Linux-only and best-effort: anywhere ``prctl`` is missing
+    the workers keep today's behaviour.  If the parent died in the
+    window before the flag was armed, exit immediately — the new parent
+    (init) will never die for us.
+    """
+    import signal
+
+    try:
+        import ctypes
+
+        libc = ctypes.CDLL("libc.so.6", use_errno=True)
+        libc.prctl(1, signal.SIGKILL)  # 1 = PR_SET_PDEATHSIG
+    except Exception:
+        return
+    import os
+
+    if os.getppid() == 1:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
 def init_worker(manifest: "StoreManifest", trace: bool = False) -> None:
     """Pool initializer: attach to the shared store before the first task.
 
     Attachment is memoised per process, so this only front-loads the
     (tiny) mapping cost; :func:`run_chunk` would attach lazily anyway.
-    Registers an exit hook that drops the mapping when the worker dies.
+    Registers an exit hook that drops the mapping when the worker dies,
+    and ties the worker's lifetime to the driver's
+    (:func:`_die_with_parent`) so a SIGKILL'd campaign or grid run
+    never strands orphan workers.
 
     ``trace`` mirrors the parent's tracing switch explicitly (env
     inheritance is not enough when the parent enabled tracing
@@ -90,6 +119,7 @@ def init_worker(manifest: "StoreManifest", trace: bool = False) -> None:
     from repro import obs
     from repro.parallel.shm_store import attach, detach_all
 
+    _die_with_parent()
     if trace:
         obs.enable_tracing()
     else:

@@ -31,6 +31,15 @@ class MeshError(ReproError):
     """Mesh construction or validation failed."""
 
 
+class CampaignError(ReproError):
+    """A campaign spec, store, or run violated the campaign plane's contract.
+
+    Examples: a spec axis is malformed or names an unknown mesh/algorithm,
+    a result is recorded for a cell hash the store never registered (or
+    recorded twice), or the sqlite store file fails its integrity check.
+    """
+
+
 class SanitizerError(ReproError):
     """The ``REPRO_SANITIZE=1`` runtime sanitizer detected a violation.
 

@@ -13,7 +13,7 @@ from hypothesis import strategies as st
 
 from repro.core import Dag, SweepInstance
 
-__all__ = ["dags", "sweep_instances", "digraph_edges"]
+__all__ = ["dags", "sweep_instances", "digraph_edges", "campaign_spec_dicts"]
 
 
 @st.composite
@@ -60,6 +60,71 @@ def sweep_instances(draw, max_n: int = 20, max_k: int = 4) -> SweepInstance:
                 edges.append((v, u))
         dag_list.append(Dag.from_edge_list(n, edges))
     return SweepInstance(n, dag_list)
+
+
+#: Small-but-real axis pools for campaign specs (valid registry names).
+_CAMPAIGN_MESHES = ("square2d", "tetonly", "long")
+_CAMPAIGN_ALGOS = ("fifo", "random_delay_priority", "dfds", "level")
+
+
+@st.composite
+def campaign_spec_dicts(draw, max_grids: int = 3, max_cells: int = 6) -> dict:
+    """A raw campaign spec dict: 1..max_grids cartesian grid blocks plus
+    0..max_cells explicit cells, all drawn from valid axis pools.
+
+    Axis lists may repeat values and arrive in any order — exactly the
+    messiness the compiler must normalise away (the determinism /
+    order-independence / dedup properties in
+    ``tests/test_campaign_properties.py``).
+    """
+
+    def axis(pool):
+        return st.lists(
+            st.sampled_from(pool), min_size=1, max_size=len(pool), unique=False
+        )
+
+    small_ints = st.sampled_from((0, 1, 2))
+    grids = draw(
+        st.lists(
+            st.fixed_dictionaries(
+                {
+                    "mesh": axis(_CAMPAIGN_MESHES),
+                    "target_cells": st.sampled_from((80, 120)),
+                    "mesh_seed": small_ints,
+                    "k": axis((2, 4)),
+                    "algorithms": axis(_CAMPAIGN_ALGOS),
+                    "block_sizes": axis((1, 8)),
+                    "m": axis((2, 4, 8)),
+                    "seeds": st.lists(
+                        small_ints, min_size=1, max_size=4, unique=False
+                    ),
+                }
+            ),
+            min_size=1,
+            max_size=max_grids,
+        )
+    )
+    cells = draw(
+        st.lists(
+            st.fixed_dictionaries(
+                {
+                    "mesh": st.sampled_from(_CAMPAIGN_MESHES),
+                    "target_cells": st.sampled_from((80, 120)),
+                    "mesh_seed": small_ints,
+                    "k": st.sampled_from((2, 4)),
+                    "algorithm": st.sampled_from(_CAMPAIGN_ALGOS),
+                    "block_size": st.sampled_from((1, 8)),
+                    "m": st.sampled_from((2, 4, 8)),
+                    "seed": small_ints,
+                }
+            ),
+            max_size=max_cells,
+        )
+    )
+    spec = {"name": "prop", "grid": grids}
+    if cells:
+        spec["cells"] = cells
+    return spec
 
 
 @st.composite

@@ -1,0 +1,108 @@
+"""Hypothesis properties of campaign spec → cell universe compilation.
+
+The compiled universe is the campaign plane's identity: the store keys
+on its hashes and the report walks its order, so compilation must be a
+pure function of the cell *set* a spec denotes.  These properties pin
+that down over randomly messy specs (repeated axis values, shuffled
+orders, overlapping grids, grid-vs-explicit spellings):
+
+* deterministic — same spec dict, same universe, same hashes;
+* order-independent — permuting any axis list, the grid-block list, or
+  the explicit cell list never changes the universe;
+* duplicate-free — repeated axis values, overlapping grid blocks, and
+  explicit cells that restate grid cells collapse to one cell each;
+* form-independent — a cartesian grid and the explicit enumeration of
+  its cells compile to identical universes (and spec hashes).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign import CampaignSpec, cell_hash
+from tests.strategies import campaign_spec_dicts
+
+
+def _compiled(spec_dict):
+    return CampaignSpec.from_dict(spec_dict).compile()
+
+
+@given(campaign_spec_dicts())
+@settings(max_examples=60)
+def test_compilation_is_deterministic(spec_dict):
+    spec = CampaignSpec.from_dict(spec_dict)
+    again = CampaignSpec.from_dict(spec_dict)
+    assert spec.compile() == again.compile()
+    assert spec.spec_hash() == again.spec_hash()
+
+
+@given(campaign_spec_dicts(), st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=60)
+def test_compilation_is_order_independent(spec_dict, seed):
+    rng = random.Random(seed)
+    shuffled = dict(spec_dict)
+    shuffled["grid"] = [dict(g) for g in spec_dict["grid"]]
+    for grid in shuffled["grid"]:
+        for axis, values in grid.items():
+            if isinstance(values, list):
+                grid[axis] = rng.sample(values, len(values))
+    rng.shuffle(shuffled["grid"])
+    if "cells" in shuffled:
+        shuffled["cells"] = rng.sample(
+            list(spec_dict["cells"]), len(spec_dict["cells"])
+        )
+    assert _compiled(shuffled) == _compiled(spec_dict)
+
+
+@given(campaign_spec_dicts())
+@settings(max_examples=60)
+def test_universe_is_duplicate_free(spec_dict):
+    universe = _compiled(spec_dict)
+    assert len(set(universe)) == len(universe)
+    spec = CampaignSpec.from_dict(spec_dict)
+    hashes = [cell_hash(c, spec.engine, spec.with_comm) for c in universe]
+    assert len(set(hashes)) == len(hashes)
+
+
+@given(campaign_spec_dicts())
+@settings(max_examples=60)
+def test_universe_is_canonically_sorted(spec_dict):
+    universe = _compiled(spec_dict)
+    keys = [cell.sort_key() for cell in universe]
+    assert keys == sorted(keys)
+
+
+@given(campaign_spec_dicts())
+@settings(max_examples=60)
+def test_duplicating_a_grid_block_changes_nothing(spec_dict):
+    doubled = dict(spec_dict)
+    doubled["grid"] = list(spec_dict["grid"]) + [dict(spec_dict["grid"][0])]
+    assert _compiled(doubled) == _compiled(spec_dict)
+
+
+@given(campaign_spec_dicts(max_grids=2, max_cells=0))
+@settings(max_examples=40)
+def test_cartesian_and_explicit_forms_compile_identically(spec_dict):
+    """A grid and its own explicit cell enumeration denote one universe."""
+    universe = _compiled(spec_dict)
+    explicit = {
+        "name": spec_dict["name"],
+        "cells": [cell.params() for cell in universe],
+    }
+    assert _compiled(explicit) == universe
+    assert (
+        CampaignSpec.from_dict(explicit).spec_hash()
+        == CampaignSpec.from_dict(spec_dict).spec_hash()
+    )
+
+
+@given(campaign_spec_dicts(max_grids=1, max_cells=4))
+@settings(max_examples=40)
+def test_explicit_cells_restating_grid_cells_dedupe(spec_dict):
+    universe = _compiled(spec_dict)
+    restated = dict(spec_dict)
+    restated["cells"] = list(spec_dict.get("cells", [])) + [
+        universe[0].params(), universe[-1].params()
+    ]
+    assert _compiled(restated) == universe

@@ -1,0 +1,281 @@
+"""Campaign store + cell-hash contract tests.
+
+The sqlite store is the campaign plane's resume source of truth, so its
+contract is pinned hard: summaries round-trip exactly, cell hashes are
+*stable across releases* (golden pins — an accidental change to the
+hash identity would orphan every existing store), every spec axis is
+part of the identity (changing any one changes the hash), writes with
+unknown or duplicate keys fail loudly, and a corrupted store file
+surfaces a clear :class:`~repro.util.errors.CampaignError` instead of
+an opaque sqlite traceback.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.metrics import ScheduleSummary
+from repro.campaign import (
+    CampaignCell,
+    CampaignSpec,
+    ResultStore,
+    cell_hash,
+    load_spec,
+)
+from repro.util.errors import CampaignError
+
+BASE_CELL = CampaignCell(
+    mesh="tetonly", target_cells=200, mesh_seed=0, k=4,
+    algorithm="random_delay_priority", block_size=1, m=8, seed=0,
+)
+
+SPEC = CampaignSpec(
+    name="store-test",
+    grids=(
+        {
+            "mesh": ["square2d"], "target_cells": 120, "mesh_seed": 0,
+            "k": [2], "algorithms": ["fifo"], "block_sizes": [1],
+            "m": [4], "seeds": [0, 1],
+        },
+    ),
+)
+
+SUMMARY = ScheduleSummary(
+    algorithm="fifo", mesh="unit_square_tri_k2", n_cells=110, k=2, m=4,
+    makespan=82, lower_bound=55, ratio=82 / 55, c1=240,
+    c1_fraction=240 / 322, c2=120, idle_fraction=0.315042,
+)
+
+
+class TestCellHashGoldens:
+    """Golden pins: these digests are a compatibility promise.
+
+    If one of these fails, either the hash identity changed by accident
+    (fix the code) or it changed deliberately — then ``SPEC_VERSION``
+    must be bumped and the pins regenerated, because every existing
+    store on disk just became stale.
+    """
+
+    GOLDENS = {
+        ("auto", True): "d59c134f0d201f36ed83d6b00e453bc6",
+        ("heap", True): "4eecab14e540dba098ce9c44c621431c",
+        ("auto", False): "7a284565dae048e44eb4ebd1bde44ab3",
+    }
+
+    @pytest.mark.parametrize("key", sorted(GOLDENS))
+    def test_pinned_digests(self, key):
+        engine, with_comm = key
+        assert cell_hash(BASE_CELL, engine, with_comm) == self.GOLDENS[key]
+
+    def test_seed_and_m_pins(self):
+        assert (
+            cell_hash(replace(BASE_CELL, seed=1), "auto", True)
+            == "c7a64cb99ec941ba91dd772a496e6563"
+        )
+        assert (
+            cell_hash(replace(BASE_CELL, m=16), "auto", True)
+            == "51032dd0a320ca3f0419e916ee48ac12"
+        )
+
+
+class TestHashSensitivity:
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"mesh": "long"},
+            {"target_cells": 201},
+            {"mesh_seed": 1},
+            {"k": 8},
+            {"algorithm": "fifo"},
+            {"block_size": 8},
+            {"m": 16},
+            {"seed": 3},
+        ],
+    )
+    def test_any_axis_change_changes_hash(self, change):
+        base = cell_hash(BASE_CELL, "auto", True)
+        assert cell_hash(replace(BASE_CELL, **change), "auto", True) != base
+
+    def test_engine_and_with_comm_are_code_relevant(self):
+        base = cell_hash(BASE_CELL, "auto", True)
+        assert cell_hash(BASE_CELL, "vector", True) != base
+        assert cell_hash(BASE_CELL, "auto", False) != base
+
+    def test_hash_is_stable_across_calls(self):
+        assert cell_hash(BASE_CELL, "auto", True) == cell_hash(
+            BASE_CELL, "auto", True
+        )
+
+
+class TestStoreRoundTrip:
+    def test_summary_round_trips_exactly(self, tmp_path):
+        with ResultStore.open(tmp_path / "c.sqlite", SPEC) as store:
+            digest = next(iter(SPEC.universe_hashes()))
+            store.record_result(digest, SUMMARY, elapsed_s=0.5, worker="t:1")
+            assert store.result_for(digest) == SUMMARY
+
+    def test_round_trip_survives_reopen(self, tmp_path):
+        path = tmp_path / "c.sqlite"
+        digest = next(iter(SPEC.universe_hashes()))
+        with ResultStore.open(path, SPEC) as store:
+            store.record_result(digest, SUMMARY)
+        with ResultStore.open(path, SPEC) as store:
+            assert store.result_for(digest) == SUMMARY
+            assert store.done_hashes() == {digest}
+
+    def test_counts_and_pending_plan(self, tmp_path):
+        universe = SPEC.universe_hashes()
+        with ResultStore.open(tmp_path / "c.sqlite", SPEC) as store:
+            first, second = list(universe)
+            assert [d for d, _ in store.pending_cells(SPEC)] == [first, second]
+            store.record_result(first, SUMMARY)
+            assert [d for d, _ in store.pending_cells(SPEC)] == [second]
+            counts = store.counts(universe)
+            assert counts == {
+                "universe": 2, "done": 1, "pending": 1, "stale_rows": 0,
+            }
+
+    def test_provenance_recorded(self, tmp_path):
+        with ResultStore.open(tmp_path / "c.sqlite", SPEC) as store:
+            digest = next(iter(SPEC.universe_hashes()))
+            store.record_result(digest, SUMMARY, elapsed_s=1.5, worker="w:9")
+            rows = list(store.provenance())
+            assert rows[0][0] == digest
+            assert rows[0][1] == "w:9"
+            assert rows[0][2] == 1.5
+            assert rows[0][3]  # a timestamp was stamped
+
+    def test_meta_records_spec_identity(self, tmp_path):
+        with ResultStore.open(tmp_path / "c.sqlite", SPEC) as store:
+            meta = store.meta()
+            assert meta["campaign"] == "store-test"
+            assert meta["spec_hash"] == SPEC.spec_hash()
+            assert meta["spec_version"] == "1"
+
+
+class TestFailLoudWrites:
+    def test_unknown_cell_write_fails(self, tmp_path):
+        with ResultStore.open(tmp_path / "c.sqlite", SPEC) as store:
+            with pytest.raises(CampaignError, match="unknown cell hash"):
+                store.record_result("0" * 32, SUMMARY)
+
+    def test_duplicate_write_fails(self, tmp_path):
+        with ResultStore.open(tmp_path / "c.sqlite", SPEC) as store:
+            digest = next(iter(SPEC.universe_hashes()))
+            store.record_result(digest, SUMMARY)
+            with pytest.raises(CampaignError, match="duplicate result"):
+                store.record_result(digest, SUMMARY)
+
+    def test_result_for_pending_cell_fails(self, tmp_path):
+        with ResultStore.open(tmp_path / "c.sqlite", SPEC) as store:
+            digest = next(iter(SPEC.universe_hashes()))
+            with pytest.raises(CampaignError, match="no result yet"):
+                store.result_for(digest)
+
+
+class TestSpecEvolution:
+    def test_spec_change_keeps_old_rows_as_stale(self, tmp_path):
+        path = tmp_path / "c.sqlite"
+        with ResultStore.open(path, SPEC) as store:
+            digest = next(iter(SPEC.universe_hashes()))
+            store.record_result(digest, SUMMARY)
+        # The grid grows a seed: old hashes stay done, new cells pend.
+        grown = replace(
+            SPEC,
+            grids=(
+                {**SPEC.grids[0], "seeds": [0, 1, 2]},
+            ),
+        )
+        with ResultStore.open(path, grown) as store:
+            counts = store.counts(grown.universe_hashes())
+            assert counts["universe"] == 3
+            assert counts["done"] == 1
+            assert counts["pending"] == 2
+            assert counts["stale_rows"] == 0
+
+    def test_engine_change_makes_results_stale(self, tmp_path):
+        path = tmp_path / "c.sqlite"
+        with ResultStore.open(path, SPEC) as store:
+            digest = next(iter(SPEC.universe_hashes()))
+            store.record_result(digest, SUMMARY)
+        heap_spec = replace(SPEC, engine="heap")
+        with ResultStore.open(path, heap_spec) as store:
+            counts = store.counts(heap_spec.universe_hashes())
+            # All hashes changed: nothing done, old row is stale.
+            assert counts["done"] == 0
+            assert counts["pending"] == 2
+            assert counts["stale_rows"] == 2
+
+
+class TestCorruptionDetection:
+    def test_garbage_file_raises_clear_error(self, tmp_path):
+        path = tmp_path / "c.sqlite"
+        path.write_bytes(b"this is not a sqlite database at all \x00\xff" * 40)
+        with pytest.raises(CampaignError, match="corrupted campaign store"):
+            ResultStore.open(path, SPEC)
+
+    def test_truncated_store_raises_clear_error(self, tmp_path):
+        path = tmp_path / "c.sqlite"
+        with ResultStore.open(path, SPEC) as store:
+            store.record_result(next(iter(SPEC.universe_hashes())), SUMMARY)
+        data = path.read_bytes()
+        # Corrupt the middle of the file, keeping the sqlite header.
+        path.write_bytes(data[:100] + b"\xde\xad\xbe\xef" * 64 + data[356:])
+        with pytest.raises(CampaignError, match="corrupted campaign store"):
+            ResultStore.open(path, SPEC)
+
+
+class TestSpecLoading:
+    def test_toml_and_json_specs_compile_identically(self, tmp_path):
+        toml_path = tmp_path / "c.toml"
+        toml_path.write_text(
+            'name = "x"\n'
+            "[[grid]]\n"
+            'mesh = ["square2d"]\ntarget_cells = 120\nmesh_seed = 0\n'
+            'k = [2]\nalgorithms = ["fifo"]\nblock_sizes = [1]\n'
+            "m = [4]\nseeds = [0, 1]\n"
+        )
+        json_path = tmp_path / "c.json"
+        json_path.write_text(
+            '{"name": "x", "grid": [{"mesh": ["square2d"],'
+            '"target_cells": 120, "mesh_seed": 0, "k": [2],'
+            '"algorithms": ["fifo"], "block_sizes": [1],'
+            '"m": [4], "seeds": [0, 1]}]}'
+        )
+        assert load_spec(toml_path).compile() == load_spec(json_path).compile()
+        assert load_spec(toml_path).spec_hash() == load_spec(json_path).spec_hash()
+
+    @pytest.mark.parametrize(
+        "snippet, match",
+        [
+            ('[[grid]]\nmesh = ["no_such_mesh"]\ntarget_cells = 10\n'
+             'mesh_seed = 0\nk = [2]\nalgorithms = ["fifo"]\n'
+             "block_sizes = [1]\nm = [4]\nseeds = [0]\n", "unknown mesh"),
+            ('[[grid]]\nmesh = ["square2d"]\ntarget_cells = 10\n'
+             'mesh_seed = 0\nk = [2]\nalgorithms = ["nope"]\n'
+             "block_sizes = [1]\nm = [4]\nseeds = [0]\n", "unknown algorithm"),
+            ('[[grid]]\nmesh = ["square2d"]\ntarget_cells = 10\n'
+             "mesh_seed = 0\nk = [2]\n"
+             "block_sizes = [1]\nm = [4]\nseeds = [0]\n", "missing grid axis"),
+            ('[[grid]]\nmesh = ["square2d"]\ntarget_cells = 10\n'
+             'mesh_seed = 0\nk = [2]\nalgorithms = ["fifo"]\n'
+             "block_sizes = [1]\nm = [4]\nseeds = [0]\nbogus = 1\n",
+             "unknown grid axis"),
+            ("", "no \\[\\[grid\\]\\] blocks"),
+        ],
+    )
+    def test_malformed_specs_fail_loudly(self, tmp_path, snippet, match):
+        path = tmp_path / "bad.toml"
+        path.write_text(snippet)
+        with pytest.raises(CampaignError, match=match):
+            load_spec(path).compile()
+
+    def test_unknown_engine_rejected(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text(
+            'engine = "warp"\n[[cells]]\nmesh = "square2d"\n'
+            "target_cells = 10\nmesh_seed = 0\nk = 2\n"
+            'algorithm = "fifo"\nblock_size = 1\nm = 4\nseed = 0\n'
+        )
+        with pytest.raises(CampaignError, match="unknown engine"):
+            load_spec(path)

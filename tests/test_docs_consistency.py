@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.instances",
     "repro.experiments",
     "repro.parallel",
+    "repro.campaign",
     "repro.obs",
     "repro.util",
 ]
@@ -61,7 +62,7 @@ class TestDocReferences:
     @pytest.mark.parametrize(
         "doc", ["README.md", "docs/usage.md", "docs/deviations.md",
                 "docs/architecture.md", "docs/linting.md",
-                "docs/observability.md"]
+                "docs/observability.md", "docs/campaigns.md"]
     )
     def test_repro_paths_in_docs_resolve(self, doc):
         text = (ROOT / doc).read_text()

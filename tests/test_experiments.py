@@ -83,6 +83,48 @@ class TestRunner:
         assert rows[0]["ratio_max"] >= rows[0]["ratio"]
 
 
+class TestRowKey:
+    """Regression: every grid row carries a stable, parameter-derived key.
+
+    Cell indices are positional (an artifact of one enumeration); the
+    ``row_key`` is the shared identity the parallel dispatcher's keyed
+    aggregation and the campaign result store join on.  Pinned so a
+    change to the key format is a deliberate act — campaign reports and
+    run_grid rows must keep agreeing on it.
+    """
+
+    def test_rows_carry_stable_row_key(self):
+        from repro.experiments.runner import row_key
+
+        c = ExperimentConfig(
+            **{**FAST, "m_values": (2, 4), "block_sizes": (1, 8),
+               "algorithms": ("random_delay_priority", "fifo")}
+        )
+        rows = run_grid(c, with_comm=False)
+        assert len(rows) == 8
+        for r in rows:
+            assert r["row_key"] == row_key(
+                r["algorithm"], r["m"], r["block_size"]
+            )
+        # Keys are unique per row and independent of enumeration order.
+        assert len({r["row_key"] for r in rows}) == len(rows)
+
+    def test_row_key_format_pinned(self):
+        from repro.experiments.runner import row_key
+
+        assert row_key("fifo", 8, 1) == "fifo/b1/m8"
+
+    def test_row_key_identical_across_serial_and_parallel(self):
+        c = ExperimentConfig(
+            **{**FAST, "seeds": (0, 1), "m_values": (2, 4)}
+        )
+        serial = run_grid(c, with_comm=False, workers=1)
+        parallel = run_grid(c, with_comm=False, workers=2)
+        assert [r["row_key"] for r in serial] == [
+            r["row_key"] for r in parallel
+        ]
+
+
 class TestReport:
     def test_format_table_aligned(self):
         rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}]
