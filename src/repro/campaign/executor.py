@@ -65,6 +65,7 @@ class CampaignStats:
     cells_total: int = 0
     cells_skipped: int = 0
     cells_executed: int = 0
+    cells_deferred: int = 0
     groups: int = 0
     workers: int = 1
     group_cells: list = field(default_factory=list)
@@ -116,6 +117,7 @@ def run_campaign(
     store_path,
     workers: int | None = None,
     stats: CampaignStats | None = None,
+    limit: int | None = None,
 ) -> CampaignStats:
     """Execute (or resume) a campaign; returns what was planned/run.
 
@@ -123,7 +125,14 @@ def run_campaign(
     committed the moment it arrives (see the module docstring for the
     crash contract).  ``workers`` follows the grid convention: ``None``
     → serial, ``0`` → one per CPU, ``N > 1`` → dispatch each instance
-    group through :mod:`repro.parallel`.
+    group through :mod:`repro.parallel`.  ``limit`` caps this call at
+    the first N pending cells in canonical order (``repro campaign run
+    --limit N`` — hot-path iteration without paying the full universe);
+    deferred cells stay pending and are picked up by the next run,
+    exactly like a resume.  Instance construction goes through the
+    memoised runner chokepoint, so the content-addressed build cache
+    (:mod:`repro.cache`, enabled via ``REPRO_CACHE_DIR``) is consulted
+    before any mesh/DAG build.
     """
     from repro import obs
 
@@ -135,6 +144,8 @@ def run_campaign(
         workers = os.cpu_count() or 1
     if workers < 0:
         raise CampaignError(f"workers must be >= 0, got {workers}")
+    if limit is not None and limit < 0:
+        raise CampaignError(f"limit must be >= 0, got {limit}")
     stats.workers = workers
 
     with obs.span(
@@ -146,9 +157,12 @@ def run_campaign(
             universe = spec.universe_hashes()
             store = ResultStore.open(store_path, spec)
             pending = store.pending_cells(spec)
+            if limit is not None and len(pending) > limit:
+                stats.cells_deferred = len(pending) - limit
+                pending = pending[:limit]
             groups = _group_pending(pending)
         stats.cells_total = len(universe)
-        stats.cells_skipped = len(universe) - len(pending)
+        stats.cells_skipped = len(universe) - len(pending) - stats.cells_deferred
         stats.groups = len(groups)
         stats.group_cells = [len(g) for g in groups]
         obs.inc("campaign.cells_skipped", stats.cells_skipped)

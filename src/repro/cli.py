@@ -11,6 +11,7 @@ Commands
 ``bench``      time the heap/bucket/vector scheduling engines, write JSON
 ``trace``      run a traced grid and export a Perfetto-loadable timeline
 ``campaign``   resumable declarative sweeps over a sqlite result store
+``cache``      inspect/clear the content-addressed instance build cache
 ``lint``       AST invariant linter (RPL rules) over python sources
 
 All commands take ``--seed`` and print deterministic output.  The CLI is
@@ -184,6 +185,10 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="W",
                    help="worker counts for the grid family "
                         "(default 1 2 4, or 1 2 in smoke)")
+    p.add_argument("--families", default=None, metavar="FAM[,FAM...]",
+                   help="comma-separated case-family subset (e.g. "
+                        "'chain,mesh_large'); writes a partial report "
+                        "without the grid/construction sections")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=None,
                    help="output JSON path (default BENCH_<schema>.json; '-' for stdout)")
@@ -240,12 +245,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1,
                    help="processes per instance group (0 = one per CPU); "
                         "results are bit-identical for any value")
+    p.add_argument("--limit", type=int, default=None,
+                   help="run at most N pending cells this call (canonical "
+                        "order); the rest stay pending, like a resume")
     p.add_argument("--out", default="-",
                    help="report output path (default '-' for stdout)")
     p.add_argument("--trace", nargs="?", const="TRACE.json", default=None,
                    metavar="PATH",
                    help="record a runtime trace of the run and write Chrome "
                         "trace-event JSON (default PATH: TRACE.json)")
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect or clear the content-addressed build cache",
+        description=(
+            "Operate on the instance build cache (repro.cache): 'stats' "
+            "prints counts/bytes and probes for corrupt or stray-tmp "
+            "entries (exit 1 if any — the cache's analogue of the shm "
+            "orphan-segment leak check), 'ls' lists entries with their "
+            "content keys, 'clear' deletes everything.  The directory "
+            "comes from --dir or $REPRO_CACHE_DIR."
+        ),
+    )
+    p.add_argument("action", choices=["stats", "ls", "clear"],
+                   help="show stats (+corruption probe), list entries, "
+                        "or delete all entries")
+    p.add_argument("--dir", default=None,
+                   help="cache directory (default $REPRO_CACHE_DIR)")
 
     p = sub.add_parser(
         "lint",
@@ -500,28 +526,49 @@ def _cmd_bench(args) -> int:
 
         obs.enable_tracing()
         obs.reset()
-    report = run_bench(
-        smoke=args.smoke, cells=args.cells, repeats=args.repeats,
-        seed=args.seed,
-        grid_workers=tuple(args.grid_workers) if args.grid_workers else None,
-    )
+    families = args.families.split(",") if args.families else None
+    try:
+        report = run_bench(
+            smoke=args.smoke, cells=args.cells, repeats=args.repeats,
+            seed=args.seed,
+            grid_workers=tuple(args.grid_workers) if args.grid_workers else None,
+            families=families,
+        )
+    except ValueError as exc:  # e.g. an unknown --families name
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     for case in report["cases"]:
         cols = " ".join(
             f"{eng} {entry['wall_time_s'] * 1e3:8.1f}ms"
             for eng, entry in case["engines"].items()
         )
+        build_ms = (
+            case["phases"]["mesh_s"]
+            + case["phases"]["build_s"]
+            + case["phases"]["cache_s"]
+        ) * 1e3
         print(
             f"{case['family']:14s} n={case['n_tasks']:8d} m={case['m']:4d} "
-            f"{cols} speedup x{case['speedup']:.2f} auto={case['auto_engine']}"
+            f"build {build_ms:7.1f}ms {cols} "
+            f"speedup x{case['speedup']:.2f} auto={case['auto_engine']}"
         )
-    for run in report["grid"]["runs"]:
-        same = "ok" if run["identical_to_serial"] else "DIFFERS"
+    if report["grid"] is not None:
+        for run in report["grid"]["runs"]:
+            same = "ok" if run["identical_to_serial"] else "DIFFERS"
+            print(
+                f"grid workers={run['workers']:2d} "
+                f"{run['wall_time_s'] * 1e3:8.1f}ms "
+                f"{run['rows_per_sec']:8.2f} rows/s "
+                f"chunks={run['n_chunks']:3d} "
+                f"worker-rss {run['peak_worker_rss_mb']:7.1f}MiB rows {same}"
+            )
+    if report["construction"] is not None:
+        c = report["construction"]
+        ident = "ok" if c["byte_identical"] else "DIFFERS"
         print(
-            f"grid workers={run['workers']:2d} "
-            f"{run['wall_time_s'] * 1e3:8.1f}ms "
-            f"{run['rows_per_sec']:8.2f} rows/s "
-            f"chunks={run['n_chunks']:3d} "
-            f"worker-rss {run['peak_worker_rss_mb']:7.1f}MiB rows {same}"
+            f"construction {c['family']} cells={c['cells']} k={c['k']} "
+            f"cold {c['cold_s'] * 1e3:8.1f}ms warm {c['warm_s'] * 1e3:8.1f}ms "
+            f"x{c['speedup']:.1f} hits={c['cache_hits']} arrays {ident}"
         )
     out = args.out or f"BENCH_{BENCH_SCHEMA_VERSION}.json"
     if out == "-":
@@ -606,10 +653,17 @@ def _cmd_campaign(args) -> int:
 
             obs.enable_tracing()
             obs.reset()
-        stats = run_campaign(spec, store_path, workers=args.workers)
+        stats = run_campaign(
+            spec, store_path, workers=args.workers, limit=args.limit
+        )
+        deferred = (
+            f"{stats.cells_deferred} deferred by --limit, "
+            if stats.cells_deferred
+            else ""
+        )
         print(
             f"campaign {spec.name!r}: {stats.cells_executed} cells executed, "
-            f"{stats.cells_skipped} already done, "
+            f"{stats.cells_skipped} already done, {deferred}"
             f"{stats.cells_total} total "
             f"({stats.groups} instance groups, workers={stats.workers})"
         )
@@ -628,6 +682,52 @@ def _cmd_campaign(args) -> int:
             with open(args.out, "w") as fh:
                 fh.write(text)
             print(f"wrote {args.out}")
+        return 0
+
+
+def _cmd_cache(args) -> int:
+    import contextlib
+
+    from repro import cache as build_cache
+
+    ctx = (
+        build_cache.override_dir(args.dir)
+        if args.dir is not None
+        else contextlib.nullcontext()
+    )
+    with ctx:
+        if build_cache.cache_dir() is None:
+            print("build cache disabled (set $REPRO_CACHE_DIR or pass --dir)",
+                  file=sys.stderr)
+            return 2
+        if args.action == "clear":
+            removed = build_cache.clear_cache()
+            print(f"cleared {removed} entries from {build_cache.cache_dir()}")
+            return 0
+        if args.action == "ls":
+            entries = build_cache.list_entries()
+            for e in entries:
+                if "error" in e:
+                    print(f"{e['key']}  CORRUPT: {e['error']}")
+                else:
+                    print(f"{e['key']}  {e['bytes']:12d}B  "
+                          f"{e.get('name', '?')} n={e.get('n_cells', '?')} "
+                          f"k={e.get('k', '?')}")
+            print(f"{len(entries)} entries in {build_cache.cache_dir()}")
+            return 0
+        stats = build_cache.cache_stats()
+        print(f"cache dir: {stats['dir']}")
+        print(f"entries: {stats['entries']} "
+              f"({stats['total_bytes'] / 1e6:.1f} MB of "
+              f"{stats['max_bytes'] / 1e6:.1f} MB)")
+        print(f"counters: {stats['counters']}")
+        if stats["corrupt"]:
+            # The cache analogue of list_orphan_segments: corrupt entries
+            # or stray tmp files mean a writer died outside the atomic
+            # rename protocol — surface them loudly.
+            print(f"CORRUPT/STRAY entries: {stats['corrupt']}")
+            return 1
+        print("no corrupt or stray entries")
         return 0
 
 
@@ -682,6 +782,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "trace": _cmd_trace,
     "campaign": _cmd_campaign,
+    "cache": _cmd_cache,
     "lint": _cmd_lint,
 }
 

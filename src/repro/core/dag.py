@@ -28,7 +28,7 @@ import numpy as np
 from repro import obs
 from repro.util.errors import InvalidInstanceError
 
-__all__ = ["Dag", "csr_from_edges"]
+__all__ = ["Dag", "csr_from_edges", "batch_csr_from_edges", "batch_levels"]
 
 
 def csr_from_edges(
@@ -52,6 +52,118 @@ def csr_from_edges(
     offsets[0] = 0
     np.cumsum(counts, out=offsets[1:])
     return offsets, targets
+
+
+def batch_csr_from_edges(
+    n: int, edges: np.ndarray, counts: np.ndarray
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Successor CSR for ``k`` same-vertex-set DAGs in one stable argsort.
+
+    ``edges`` is the ``(sum(counts), 2)`` concatenation of the per-DAG
+    edge arrays (each on vertices ``0..n-1``, in DAG order) and
+    ``counts[i]`` is DAG ``i``'s edge count.  One stable argsort over the
+    union keys ``i * n + src`` sorts every DAG's edges by source at once;
+    within a DAG the relative order of equal sources matches that DAG's
+    own stable sort, so each returned ``(offsets, targets)`` pair is
+    bit-identical to :func:`csr_from_edges` on that DAG's edges alone —
+    while every ``targets`` array is a contiguous slice of one shared
+    buffer (the batched construction path's memory layout).
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    k = counts.shape[0]
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if int(counts.sum()) != edges.shape[0]:
+        raise InvalidInstanceError(
+            f"counts sum to {int(counts.sum())} but edges has "
+            f"{edges.shape[0]} rows"
+        )
+    dag_of_edge = np.repeat(np.arange(k, dtype=np.int64), counts)
+    keys = dag_of_edge * np.int64(n) + edges[:, 0]
+    order = np.argsort(keys, kind="stable")
+    targets_all = np.ascontiguousarray(edges[:, 1][order])
+    per_vertex = np.bincount(keys, minlength=k * n).reshape(k, n)
+    edge_starts = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(counts, out=edge_starts[1:])
+    out = []
+    for i in range(k):
+        offsets = np.empty(n + 1, dtype=np.int64)
+        offsets[0] = 0
+        np.cumsum(per_vertex[i], out=offsets[1:])
+        out.append(
+            (offsets, targets_all[edge_starts[i] : edge_starts[i + 1]])
+        )
+    return out
+
+
+def batch_levels(dags: list["Dag"]) -> np.ndarray:
+    """Level structure of ``k`` same-size DAGs in one frontier sweep.
+
+    Runs the level-peeling loop of :meth:`Dag._compute_levels` once over
+    the block-diagonal union of all DAGs (task ids ``i * n + v``) instead
+    of once per DAG: the union frontier advances every direction's
+    wavefront simultaneously, so the Python-loop iteration count drops
+    from ``sum_i depth_i`` to ``max_i depth_i``.  Levels are canonical
+    (determined by graph structure alone) and each frontier chunk is
+    sorted ascending, so the per-DAG ``level_of`` / ``num_levels`` /
+    ``topological_order`` caches installed here are bit-identical to what
+    each DAG would compute for itself; ``level_of`` views share one flat
+    buffer, which is returned (it doubles as
+    :meth:`repro.core.instance.SweepInstance.task_levels`).  Cyclic DAGs
+    (possible only with ``validate=False`` construction) keep the ``-1``
+    sentinel and ``num_levels == -1``, exactly like the per-DAG pass.
+    """
+    if not dags:
+        return np.empty(0, dtype=np.int64)
+    n = dags[0].n
+    k = len(dags)
+    for g in dags:
+        if g.n != n:
+            raise InvalidInstanceError(
+                f"batch_levels needs same-size DAGs; got {g.n} and {n}"
+            )
+    level = np.full(k * n, -1, dtype=np.int64)
+    if n == 0:
+        for g in dags:
+            g._level_of = level[:0]
+            g._num_levels = 0
+            g._topo_order = np.empty(0, dtype=np.int64)
+        return level
+    # Flat union CSR in task-id coordinates, assembled from the per-DAG
+    # successor CSRs (already shared-buffer slices on the batched path).
+    off_u = np.empty(k * n + 1, dtype=np.int64)
+    off_u[0] = 0
+    tgt_parts = []
+    indeg_parts = []
+    base = np.int64(0)
+    for i, g in enumerate(dags):
+        off, tgt = g.successor_csr()
+        off_u[i * n + 1 : (i + 1) * n + 1] = off[1:] + base
+        tgt_parts.append(tgt + np.int64(i * n))
+        indeg_parts.append(g.indegree())
+        base += np.int64(tgt.shape[0])
+    tgt_u = (
+        np.concatenate(tgt_parts) if tgt_parts else np.empty(0, dtype=np.int64)
+    )
+    indeg = np.concatenate(indeg_parts)
+    frontier = np.flatnonzero(indeg == 0)
+    depth = 0
+    while frontier.size:
+        level[frontier] = depth
+        succ = _gather_csr(off_u, tgt_u, frontier)
+        if succ.size:
+            frontier = _decrement_indegrees(indeg, succ)
+        else:
+            frontier = np.empty(0, dtype=np.int64)
+        depth += 1
+    for i, g in enumerate(dags):
+        lev = level[i * n : (i + 1) * n]
+        g._level_of = lev
+        if lev.min(initial=0) < 0:
+            g._num_levels = -1
+        else:
+            g._num_levels = int(lev.max()) + 1
+            g._topo_order = np.argsort(lev, kind="stable")
+    return level
 
 
 class Dag:
@@ -359,13 +471,18 @@ class Dag:
                 arrays["padded_indeg0"] = self._padded[1]
         return scalars, arrays
 
-    def adopt_caches(self, scalars: dict, arrays: dict) -> None:
+    def adopt_caches(
+        self, scalars: dict, arrays: dict, adopted: bool = True
+    ) -> None:
         """Install a cache snapshot produced by :meth:`export_caches`.
 
         Arrays are adopted by reference (zero-copy — the point of the
         shared-memory plane); they may be read-only views.  Unknown keys
         raise so a manifest/version skew fails loudly instead of silently
-        dropping caches.
+        dropping caches.  ``adopted=False`` installs the snapshot without
+        arming the ``dag.cache.rebuild`` counter — used by the disk build
+        cache (:mod:`repro.cache`), where a later lazy build is a normal
+        cache-entry gap, not a shared-memory warm-up failure.
         """
         for key in scalars:
             if key not in ("num_levels", "padded_none"):
@@ -376,7 +493,7 @@ class Dag:
                 "padded_indeg0",
             ):
                 raise InvalidInstanceError(f"unknown cache array {key!r}")
-        self._adopted = True
+        self._adopted = adopted
         if "num_levels" in scalars:
             self._num_levels = int(scalars["num_levels"])
         for key, slot in self._CACHE_ARRAY_SLOTS.items():

@@ -135,6 +135,26 @@ class SweepInstance:
             self._task_level = out
         return self._task_level
 
+    def warm_levels(self) -> np.ndarray:
+        """Materialise all per-direction levels in one batched sweep.
+
+        Runs :func:`repro.core.dag.batch_levels` over the block-diagonal
+        union of the direction DAGs — one frontier loop of ``max_i D_i``
+        iterations instead of ``k`` separate loops of ``D_i`` each — and
+        installs the (bit-identical) ``level_of`` / ``num_levels`` /
+        ``topological_order`` caches on every DAG plus the flat
+        :meth:`task_levels` array.  Idempotent; returns ``task_levels``.
+        The batched construction path
+        (:func:`repro.sweeps.dag_builder.build_instance_batched`) calls
+        this at build time; call it directly on hand-built instances
+        (e.g. the synthetic families) to pre-pay the level structure.
+        """
+        if self._task_level is None:
+            from repro.core.dag import batch_levels
+
+            self._task_level = batch_levels(self.dags)
+        return self._task_level
+
     def depth(self) -> int:
         """``D``: the maximum number of levels over all directions."""
         return max(g.num_levels() for g in self.dags)
@@ -179,14 +199,19 @@ class SweepInstance:
         return meta, arrays
 
     @classmethod
-    def from_arrays(cls, meta: dict, arrays: dict) -> "SweepInstance":
+    def from_arrays(
+        cls, meta: dict, arrays: dict, adopted: bool = True
+    ) -> "SweepInstance":
         """Rebuild an instance from :meth:`export_arrays` output, zero-copy.
 
         The returned instance references the given arrays directly (no
         validation pass, no cache recomputation), so attaching a worker to
         a shared-memory manifest costs microseconds regardless of mesh
         size.  Behaviour is bit-identical to the originally exported
-        instance: same edges, same adopted memo caches.
+        instance: same edges, same adopted memo caches.  ``adopted``
+        (default true, the shared-memory plane's contract) arms the
+        ``dag.cache.rebuild`` counter on every DAG; the disk build cache
+        passes ``False`` — see :meth:`repro.core.dag.Dag.adopt_caches`.
         """
         n_cells = int(meta["n_cells"])
         k = int(meta["k"])
@@ -202,7 +227,7 @@ class SweepInstance:
         for i in range(k):
             cache = per_dag[i]
             g = Dag(n_cells, cache.pop("edges"), validate=False)
-            g.adopt_caches(meta["dag_scalars"][i], cache)
+            g.adopt_caches(meta["dag_scalars"][i], cache, adopted=adopted)
             dags.append(g)
         inst = cls(
             n_cells,
@@ -212,7 +237,9 @@ class SweepInstance:
         )
         if union_arrays:
             union = Dag(inst.n_tasks, union_arrays.pop("edges"), validate=False)
-            union.adopt_caches(meta.get("union_scalars", {}), union_arrays)
+            union.adopt_caches(
+                meta.get("union_scalars", {}), union_arrays, adopted=adopted
+            )
             inst._union_dag = union
         if "task_level" in arrays:
             inst._task_level = arrays["task_level"]

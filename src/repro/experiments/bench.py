@@ -2,7 +2,7 @@
 
 Times the heap, bucket, and vector list-scheduling engines on a fixed
 set of case families, benchmarks the parallel grid dispatcher, and
-writes a schema-versioned JSON report (``BENCH_5.json`` at the repo
+writes a schema-versioned JSON report (``BENCH_6.json`` at the repo
 root).  The committed report is the perf-regression baseline: the bucket
 engine must stay at least :data:`TARGET_SPEEDUP` times the heap engine's
 tasks/second on the large mesh family, ``engine="auto"`` must resolve to
@@ -12,14 +12,30 @@ that all three engines still produce identical schedules on the
 benchmark cases.  Schema v4 added per-phase wall-clock breakdowns
 (``phases``) to every case and grid run.  Schema v5 times three engines
 per case, slims the timed warm phase to the structural caches every
-engine shares (CSR, in-degrees, levels — engine-specific caches are
-built by an untimed warm-up run instead, so ``warm_s`` no longer hides a
-padded-matrix build), and gates worker memory: every parallel grid run
-must keep peak worker RSS under :data:`WORKER_RSS_CEILING_MB` (spawn
-workers attach to the shared store instead of inheriting the parent
-heap) and the best parallel run on a ``cpu_count >= 4`` machine must
-sustain :data:`TARGET_GRID_ROWS_FACTOR` times the committed v4 serial
-baseline of :data:`BASELINE_SERIAL_ROWS_PER_SEC` rows/second.
+engine shares, and gates worker memory: every parallel grid run must
+keep peak worker RSS under :data:`WORKER_RSS_CEILING_MB` and the best
+parallel run on a ``cpu_count >= 4`` machine must sustain
+:data:`TARGET_GRID_ROWS_FACTOR` times the committed v4 serial baseline
+of :data:`BASELINE_SERIAL_ROWS_PER_SEC` rows/second.
+
+Schema v6 makes *construction* a first-class timed phase: every case's
+``phases`` dict splits instance acquisition into ``mesh_s`` (mesh
+generation, memoised), ``build_s`` (batched DAG construction via
+:func:`repro.sweeps.dag_builder.build_instance_batched`, which
+pre-materialises per-direction levels), and ``cache_s`` (time spent in
+the content-addressed build cache, 0 unless ``REPRO_CACHE_DIR`` is
+set), alongside the v5 ``setup_s``/``warm_s``.  Because the batched
+builder pre-pays the level structure, ``setup_s`` (rng + delays +
+assignment + priorities) must now beat the frozen v5 values in
+:data:`V5_SETUP_S` by :data:`TARGET_SETUP_SPEEDUP` on the gated
+families, and the per-family schedule checksums must equal the frozen
+v5 values in :data:`V5_CASE_CHECKSUMS` — construction got faster, the
+schedules did not change.  A new ``construction`` section times one
+cold build (mesh + batched build + cache store) against a warm
+cache-hit load of the same instance and must show byte-identical arrays
+at :data:`TARGET_WARM_CONSTRUCTION_SPEEDUP` or better; ``repro bench
+--families chain,mesh_large`` writes a partial report (case subset, no
+grid section) for hot-path iteration.
 
 Engine families
 ---------------
@@ -71,13 +87,19 @@ __all__ = [
     "BENCH_SCHEMA_VERSION",
     "BASELINE_SERIAL_ROWS_PER_SEC",
     "BENCH_ENGINES",
+    "BENCH_FAMILIES",
     "DEFAULT_BENCH_CELLS",
     "GRID_WORKERS",
     "TARGET_SPEEDUP",
     "TARGET_GRID_SPEEDUP",
     "TARGET_GRID_ROWS_FACTOR",
+    "TARGET_SETUP_SPEEDUP",
+    "TARGET_WARM_CONSTRUCTION_SPEEDUP",
+    "V5_SETUP_S",
+    "V5_CASE_CHECKSUMS",
     "WORKER_RSS_CEILING_MB",
     "bench_cases",
+    "construction_bench",
     "grid_bench",
     "grid_bench_config",
     "run_bench",
@@ -87,9 +109,10 @@ __all__ = [
 
 #: Bump when the report layout changes; the filename tracks it
 #: (``BENCH_<version>.json``) so stale baselines cannot be misread.
-#: v5: three timed engines per case, structural-only ``warm_s``, worker
-#: RSS ceiling and absolute grid-throughput gates.
-BENCH_SCHEMA_VERSION = 5
+#: v6: mesh/build/cache construction phases per case, the cold-vs-warm
+#: ``construction`` section, frozen-v5 setup and checksum gates, and
+#: partial (``--families``) reports.
+BENCH_SCHEMA_VERSION = 6
 
 #: Engines every bench case times and cross-checks.
 BENCH_ENGINES = ("heap", "bucket", "vector")
@@ -127,6 +150,34 @@ TARGET_GRID_ROWS_FACTOR = 3.0
 #: Worker counts the grid family times in a full (non-smoke) run.
 GRID_WORKERS = (1, 2, 4)
 
+#: Every case family a full report must cover (``--families`` subsets).
+BENCH_FAMILIES = ("mesh_large", "mesh_standard", "chain", "wide_layer")
+
+#: Frozen schema-v5 ``setup_s`` values (reference container, default
+#: cells, seed 0) for the families the v6 construction gate covers.
+#: Frozen, not re-measured: the gate is "v6 setup beats what v5 paid",
+#: and re-deriving the baseline each run would erase the comparison.
+V5_SETUP_S = {"chain": 0.0988072, "mesh_large": 0.0013544}
+
+#: Required ratio of frozen v5 ``setup_s`` over the v6 value on the
+#: :data:`V5_SETUP_S` families — the batched builder pre-materialises
+#: the level structure, so priority setup must get >= 3x cheaper.
+TARGET_SETUP_SPEEDUP = 3.0
+
+#: Frozen schema-v5 per-family schedule checksums (default cells, seed
+#: 0).  Construction got faster; the schedules must not change — a v6
+#: full report with a different checksum is a regression, not noise.
+V5_CASE_CHECKSUMS = {
+    "mesh_large": 2811619235,
+    "mesh_standard": 3513323258,
+    "chain": 4141441418,
+    "wide_layer": 3530932037,
+}
+
+#: Required cold/warm ratio in the ``construction`` section: loading a
+#: cache hit must be >= 5x faster than mesh + batched build + store.
+TARGET_WARM_CONSTRUCTION_SPEEDUP = 5.0
+
 _REQUIRED_CASE_KEYS = {
     "family",
     "n_tasks",
@@ -149,24 +200,94 @@ _REQUIRED_GRID_RUN_KEYS = {
     "phases",
 }
 #: Per-phase keys required in every engine case's ``phases`` dict.
-_REQUIRED_CASE_PHASES = {"setup_s", "warm_s"}
+#: v6 splits instance acquisition into mesh/build/cache next to the v5
+#: setup/warm pair.
+_REQUIRED_CASE_PHASES = {"mesh_s", "build_s", "cache_s", "setup_s", "warm_s"}
+#: Keys required in the report's ``construction`` section.
+_REQUIRED_CONSTRUCTION_KEYS = {
+    "family",
+    "cells",
+    "k",
+    "cold_s",
+    "warm_s",
+    "speedup",
+    "cache_hits",
+    "byte_identical",
+}
 #: Per-phase keys required in a parallel grid run's ``phases`` dict
 #: (mirrors :meth:`repro.parallel.DispatchStats.phases`); the serial
 #: baseline records ``{"run_s"}`` instead.
 _REQUIRED_PARALLEL_PHASES = {"warm_s", "plan_s", "publish_s", "dispatch_s", "wait_s"}
 
 
-def _mesh_instance(cells: int, k: int):
-    from repro.experiments.configs import ExperimentConfig
-    from repro.experiments.runner import get_instance
+def _mesh_instance_timed(cells: int, k: int) -> tuple[object, dict]:
+    """Build (or cache-load) one mesh-family instance with phase timings.
 
-    return get_instance(
-        ExperimentConfig(mesh="tetonly", target_cells=cells, k=k)
-    )
+    Returns ``(instance, phases)`` where ``phases`` splits acquisition
+    into ``mesh_s`` (memoised mesh generation), ``build_s`` (batched DAG
+    construction), and ``cache_s`` (build-cache load/store; 0.0 when
+    ``REPRO_CACHE_DIR`` is unset).  A cache hit skips the build entirely
+    (``build_s == 0``); either way the instance arrives with its level
+    structure pre-materialised.
+    """
+    from repro import cache as build_cache
+    from repro.experiments.runner import _mesh_cache
+    from repro.sweeps.dag_builder import DEFAULT_TOL, build_instance_batched
+    from repro.sweeps.directions import directions_for_mesh
+
+    cache_s = 0.0
+    key = None
+    if build_cache.cache_dir() is not None:
+        dirs = directions_for_mesh(3, k)
+        key = build_cache.instance_key(
+            "tetonly", cells, 0, k, DEFAULT_TOL, dirs
+        )
+        with Timer() as t_load:
+            inst = build_cache.load_instance(key)
+        cache_s += t_load.elapsed
+        if inst is not None:
+            return inst, {
+                "mesh_s": 0.0,
+                "build_s": 0.0,
+                "cache_s": cache_s,
+            }
+    with Timer() as t_mesh:
+        mesh = _mesh_cache("tetonly", cells, 0)
+    dirs = directions_for_mesh(mesh.dim, k)
+    with Timer() as t_build:
+        inst = build_instance_batched(mesh, dirs)
+    if key is not None:
+        with Timer() as t_store:
+            build_cache.store_instance(key, inst)
+        cache_s += t_store.elapsed
+    return inst, {
+        "mesh_s": t_mesh.elapsed,
+        "build_s": t_build.elapsed,
+        "cache_s": cache_s,
+    }
 
 
-def bench_cases(smoke: bool = False, cells: int | None = None) -> list[dict]:
-    """The benchmark grid: ``{"family", "instance", "m"}`` dicts."""
+def _family_instance_timed(builder) -> tuple[object, dict]:
+    """Build one synthetic-family instance; levels warmed inside ``build_s``."""
+    with Timer() as t_build:
+        inst = builder()
+        inst.warm_levels()
+    return inst, {"mesh_s": 0.0, "build_s": t_build.elapsed, "cache_s": 0.0}
+
+
+def bench_cases(
+    smoke: bool = False,
+    cells: int | None = None,
+    families: list | tuple | None = None,
+) -> list[dict]:
+    """The benchmark grid: ``{"family", "m", "k", "build"}`` dicts.
+
+    ``build()`` constructs the case's instance on demand and returns
+    ``(instance, phases)`` with the v6 ``mesh_s/build_s/cache_s``
+    breakdown — construction is part of what the bench measures now, so
+    cases must not pre-build.  ``families`` (names from
+    :data:`BENCH_FAMILIES`) selects a subset for hot-path iteration.
+    """
     if cells is None:
         cells = int(os.environ.get("REPRO_BENCH_CELLS", DEFAULT_BENCH_CELLS))
     if smoke:
@@ -174,32 +295,46 @@ def bench_cases(smoke: bool = False, cells: int | None = None) -> list[dict]:
     from repro.instances.families import identical_chains, wide_shallow
 
     mesh_m = 64 if smoke else 512
-    return [
+    n = cells
+    cases = [
         {
             "family": "mesh_large",
-            "instance": _mesh_instance(cells, k=24),
             "m": mesh_m,
             "k": 24,
+            "build": lambda: _mesh_instance_timed(n, k=24),
         },
         {
             "family": "mesh_standard",
-            "instance": _mesh_instance(cells, k=8),
             "m": 32,
             "k": 8,
+            "build": lambda: _mesh_instance_timed(n, k=8),
         },
         {
             "family": "chain",
-            "instance": identical_chains(max(cells // 4, 16), 8),
             "m": 8,
             "k": 8,
+            "build": lambda: _family_instance_timed(
+                lambda: identical_chains(max(n // 4, 16), 8)
+            ),
         },
         {
             "family": "wide_layer",
-            "instance": wide_shallow(4 * cells, 4, seed=0),
             "m": mesh_m,
             "k": 4,
+            "build": lambda: _family_instance_timed(
+                lambda: wide_shallow(4 * n, 4, seed=0)
+            ),
         },
     ]
+    if families is None:
+        return cases
+    unknown = set(families) - set(BENCH_FAMILIES)
+    if unknown:
+        raise ValueError(
+            f"unknown bench families {sorted(unknown)}; "
+            f"known: {list(BENCH_FAMILIES)}"
+        )
+    return [c for c in cases if c["family"] in set(families)]
 
 
 def _time_engine(inst, m, assignment, priority, engine, repeats):
@@ -220,16 +355,84 @@ def _time_engine(inst, m, assignment, priority, engine, repeats):
     return best, schedule
 
 
+def construction_bench(smoke: bool = False, cells: int | None = None) -> dict:
+    """Cold-vs-warm instance construction through the build cache.
+
+    Cold = mesh generation + batched DAG build + cache store; warm = one
+    :func:`repro.cache.load_instance` hit on the same content key,
+    inside a throwaway cache directory (the caller's ``REPRO_CACHE_DIR``
+    is untouched).  The loaded instance's exported arrays are compared
+    byte-for-byte against the cold build's — the cache must be an exact
+    substitute, not an approximation — and the hit is confirmed via the
+    :data:`repro.cache.COUNTERS` delta so a silent rebuild cannot
+    masquerade as a warm load.
+    """
+    import tempfile
+
+    from repro import cache as build_cache
+    from repro.mesh.generators import make_mesh
+    from repro.sweeps.dag_builder import DEFAULT_TOL, build_instance_batched
+    from repro.sweeps.directions import directions_for_mesh
+
+    if cells is None:
+        cells = int(os.environ.get("REPRO_BENCH_CELLS", DEFAULT_BENCH_CELLS))
+    if smoke:
+        cells = min(cells, 120)
+    k = 8 if smoke else 24
+    with tempfile.TemporaryDirectory(prefix="repro_bench_cache_") as tmp:
+        with build_cache.override_dir(tmp):
+            dirs = directions_for_mesh(3, k)
+            key = build_cache.instance_key(
+                "tetonly", cells, 0, k, DEFAULT_TOL, dirs
+            )
+            before_hits = build_cache.COUNTERS["hit"]
+            with Timer() as t_cold:
+                mesh = make_mesh("tetonly", target_cells=cells, seed=0)
+                inst = build_instance_batched(mesh, dirs)
+                build_cache.store_instance(key, inst)
+            with Timer() as t_warm:
+                warm = build_cache.load_instance(key)
+            hits = build_cache.COUNTERS["hit"] - before_hits
+            cold_meta, cold_arrays = inst.export_arrays()
+            warm_meta, warm_arrays = (
+                warm.export_arrays() if warm is not None else (None, {})
+            )
+            identical = (
+                warm is not None
+                and cold_meta == warm_meta
+                and set(cold_arrays) == set(warm_arrays)
+                and all(
+                    cold_arrays[name].dtype == warm_arrays[name].dtype
+                    and cold_arrays[name].shape == warm_arrays[name].shape
+                    and cold_arrays[name].tobytes()
+                    == warm_arrays[name].tobytes()
+                    for name in cold_arrays
+                )
+            )
+    return {
+        "family": "tetonly",
+        "cells": int(cells),
+        "k": int(k),
+        "cold_s": t_cold.elapsed,
+        "warm_s": t_warm.elapsed,
+        "speedup": t_cold.elapsed / max(t_warm.elapsed, 1e-12),
+        "cache_hits": int(hits),
+        "byte_identical": bool(identical),
+    }
+
+
 def run_bench(
     smoke: bool = False,
     cells: int | None = None,
     repeats: int | None = None,
     seed: int = 0,
     grid_workers: tuple | None = None,
+    families: list | tuple | None = None,
 ) -> dict:
-    """Run the full benchmark grid; returns the schema-v5 report dict.
+    """Run the full benchmark grid; returns the schema-v6 report dict.
 
-    Each case times all of :data:`BENCH_ENGINES` on Algorithm 2's
+    Each case builds its instance through the timed v6 construction
+    phases, then times all of :data:`BENCH_ENGINES` on Algorithm 2's
     delayed-level priorities (best wall time over ``repeats`` runs,
     after one untimed warm-up run per engine) and cross-checks that the
     schedules are identical — a benchmark that silently compared
@@ -237,13 +440,21 @@ def run_bench(
     phase covers only the structural caches every engine shares.  The
     ``grid`` section then times the parallel grid dispatcher at each
     count in ``grid_workers`` (default :data:`GRID_WORKERS`, or
-    ``(1, 2)`` in smoke mode).
+    ``(1, 2)`` in smoke mode), and the ``construction`` section times
+    one cold-vs-warm build through the content-addressed cache.
+
+    ``families`` (a subset of :data:`BENCH_FAMILIES`) produces a
+    *partial* report for hot-path iteration: only the selected case
+    families run, the grid and construction sections are omitted
+    (``None``), and ``partial: true`` is stamped so the validator skips
+    the full-report completeness checks.
     """
     if repeats is None:
         repeats = 1 if smoke else 5
+    partial = families is not None
     cases_out = []
-    for case in bench_cases(smoke=smoke, cells=cells):
-        inst = case["instance"]
+    for case in bench_cases(smoke=smoke, cells=cells, families=families):
+        inst, build_phases = case["build"]()
         m = case["m"]
         with Timer() as t_setup:
             rng = as_rng(seed)
@@ -296,6 +507,7 @@ def run_bench(
                 "speedup": engines["heap"]["wall_time_s"]
                 / max(engines["bucket"]["wall_time_s"], 1e-12),
                 "phases": {
+                    **build_phases,
                     "setup_s": t_setup.elapsed,
                     "warm_s": t_warm.elapsed,
                 },
@@ -304,6 +516,8 @@ def run_bench(
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
         "smoke": bool(smoke),
+        "partial": partial,
+        "families": [c["family"] for c in cases_out],
         "repeats": int(repeats),
         "seed": int(seed),
         "cpu_count": int(os.cpu_count() or 1),
@@ -313,7 +527,14 @@ def run_bench(
             else int(os.environ.get("REPRO_BENCH_CELLS", DEFAULT_BENCH_CELLS))
         ),
         "cases": cases_out,
-        "grid": grid_bench(smoke=smoke, cells=cells, workers_list=grid_workers),
+        "grid": (
+            None
+            if partial
+            else grid_bench(smoke=smoke, cells=cells, workers_list=grid_workers)
+        ),
+        "construction": (
+            None if partial else construction_bench(smoke=smoke, cells=cells)
+        ),
     }
 
 
@@ -432,7 +653,15 @@ def grid_bench(
 
 
 def validate_bench(report: dict) -> list[str]:
-    """Schema check for a bench report; returns a list of problems."""
+    """Schema + perf-gate check for a bench report; returns problems.
+
+    A *partial* report (``partial: true``, from ``--families``) skips
+    the family-completeness, grid, and construction checks — its cases
+    are still schema-checked and, at the reference size, still held to
+    the frozen-v5 setup and checksum gates.  The v5 gates apply only to
+    full-fidelity reports (non-smoke, default cells, seed 0): the frozen
+    numbers mean nothing at other sizes.
+    """
     problems = []
     if not isinstance(report, dict):
         return ["report is not a dict"]
@@ -445,6 +674,12 @@ def validate_bench(report: dict) -> list[str]:
         "cpu_count", 0
     ) < 1:
         problems.append("cpu_count is missing or not a positive int")
+    partial = bool(report.get("partial"))
+    gate_v5 = (
+        not report.get("smoke")
+        and report.get("cells") == DEFAULT_BENCH_CELLS
+        and report.get("seed") == 0
+    )
     cases = report.get("cases")
     if not isinstance(cases, list) or not cases:
         return problems + ["cases is missing or empty"]
@@ -454,7 +689,8 @@ def validate_bench(report: dict) -> list[str]:
         if missing:
             problems.append(f"case {i} missing keys: {sorted(missing)}")
             continue
-        families.add(case["family"])
+        fam = case["family"]
+        families.add(fam)
         if case["auto_engine"] not in BENCH_ENGINES:
             problems.append(
                 f"case {i} auto_engine is {case['auto_engine']!r}, "
@@ -465,10 +701,26 @@ def validate_bench(report: dict) -> list[str]:
                 case["phases"], _REQUIRED_CASE_PHASES, f"case {i}"
             )
         )
+        if gate_v5 and fam in V5_SETUP_S:
+            setup_s = case["phases"].get("setup_s")
+            ceiling = V5_SETUP_S[fam] / TARGET_SETUP_SPEEDUP
+            if isinstance(setup_s, (int, float)) and setup_s > ceiling:
+                problems.append(
+                    f"case {i} ({fam}) setup_s {setup_s:.6f}s misses the "
+                    f"{TARGET_SETUP_SPEEDUP:g}x gate vs the frozen v5 "
+                    f"{V5_SETUP_S[fam]:.6f}s (ceiling {ceiling:.6f}s)"
+                )
+        if gate_v5 and fam in V5_CASE_CHECKSUMS:
+            if case["checksum"] != V5_CASE_CHECKSUMS[fam]:
+                problems.append(
+                    f"case {i} ({fam}) checksum {case['checksum']} differs "
+                    f"from the frozen v5 value {V5_CASE_CHECKSUMS[fam]} — "
+                    "construction changed the schedules"
+                )
         for eng in BENCH_ENGINES:
             entry = case["engines"].get(eng)
             if entry is None:
-                problems.append(f"case {i} ({case['family']}) lacks {eng}")
+                problems.append(f"case {i} ({fam}) lacks {eng}")
                 continue
             missing = _REQUIRED_ENGINE_KEYS - set(entry)
             if missing:
@@ -479,7 +731,14 @@ def validate_bench(report: dict) -> list[str]:
                 problems.append(
                     f"case {i} engine {eng} has non-positive timings"
                 )
-    for fam in ("mesh_large", "mesh_standard", "chain", "wide_layer"):
+    if partial:
+        unknown = families - set(BENCH_FAMILIES)
+        if unknown:
+            problems.append(
+                f"partial report has unknown families {sorted(unknown)}"
+            )
+        return problems
+    for fam in BENCH_FAMILIES:
         if fam not in families:
             problems.append(f"family {fam!r} missing from report")
     problems.extend(
@@ -489,6 +748,43 @@ def validate_bench(report: dict) -> list[str]:
             cpu_count=report.get("cpu_count", 0),
         )
     )
+    problems.extend(
+        _validate_construction(
+            report.get("construction"), smoke=bool(report.get("smoke"))
+        )
+    )
+    return problems
+
+
+def _validate_construction(section, smoke: bool = True) -> list[str]:
+    """Schema + gate check for the report's ``construction`` section.
+
+    The warm load must be a *proven* cache hit (``cache_hits >= 1``)
+    with byte-identical arrays in every report; the
+    :data:`TARGET_WARM_CONSTRUCTION_SPEEDUP` ratio gate applies to full
+    (non-smoke) reports, where the cold build is big enough to measure.
+    """
+    if not isinstance(section, dict):
+        return ["construction section is missing or not a dict"]
+    missing = _REQUIRED_CONSTRUCTION_KEYS - set(section)
+    if missing:
+        return [f"construction missing keys: {sorted(missing)}"]
+    problems = []
+    if section["cold_s"] <= 0 or section["warm_s"] <= 0:
+        problems.append("construction has non-positive timings")
+    if not section["byte_identical"]:
+        problems.append(
+            "construction warm load is not byte-identical to the cold build"
+        )
+    if section["cache_hits"] < 1:
+        problems.append(
+            "construction recorded no cache hit on the warm load"
+        )
+    if not smoke and section["speedup"] < TARGET_WARM_CONSTRUCTION_SPEEDUP:
+        problems.append(
+            f"warm construction speedup {section['speedup']:.1f}x is below "
+            f"the {TARGET_WARM_CONSTRUCTION_SPEEDUP:g}x gate"
+        )
     return problems
 
 

@@ -4,7 +4,11 @@ Meshes, instances, and block partitions are memoised per process — the
 grid sweeps in the figure reproductions reuse one instance across dozens
 of (algorithm, m, seed) cells, and the partitioner output across all
 seeds, exactly like the paper's setup ("we first do the same block
-assignment").
+assignment").  Instances are built through the batched fast path
+(:func:`repro.sweeps.dag_builder.build_instance_batched`) and — when
+``REPRO_CACHE_DIR`` is set — cached *across* processes by the
+content-addressed build cache (:mod:`repro.cache`), so bench, grid, and
+campaign reruns warm-start construction.
 """
 
 from __future__ import annotations
@@ -17,9 +21,9 @@ from repro.analysis.metrics import ScheduleSummary, summarize_schedule
 from repro.core.assignment import block_assignment
 from repro.experiments.configs import ExperimentConfig
 from repro.heuristics.registry import get_algorithm
-from repro.mesh.generators import make_mesh
+from repro.mesh.generators import make_mesh, mesh_dim
 from repro.partition.multilevel import partition_mesh_blocks
-from repro.sweeps.dag_builder import build_instance
+from repro.sweeps.dag_builder import DEFAULT_TOL, build_instance_batched
 from repro.sweeps.directions import directions_for_mesh
 from repro.util.rng import spawn_rngs
 
@@ -55,9 +59,27 @@ def _mesh_cache(mesh: str, target_cells: int, mesh_seed: int):
 
 @lru_cache(maxsize=32)
 def _instance_cache(mesh: str, target_cells: int, mesh_seed: int, k: int):
+    # Consult the content-addressed disk cache (repro.cache) before
+    # building: the key is derivable without constructing the mesh, so a
+    # warm process skips mesh generation entirely.  Disabled (pure
+    # build) unless $REPRO_CACHE_DIR is set.
+    from repro import cache as build_cache
+
+    key = None
+    if build_cache.cache_dir() is not None:
+        dirs = directions_for_mesh(mesh_dim(mesh), k)
+        key = build_cache.instance_key(
+            mesh, target_cells, mesh_seed, k, DEFAULT_TOL, dirs
+        )
+        inst = build_cache.load_instance(key)
+        if inst is not None:
+            return inst
     m = _mesh_cache(mesh, target_cells, mesh_seed)
     dirs = directions_for_mesh(m.dim, k)
-    return build_instance(m, dirs)
+    inst = build_instance_batched(m, dirs)
+    if key is not None:
+        build_cache.store_instance(key, inst)
+    return inst
 
 
 @lru_cache(maxsize=64)

@@ -37,6 +37,7 @@ __all__ = [
     "unit_square_tri",
     "MESH_GENERATORS",
     "make_mesh",
+    "mesh_dim",
 ]
 
 #: Average tets per Delaunay point for uniform samples in a 3-D volume.
@@ -182,3 +183,18 @@ def make_mesh(name: str, target_cells: int = 2000, seed=0, **kwargs) -> Mesh:
             f"unknown mesh {name!r}; known: {', '.join(MESH_GENERATORS)}"
         ) from None
     return gen(target_cells=target_cells, seed=seed, **kwargs)
+
+
+def mesh_dim(name: str) -> int:
+    """Spatial dimension of a named generator's meshes, without building.
+
+    The build cache derives an instance's direction set (and hence its
+    content key) before deciding whether the mesh must be constructed at
+    all; every generator's dimension is fixed by its family, so the
+    lookup is a constant.
+    """
+    if name not in MESH_GENERATORS:
+        raise MeshError(
+            f"unknown mesh {name!r}; known: {', '.join(MESH_GENERATORS)}"
+        )
+    return 2 if name == "square2d" else 3

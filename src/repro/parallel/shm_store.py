@@ -160,15 +160,42 @@ class SharedInstanceStore:
         inherit the expensive precomputations instead of redoing them.
         """
         meta, arrays = inst.export_arrays()
+        return cls.publish_arrays(meta, arrays, blocks=blocks)
+
+    @classmethod
+    def publish_arrays(
+        cls,
+        meta: dict,
+        arrays: dict,
+        blocks: dict | None = None,
+    ) -> "SharedInstanceStore":
+        """Publish an already-exported instance payload into one segment.
+
+        ``(meta, arrays)`` is the
+        :meth:`~repro.core.instance.SweepInstance.export_arrays` wire
+        format — exactly what :func:`repro.cache.load_arrays` returns on
+        a build-cache hit, so a cached instance can be published to
+        workers without ever rehydrating per-direction ``Dag`` objects
+        in the parent.  :meth:`publish` is a thin wrapper that exports
+        a live instance first.
+        """
+        arrays = dict(arrays)
         block_sizes = tuple(sorted(blocks)) if blocks else ()
-        for size in block_sizes:
-            arrays[f"blocks/{size}"] = np.asarray(blocks[size], dtype=np.int64)
+        if blocks:
+            for size in block_sizes:
+                arrays[f"blocks/{size}"] = np.asarray(
+                    blocks[size], dtype=np.int64
+                )
         specs, total = _layout(arrays)
         name = f"{SHM_PREFIX}{secrets.token_hex(8)}"
         shm = shared_memory.SharedMemory(name=name, create=True, size=total)
         views = _views(specs, shm.buf, writeable=True)
         for spec in specs:
-            np.copyto(views[spec.key], arrays[spec.key], casting="no")
+            np.copyto(
+                views[spec.key],
+                np.ascontiguousarray(arrays[spec.key]),
+                casting="no",
+            )
         digest = (
             sanitize.segment_digest(shm.buf)
             if sanitize.sanitize_enabled() else None

@@ -8,7 +8,12 @@ from repro.sweeps.directions import (
     directions_for_mesh,
     num_level_symmetric_directions,
 )
-from repro.sweeps.dag_builder import sweep_edges, sweep_dag, build_instance
+from repro.sweeps.dag_builder import (
+    sweep_edges,
+    sweep_dag,
+    build_instance,
+    build_instance_batched,
+)
 from repro.sweeps.cycle_breaking import break_cycles, find_sccs
 from repro.sweeps.batching import direction_batches, batched_schedule
 
@@ -22,6 +27,7 @@ __all__ = [
     "sweep_edges",
     "sweep_dag",
     "build_instance",
+    "build_instance_batched",
     "break_cycles",
     "find_sccs",
     "direction_batches",

@@ -40,6 +40,16 @@ class CampaignError(ReproError):
     """
 
 
+class CacheError(ReproError):
+    """The content-addressed build cache detected a corrupt entry.
+
+    Raised (fail-loud, never silently rebuilt) when a cache file's magic,
+    header, schema version, or payload digest does not verify on load —
+    a partially-written or bit-rotted entry must surface, not masquerade
+    as a miss.  See :mod:`repro.cache`.
+    """
+
+
 class SanitizerError(ReproError):
     """The ``REPRO_SANITIZE=1`` runtime sanitizer detected a violation.
 

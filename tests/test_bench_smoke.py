@@ -1,14 +1,16 @@
 """Smoke test for the benchmark harness (``repro bench --smoke``).
 
 Runs the real harness end to end on a tiny mesh and validates the
-schema-v5 report (three engine timings per family, per-phase timing
-breakdowns, and the parallel grid section), so CI catches a broken
-benchmark (or a drifted schema) without paying for the full
-``BENCH_5.json`` regeneration.  The committed-baseline tests at the
-bottom are the perf-regression gates: bucket's mesh_large speedup, the
-structural-only warm on wide_layer, the worker RSS ceiling, and the
-(cpu-gated) absolute grid throughput target.  Marked ``bench_smoke`` so
-CI can also run it as a dedicated step:
+schema-v6 report (three engine timings per family, per-phase timing
+breakdowns with the v6 mesh/build/cache construction split, the
+parallel grid section, and the cold-vs-warm ``construction`` row), so
+CI catches a broken benchmark (or a drifted schema) without paying for
+the full ``BENCH_6.json`` regeneration.  The committed-baseline tests
+at the bottom are the perf-regression gates: bucket's mesh_large
+speedup, the structural-only warm on wide_layer, the worker RSS
+ceiling, the (cpu-gated) absolute grid throughput target, and the v6
+frozen-v5 setup/checksum/warm-construction gates.  Marked
+``bench_smoke`` so CI can also run it as a dedicated step:
 
     python -m pytest -q -m bench_smoke
 """
@@ -25,7 +27,11 @@ from repro.experiments.bench import (
     BENCH_SCHEMA_VERSION,
     TARGET_GRID_ROWS_FACTOR,
     TARGET_GRID_SPEEDUP,
+    TARGET_SETUP_SPEEDUP,
     TARGET_SPEEDUP,
+    TARGET_WARM_CONSTRUCTION_SPEEDUP,
+    V5_CASE_CHECKSUMS,
+    V5_SETUP_S,
     WORKER_RSS_CEILING_MB,
     run_bench,
     validate_bench,
@@ -34,7 +40,7 @@ from repro.experiments.bench import (
 
 pytestmark = pytest.mark.bench_smoke
 
-_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_5.json"
+_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_6.json"
 
 
 @pytest.fixture(scope="module")
@@ -80,12 +86,73 @@ def test_smoke_report_grid_section(smoke_report):
 
 
 def test_smoke_report_case_phases(smoke_report):
-    """Schema v5: every engine case carries its setup/warm breakdown."""
+    """Schema v6: every case splits acquisition into mesh/build/cache
+    next to the v5 setup/warm pair."""
     for case in smoke_report["cases"]:
         phases = case["phases"]
-        assert set(phases) >= {"setup_s", "warm_s"}
+        assert set(phases) >= {
+            "mesh_s", "build_s", "cache_s", "setup_s", "warm_s"
+        }
         for value in phases.values():
             assert value >= 0.0
+        # Cache disabled in the smoke run; synthetic families have no mesh.
+        assert phases["cache_s"] == 0.0
+        if case["family"] in ("chain", "wide_layer"):
+            assert phases["mesh_s"] == 0.0
+        assert phases["build_s"] > 0.0
+
+
+def test_smoke_report_construction_section(smoke_report):
+    """The v6 cold-vs-warm construction row: a real cache hit with
+    byte-identical arrays, even at smoke size."""
+    c = smoke_report["construction"]
+    assert c["cold_s"] > 0 and c["warm_s"] > 0
+    assert c["cache_hits"] >= 1
+    assert c["byte_identical"] is True
+
+
+def test_partial_families_report():
+    """``--families`` runs the subset only and omits grid/construction."""
+    report = run_bench(smoke=True, families=["chain"])
+    assert validate_bench(report) == []
+    assert report["partial"] is True
+    assert report["families"] == ["chain"]
+    assert [c["family"] for c in report["cases"]] == ["chain"]
+    assert report["grid"] is None
+    assert report["construction"] is None
+
+
+def test_unknown_family_rejected():
+    with pytest.raises(ValueError, match="unknown bench families"):
+        run_bench(smoke=True, families=["no_such_family"])
+
+
+def test_full_report_rejects_missing_construction(smoke_report):
+    broken = dict(smoke_report, construction=None)
+    assert any("construction" in p for p in validate_bench(broken))
+
+
+def test_validator_gates_on_frozen_v5_values(smoke_report):
+    """At reference fidelity (non-smoke, default cells, seed 0) the
+    validator enforces the frozen-v5 setup and checksum gates."""
+    import copy
+
+    report = copy.deepcopy(smoke_report)
+    report["smoke"] = False
+    report["cells"] = 2000
+    report["seed"] = 0
+    for case in report["cases"]:
+        if case["family"] in V5_SETUP_S:
+            case["phases"]["setup_s"] = (
+                2.0 * V5_SETUP_S[case["family"]] / TARGET_SETUP_SPEEDUP
+            )
+        if case["family"] in V5_CASE_CHECKSUMS:
+            case["checksum"] = V5_CASE_CHECKSUMS[case["family"]] + 1
+    problems = validate_bench(report)
+    assert sum("misses the" in p for p in problems) == len(V5_SETUP_S)
+    assert sum("frozen v5 value" in p for p in problems) == len(
+        V5_CASE_CHECKSUMS
+    )
 
 
 def test_smoke_report_grid_phases(smoke_report):
@@ -111,7 +178,7 @@ def test_smoke_report_grid_phases(smoke_report):
 
 
 def test_write_bench_round_trips(smoke_report, tmp_path):
-    out = tmp_path / "BENCH_5.json"
+    out = tmp_path / "BENCH_6.json"
     write_bench(smoke_report, str(out))
     on_disk = json.loads(out.read_text())
     assert validate_bench(on_disk) == []
@@ -125,7 +192,7 @@ def test_write_bench_rejects_invalid_report(tmp_path):
 
 
 def test_cli_smoke_writes_report(tmp_path):
-    out = tmp_path / "BENCH_5.json"
+    out = tmp_path / "BENCH_6.json"
     rc = main(["bench", "--smoke", "--out", str(out)])
     assert rc in (0, None)
     report = json.loads(out.read_text())
@@ -133,9 +200,36 @@ def test_cli_smoke_writes_report(tmp_path):
 
 
 def test_committed_baseline_is_schema_valid(baseline):
-    """The checked-in BENCH_5.json must always parse and validate."""
+    """The checked-in BENCH_6.json must always parse and validate."""
     assert validate_bench(baseline) == []
     assert baseline["smoke"] is False
+
+
+def test_committed_baseline_setup_speedup(baseline):
+    """The batched builder's dividend: setup_s on the gated families
+    beats the frozen v5 values by ``TARGET_SETUP_SPEEDUP`` or better."""
+    for fam, v5 in V5_SETUP_S.items():
+        case = next(c for c in baseline["cases"] if c["family"] == fam)
+        assert case["phases"]["setup_s"] <= v5 / TARGET_SETUP_SPEEDUP, (
+            f"{fam}: setup_s {case['phases']['setup_s']:.6f}s vs v5 "
+            f"{v5:.6f}s"
+        )
+
+
+def test_committed_baseline_checksums_frozen(baseline):
+    """Construction got faster; the schedules must be bit-unchanged."""
+    for fam, checksum in V5_CASE_CHECKSUMS.items():
+        case = next(c for c in baseline["cases"] if c["family"] == fam)
+        assert case["checksum"] == checksum
+
+
+def test_committed_baseline_warm_construction(baseline):
+    """Cold-vs-warm: loading the cache entry beats rebuilding by the
+    ``TARGET_WARM_CONSTRUCTION_SPEEDUP`` gate, byte-identically."""
+    c = baseline["construction"]
+    assert c["speedup"] >= TARGET_WARM_CONSTRUCTION_SPEEDUP
+    assert c["byte_identical"] is True
+    assert c["cache_hits"] >= 1
 
 
 def test_committed_baseline_auto_picks_winner(baseline):

@@ -39,6 +39,18 @@ from repro.campaign import (
 
 ROOT = Path(__file__).resolve().parent.parent
 
+
+@pytest.fixture(autouse=True)
+def build_cache_enabled(tmp_path, monkeypatch):
+    """Run the whole battery with the content-addressed build cache on.
+
+    Instance construction in both the in-process baselines and the
+    SIGKILL'd driver subprocesses (which inherit ``os.environ``) goes
+    through :mod:`repro.cache`; the byte-identity assertions below then
+    double as proof that cached construction changes nothing.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "build_cache"))
+
 #: 12-cell campaign (2 algorithms x 2 m x 3 seeds), small enough that
 #: each subprocess run stays in CI-smoke territory.
 SPEC_TOML = """\
@@ -66,7 +78,7 @@ def _write_spec(tmp_path: Path) -> Path:
     return spec_path
 
 
-def _run_driver(spec_path, store_path, fault=None, workers=1):
+def _run_driver(spec_path, store_path, fault=None, workers=1, limit=None):
     """Run ``repro campaign run`` in a real subprocess."""
     env = dict(os.environ)
     env["PYTHONPATH"] = str(ROOT / "src") + (
@@ -80,7 +92,8 @@ def _run_driver(spec_path, store_path, fault=None, workers=1):
             sys.executable, "-m", "repro", "campaign", "run",
             str(spec_path), "--store", str(store_path),
             "--workers", str(workers),
-        ],
+        ]
+        + (["--limit", str(limit)] if limit is not None else []),
         env=env,
         capture_output=True,
         text=True,
@@ -166,6 +179,57 @@ class TestKillMatrix:
         stats = run_campaign(spec, store_path)
         assert stats.cells_executed == 0
         assert stats.cells_skipped == N_CELLS
+
+
+class TestLimit:
+    """``--limit N`` is a voluntary checkpoint: defer, then resume."""
+
+    def test_limit_defers_and_resume_completes(self, tmp_path):
+        spec_path = _write_spec(tmp_path)
+        store_path = tmp_path / "limited.sqlite"
+        spec = load_spec(spec_path)
+
+        stats = run_campaign(spec, store_path, limit=5)
+        assert stats.cells_executed == 5
+        assert stats.cells_deferred == N_CELLS - 5
+        assert stats.cells_skipped == 0
+        with ResultStore.open(store_path, spec) as store:
+            counts = store.counts(spec.universe_hashes())
+        assert counts["done"] == 5
+        assert counts["pending"] == N_CELLS - 5
+
+        # The next (unlimited) run behaves exactly like a resume.
+        stats = run_campaign(spec, store_path)
+        assert stats.cells_executed == N_CELLS - 5
+        assert stats.cells_skipped == 5
+        assert stats.cells_deferred == 0
+        with ResultStore.open(store_path, spec) as store:
+            resumed = report_json(spec, store)
+        assert resumed == _baseline_report(tmp_path)
+
+    def test_limit_larger_than_pending_defers_nothing(self, tmp_path):
+        spec = load_spec(_write_spec(tmp_path))
+        stats = run_campaign(spec, tmp_path / "big.sqlite", limit=999)
+        assert stats.cells_executed == N_CELLS
+        assert stats.cells_deferred == 0
+
+    def test_negative_limit_rejected(self, tmp_path):
+        from repro.util.errors import CampaignError
+
+        spec = load_spec(_write_spec(tmp_path))
+        with pytest.raises(CampaignError, match="limit"):
+            run_campaign(spec, tmp_path / "neg.sqlite", limit=-1)
+
+    def test_cli_limit_flag_reports_deferral(self, tmp_path):
+        spec_path = _write_spec(tmp_path)
+        store_path = tmp_path / "cli.sqlite"
+        proc = _run_driver(spec_path, store_path, limit=3)
+        assert proc.returncode == 0, proc.stderr
+        assert f"{N_CELLS - 3} deferred by --limit" in proc.stdout
+        spec = load_spec(spec_path)
+        with ResultStore.open(store_path, spec) as store:
+            counts = store.counts(spec.universe_hashes())
+        assert counts["done"] == 3
 
 
 @pytest.mark.grid_smoke

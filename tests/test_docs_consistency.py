@@ -26,6 +26,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.parallel",
     "repro.campaign",
+    "repro.cache",
     "repro.obs",
     "repro.util",
 ]

@@ -42,7 +42,8 @@ def mesh_large():
     case = next(
         c for c in bench_cases(smoke=True) if c["family"] == "mesh_large"
     )
-    inst, m = case["instance"], case["m"]
+    inst, _phases = case["build"]()
+    m = case["m"]
     rng = as_rng(0)
     delays = draw_delays(inst.k, rng)
     assignment = random_cell_assignment(inst.n_cells, m, rng)
