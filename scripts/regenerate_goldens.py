@@ -1,10 +1,18 @@
-"""Regenerate (or check) the registry golden snapshots.
+"""Regenerate (or check) the golden snapshots.
 
 ``tests/goldens/registry_goldens.json`` pins makespan / C1 / C2 for
 every registered scheduler on three small fixed-seed instances.  The
 golden test (``tests/test_goldens.py``) fails on any drift, which turns
 silent behaviour changes — a reordered heap, a changed tie-break, an
 RNG-stream shift — into explicit, reviewable diffs.
+
+``tests/goldens/callgraph_edges.json`` pins the resolved call-graph
+edges (``[caller, callee, kind]`` triples) that ``repro lint --deep``
+builds for the fixture package under
+``tests/lint_fixtures/deep/callgraph/``.  Any change to symbol
+resolution, registry fan-out, instantiation edges, or fallback dispatch
+shows up as a reviewable diff here before it silently changes what the
+RPL101+ rules can see.
 
 Usage::
 
@@ -27,6 +35,8 @@ if str(ROOT / "src") not in sys.path:
     sys.path.insert(0, str(ROOT / "src"))
 
 GOLDEN_PATH = ROOT / "tests" / "goldens" / "registry_goldens.json"
+CALLGRAPH_GOLDEN_PATH = ROOT / "tests" / "goldens" / "callgraph_edges.json"
+CALLGRAPH_FIXTURE_DIR = ROOT / "tests" / "lint_fixtures" / "deep" / "callgraph"
 
 #: (label, family, kwargs, m) — three small, structurally distinct cases.
 GOLDEN_CASES = [
@@ -61,35 +71,58 @@ def compute_goldens() -> dict:
     return table
 
 
+def compute_callgraph_edges() -> list:
+    """Resolved edges of the call-graph fixture package."""
+    from repro.lint import build_program, iter_python_files
+
+    files = iter_python_files([str(CALLGRAPH_FIXTURE_DIR)])
+    return build_program(files).edges_json()
+
+
+def _sync(path: Path, current, write: bool) -> int:
+    """Write or check one golden file; returns a shell status."""
+    if write:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path.relative_to(ROOT)}")
+        return 0
+    if not path.exists():
+        print(f"missing {path.relative_to(ROOT)} — run with --write")
+        return 1
+    stored = json.loads(path.read_text())
+    if stored == current:
+        print(f"{path.name} matches current code")
+        return 0
+    if isinstance(current, dict):
+        for case, row in current.items():
+            for algo, vals in row.items():
+                old = stored.get(case, {}).get(algo)
+                if old != vals:
+                    print(f"DRIFT {case} / {algo}: stored={old} current={vals}")
+    else:
+        stored_set = {tuple(e) for e in stored}
+        current_set = {tuple(e) for e in current}
+        for edge in sorted(current_set - stored_set):
+            print(f"DRIFT new edge: {edge}")
+        for edge in sorted(stored_set - current_set):
+            print(f"DRIFT lost edge: {edge}")
+    print(f"{path.name} differs — rerun with --write if the change is intended")
+    return 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--write", action="store_true",
-        help="rewrite the golden file instead of checking against it",
+        help="rewrite the golden files instead of checking against them",
     )
     args = parser.parse_args(argv)
 
-    goldens = compute_goldens()
-    if args.write:
-        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
-        GOLDEN_PATH.write_text(json.dumps(goldens, indent=2, sort_keys=True) + "\n")
-        print(f"wrote {GOLDEN_PATH.relative_to(ROOT)}")
-        return 0
-
-    if not GOLDEN_PATH.exists():
-        print(f"missing {GOLDEN_PATH.relative_to(ROOT)} — run with --write")
-        return 1
-    stored = json.loads(GOLDEN_PATH.read_text())
-    if stored == goldens:
-        print("goldens match current code")
-        return 0
-    for case, row in goldens.items():
-        for algo, vals in row.items():
-            old = stored.get(case, {}).get(algo)
-            if old != vals:
-                print(f"DRIFT {case} / {algo}: stored={old} current={vals}")
-    print("goldens differ — rerun with --write if the change is intended")
-    return 1
+    status = _sync(GOLDEN_PATH, compute_goldens(), args.write)
+    status |= _sync(
+        CALLGRAPH_GOLDEN_PATH, compute_callgraph_edges(), args.write
+    )
+    return status
 
 
 if __name__ == "__main__":

@@ -281,7 +281,13 @@ def build_parser() -> argparse.ArgumentParser:
             "RPL002 engine parity, RPL003 shm lifecycle, RPL004 dtype "
             "discipline, RPL005 hot-path hygiene, RPL006 obs discipline) "
             "over python sources.  "
-            "Exits 0 when clean, 1 with file:line diagnostics otherwise.  "
+            "With --deep, also builds a whole-program call graph and runs "
+            "the interprocedural pack (RPL101 spawn safety, RPL102 shm "
+            "pairing, RPL103 engine propagation, RPL104 span safety, "
+            "RPL105 seed escape).  "
+            "Exits 0 when clean, 1 with file:line diagnostics, 2 on usage "
+            "errors (unknown rule, missing/unreadable path, no python "
+            "files).  "
             "See docs/linting.md for the rule pack and the pragma syntax."
         ),
     )
@@ -293,6 +299,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "with pragma counts), or github (PR annotations)")
     p.add_argument("--rule", action="append", default=None, metavar="RPLxxx",
                    help="restrict to these rule codes (repeatable)")
+    p.add_argument("--deep", action="store_true",
+                   help="also build the call graph and run the "
+                        "whole-program rules (RPL101+)")
+    p.add_argument("--graph-cache", default=None, metavar="DIR",
+                   help="cache the --deep call graph in DIR, keyed on a "
+                        "source-tree hash (skips re-parsing when the tree "
+                        "is unchanged)")
     p.add_argument("--list-rules", action="store_true",
                    help="print the registered rules and exit")
     return parser
@@ -734,11 +747,18 @@ def _cmd_cache(args) -> int:
 def _cmd_lint(args) -> int:
     import os
 
-    from repro.lint import all_rules, get_rule, lint_paths
+    from repro.lint import (
+        all_rules,
+        get_rule,
+        iter_python_files,
+        lint_paths,
+        lint_paths_with_deep,
+    )
 
     if args.list_rules:
         for rule in all_rules():
-            print(f"{rule.code}  {rule.name}: {rule.description}")
+            scope = "deep" if getattr(rule, "deep", False) else "file"
+            print(f"{rule.code}  {rule.name} [{scope}]: {rule.description}")
         return 0
     if args.rule:
         try:
@@ -759,7 +779,26 @@ def _cmd_lint(args) -> int:
     if missing:
         print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
-    report = lint_paths(paths, rules=rules)
+    files = iter_python_files(paths)
+    if not files:
+        print(
+            f"error: no python files under: {', '.join(paths)}",
+            file=sys.stderr,
+        )
+        return 2
+    unreadable = [f for f in files if not os.access(f, os.R_OK)]
+    if unreadable:
+        print(
+            f"error: unreadable: {', '.join(sorted(unreadable))}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.deep:
+        report = lint_paths_with_deep(
+            paths, rules=rules, cache_dir=args.graph_cache
+        )
+    else:
+        report = lint_paths(paths, rules=rules)
     if args.fmt == "json":
         print(report.format_json())
     elif args.fmt == "github":

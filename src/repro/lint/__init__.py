@@ -20,12 +20,37 @@ RPL005    hot-path hygiene — no quadratic idioms in the benchmarked
           scheduler/dispatcher files
 ========  ==============================================================
 
-Run it as ``repro lint [paths] [--format text|json|github]``; the pytest
-gate is ``tests/test_lint.py``.  ``docs/linting.md`` documents the rule
+``repro lint --deep`` additionally builds an import graph and an
+alias-resolved call graph over the whole tree (:mod:`repro.lint.graph`),
+computes per-function dataflow facts (:mod:`repro.lint.dataflow`), and
+runs the interprocedural pack:
+
+========  ==============================================================
+RPL101    spawn-safety — no call path from a worker entrypoint to
+          instance/mesh/partition construction or fork-inherited caches
+RPL102    shm pairing — every owning ``SharedMemory`` create reaches
+          close+unlink and has no unprotected exception window
+RPL103    engine propagation — ``engine=``-accepting functions forward
+          the selector to ``engine=``-accepting callees, across files
+RPL104    span safety — ``obs.span(...)`` on worker-reachable paths must
+          be a ``with`` context expression
+RPL105    seed escape — seed values must not flow into functions that
+          construct RNGs outside the ``repro.util.rng`` chokepoint
+========  ==============================================================
+
+Run it as ``repro lint [paths] [--deep] [--format text|json|github]``;
+the pytest gates are ``tests/test_lint.py`` and
+``tests/test_lint_deep.py``.  ``docs/linting.md`` documents the rule
 pack, the ``# repro-lint: disable=RPLxxx -- why`` pragma, and how to add
 a rule.
 """
 
+from repro.lint.deep import (
+    deep_rules,
+    lint_paths_deep,
+    lint_paths_with_deep,
+    shallow_rules,
+)
 from repro.lint.engine import (
     LintReport,
     Pragma,
@@ -35,19 +60,27 @@ from repro.lint.engine import (
     lint_source,
     package_relpath,
 )
+from repro.lint.graph import Program, build_program, load_program
 from repro.lint.rules import Diagnostic, Rule, all_rules, get_rule, register
 
 __all__ = [
     "Diagnostic",
     "LintReport",
     "Pragma",
+    "Program",
     "Rule",
     "all_rules",
+    "build_program",
+    "deep_rules",
     "get_rule",
     "register",
     "iter_python_files",
     "lint_file",
     "lint_paths",
+    "lint_paths_deep",
+    "lint_paths_with_deep",
     "lint_source",
+    "load_program",
     "package_relpath",
+    "shallow_rules",
 ]

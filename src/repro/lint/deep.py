@@ -1,0 +1,122 @@
+"""Driver for the whole-program lint pass (``repro lint --deep``).
+
+Pipeline: expand paths → build (or cache-load) the
+:class:`~repro.lint.graph.Program` → run every registered
+:class:`~repro.lint.rules.deep.base.DeepRule` → suppress findings
+covered by the same ``# repro-lint: disable=RPLxxx -- why`` pragmas the
+file-local engine honours, matched by (file, line).
+
+:func:`lint_paths_deep` runs the deep rules alone (what the multi-file
+fixture tests exercise); :func:`lint_paths_with_deep` is the CLI's
+``--deep`` entry: one merged report of the file-local pass plus the deep
+pass, with files counted once.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import (
+    LintReport,
+    _scan_pragmas,
+    iter_python_files,
+    lint_paths,
+)
+from repro.lint.graph import Program, load_program
+from repro.lint.rules import all_rules
+from repro.lint.rules.base import Rule
+
+__all__ = [
+    "deep_rules",
+    "shallow_rules",
+    "lint_paths_deep",
+    "lint_paths_with_deep",
+]
+
+
+def deep_rules() -> list[Rule]:
+    """Registered whole-program rules, ordered by code."""
+    return [r for r in all_rules() if getattr(r, "deep", False)]
+
+
+def shallow_rules() -> list[Rule]:
+    """Registered file-local rules, ordered by code."""
+    return [r for r in all_rules() if not getattr(r, "deep", False)]
+
+
+def _suppress(report: LintReport, files: list[str]) -> None:
+    """Drop diagnostics covered by an inline pragma; count them.
+
+    Mirrors the file-local engine's suppression: a pragma on the finding's
+    line, listing the finding's rule, with a justification.  Pragmas are
+    recorded on the report for the JSON accounting; unjustified pragmas
+    are the file-local pass's RPL000 to report, not ours (running both is
+    the normal mode and must not double-report them).
+    """
+    suppressed_at: dict[tuple[str, int], set[str]] = {}
+    for path in files:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError:
+            continue
+        pragmas, _errors = _scan_pragmas(source, path)
+        report.pragmas.extend(pragmas)
+        for pragma in pragmas:
+            suppressed_at.setdefault(
+                (pragma.path, pragma.line), set()
+            ).update(pragma.rules)
+    kept = []
+    for diag in report.diagnostics:
+        if diag.rule in suppressed_at.get((diag.path, diag.line), ()):
+            report.suppressed += 1
+        else:
+            kept.append(diag)
+    report.diagnostics = kept
+
+
+def lint_paths_deep(
+    paths: list[str],
+    rules: list[Rule] | None = None,
+    cache_dir: str | None = None,
+    program: Program | None = None,
+) -> LintReport:
+    """Run the deep rules over every ``.py`` file under ``paths``.
+
+    ``cache_dir`` enables the source-tree-hash graph cache (see
+    :func:`repro.lint.graph.load_program`); ``program`` injects a
+    pre-built graph (tests / repeated runs).
+    """
+    files = iter_python_files(paths)
+    if program is None:
+        program = load_program(files, cache_dir=cache_dir)
+    report = LintReport(files_checked=len(program.modules))
+    for rule in (rules if rules is not None else deep_rules()):
+        if not getattr(rule, "deep", False):
+            continue
+        report.diagnostics.extend(rule.check_program(program))
+    _suppress(report, files)
+    report.sort()
+    return report
+
+
+def lint_paths_with_deep(
+    paths: list[str],
+    rules: list[Rule] | None = None,
+    cache_dir: str | None = None,
+) -> LintReport:
+    """File-local pass + deep pass, merged into one report.
+
+    ``rules=None`` runs everything registered; an explicit list is split
+    by the ``deep`` marker.  Files (and pragmas) are counted once — the
+    deep half contributes only its diagnostics and suppressions.
+    """
+    if rules is None:
+        shallow, deep = shallow_rules(), deep_rules()
+    else:
+        shallow = [r for r in rules if not getattr(r, "deep", False)]
+        deep = [r for r in rules if getattr(r, "deep", False)]
+    report = lint_paths(paths, rules=shallow)
+    deep_report = lint_paths_deep(paths, rules=deep, cache_dir=cache_dir)
+    report.diagnostics.extend(deep_report.diagnostics)
+    report.suppressed += deep_report.suppressed
+    report.sort()
+    return report

@@ -224,6 +224,8 @@ def lint_source(
         suppressed_at.setdefault(pragma.line, set()).update(pragma.rules)
 
     for rule in (rules if rules is not None else all_rules()):
+        if getattr(rule, "deep", False):
+            continue  # whole-program rules run in repro.lint.deep
         if not rule.applies(relpath):
             continue
         for diag in rule.check(ctx):

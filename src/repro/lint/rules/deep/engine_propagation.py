@@ -1,0 +1,69 @@
+"""RPL103 — engine-parity propagation across the call graph.
+
+File-local RPL002 checks a hard-coded list of scheduling entry points;
+anything not on the list — a new helper that grows an ``engine``
+parameter, a cross-file wrapper — silently escapes it.  This rule
+derives the obligation from the program itself:
+
+**If a function accepts ``engine=`` and calls another function that
+accepts ``engine=`` (resolved through the call graph: direct, method,
+registry fan-out, or dynamic fallback), the selector must be forwarded**
+— as ``engine=engine``, as a bare positional ``engine`` (the
+``resolve_engine(engine, ...)`` shape), or implicitly via ``**kwargs``.
+A call that drops it pins the callee to its default and quietly reverts
+the caller's engine choice; the engine-equivalence suite cannot catch
+that because the engines agree on results by contract.
+
+Registry fan-out calls (``algo = get_algorithm(name); algo(...)``) count
+when any registered algorithm accepts ``engine=`` — they all do, which
+is exactly why the selector must survive dynamic dispatch too.
+"""
+
+from __future__ import annotations
+
+from repro.lint.graph import Program
+from repro.lint.rules.base import Diagnostic, register
+from repro.lint.rules.deep.base import DeepRule, program_diagnostic
+
+__all__ = ["EnginePropagationRule"]
+
+
+@register
+class EnginePropagationRule(DeepRule):
+    code = "RPL103"
+    name = "engine-propagation"
+    description = (
+        "a function accepting engine= must forward the selector to every "
+        "callee (resolved across files) that also accepts engine="
+    )
+
+    def check_program(self, program: Program) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for qualname in sorted(program.functions):
+            fn = program.functions[qualname]
+            if not fn.accepts_engine:
+                continue
+            for site in fn.calls:
+                takers = [
+                    c for c in site.callees
+                    if c in program.functions
+                    and program.functions[c].accepts_engine
+                ]
+                if not takers:
+                    continue
+                if site.has_star_kwargs or site.engine_arg == "ident":
+                    continue
+                callee_names = ", ".join(sorted(
+                    f"`{program.functions[c].name}`" for c in set(takers)
+                ))
+                shape = (
+                    "pins a different value" if site.engine_arg is not None
+                    else "does not forward engine=engine"
+                )
+                out.append(program_diagnostic(
+                    self, fn, site.line, site.col,
+                    f"`{fn.name}` accepts engine= but this call to "
+                    f"{callee_names} {shape} — the caller's engine choice "
+                    "is silently dropped on this path",
+                ))
+        return out

@@ -1,0 +1,62 @@
+"""RPL105 — seed-escape: seeds reach RNGs only through the chokepoint.
+
+RPL001 bans *direct* RNG construction outside ``util/rng.py`` — but it
+is file-local, so it cannot see a seed value handed to a helper in
+another module that constructs ``default_rng(seed)`` there (the helper's
+file is flagged, but the flow that smuggled an untyped config seed into
+it is not, and a pragma on the helper would silence every caller at
+once).  This rule tracks the flow:
+
+**A seed-carrying value (a ``seed`` variable/attribute/key, or any
+``seed=`` keyword) must not be passed to a function that — transitively
+— constructs an RNG outside the chokepoint.**  The sanctioned sinks are
+``repro.util.rng`` (``as_rng`` / ``spawn_rng`` / ``spawn_rngs``), whose
+``SeedSequence`` spawning is what makes streams independent and typed,
+and the fuzz plane (which owns its campaign entropy).  Everything else
+that wants randomness from a seed must route through them, so every draw
+in the library stays replayable from a caller-supplied seed.
+"""
+
+from __future__ import annotations
+
+from repro.lint.dataflow import unsafe_rng_functions
+from repro.lint.graph import Program
+from repro.lint.rules.base import Diagnostic, register
+from repro.lint.rules.deep.base import DeepRule, program_diagnostic
+
+__all__ = ["SeedEscapeRule"]
+
+
+@register
+class SeedEscapeRule(DeepRule):
+    code = "RPL105"
+    name = "seed-escape"
+    description = (
+        "seed values must not flow into functions that construct RNGs "
+        "outside the repro.util.rng chokepoint"
+    )
+
+    def check_program(self, program: Program) -> list[Diagnostic]:
+        unsafe = unsafe_rng_functions(program)
+        out: list[Diagnostic] = []
+        for qualname in sorted(program.functions):
+            fn = program.functions[qualname]
+            for site in fn.calls:
+                if not site.passes_seed:
+                    continue
+                sinks = sorted({
+                    program.functions[c].name for c in site.callees
+                    if unsafe.get(c, False)
+                })
+                if not sinks:
+                    continue
+                names = ", ".join(f"`{s}`" for s in sinks)
+                out.append(program_diagnostic(
+                    self, fn, site.line, site.col,
+                    f"seed value flows from `{fn.name}` into {names}, "
+                    "which constructs an RNG outside the "
+                    "repro.util.rng chokepoint — route the seed through "
+                    "spawn_rng/as_rng so the stream stays typed and "
+                    "replayable",
+                ))
+        return out

@@ -1,0 +1,86 @@
+"""RPL102 — shm lifecycle pairing, interprocedurally.
+
+File-local RPL003 accepts any ``SharedMemory`` creation inside a class
+whose *body text* mentions ``.close()`` and ``.unlink()``.  That
+heuristic has two blind spots this rule closes with the call graph:
+
+1. **Pairing must be reachable, not just present.**  For every owning
+   creation (``create=True``), a ``.close()`` *and* a ``.unlink()`` call
+   must be reachable from the creation's owner scope — the enclosing
+   class's methods and everything they call (so cleanup delegated to a
+   helper function counts, which RPL003 could not see), or the enclosing
+   function's transitive closure for a free-function creation.
+
+2. **The handle must not dangle across an unprotected window.**  Between
+   the creation and the point where the handle escapes into its owner
+   (``return cls(shm, ...)``, ``self._shm = shm``), any statement that
+   can raise leaks the segment: nothing has registered cleanup yet.  A
+   creation with such a gap must sit inside a ``try`` whose handler or
+   ``finally`` covers it (or use a ``with``).  This is the conservative
+   static reading of "the create dominates a close+unlink on all
+   non-exceptional paths".
+
+Attach-only handles (no ``create=True``) never own the segment and are
+out of scope here — RPL003 still governs their view writability.
+"""
+
+from __future__ import annotations
+
+from repro.lint.dataflow import pairing_scope
+from repro.lint.graph import Program
+from repro.lint.rules.base import Diagnostic, register
+from repro.lint.rules.deep.base import DeepRule, program_diagnostic
+
+__all__ = ["ShmPairingRule"]
+
+
+@register
+class ShmPairingRule(DeepRule):
+    code = "RPL102"
+    name = "shm-pairing"
+    description = (
+        "every SharedMemory create=True must reach both close() and "
+        "unlink() from its owner scope, and must not hold an unprotected "
+        "handle across statements that can raise"
+    )
+
+    def check_program(self, program: Program) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for qualname in sorted(program.functions):
+            fn = program.functions[qualname]
+            for create in fn.shm_creates:
+                if not create.owning or create.in_with:
+                    continue
+                scope = pairing_scope(program, fn)
+                has_close = any(
+                    program.functions[q].closes for q in scope
+                    if q in program.functions
+                )
+                has_unlink = any(
+                    program.functions[q].unlinks for q in scope
+                    if q in program.functions
+                )
+                if not (has_close and has_unlink):
+                    missing = " and ".join(
+                        name for name, ok in
+                        (("close()", has_close), ("unlink()", has_unlink))
+                        if not ok
+                    )
+                    out.append(program_diagnostic(
+                        self, fn, create.line, create.col,
+                        f"SharedMemory created in `{fn.name}` but no "
+                        f"{missing} is reachable from its owner scope — "
+                        "the segment outlives the process in /dev/shm",
+                    ))
+                    continue
+                if create.gap and not create.protected:
+                    out.append(program_diagnostic(
+                        self, fn, create.line, create.col,
+                        f"`{fn.name}` runs statements between this "
+                        "SharedMemory creation and the handle's escape to "
+                        "its owner — an exception in that window leaks "
+                        "the segment; wrap the window in try/except (or "
+                        "finally) that closes and unlinks, or publish "
+                        "via a `with` block",
+                    ))
+        return out

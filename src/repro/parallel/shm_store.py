@@ -188,22 +188,32 @@ class SharedInstanceStore:
                 )
         specs, total = _layout(arrays)
         name = f"{SHM_PREFIX}{secrets.token_hex(8)}"
+        views: dict | None = None
         shm = shared_memory.SharedMemory(name=name, create=True, size=total)
-        views = _views(specs, shm.buf, writeable=True)
-        for spec in specs:
-            np.copyto(
-                views[spec.key],
-                np.ascontiguousarray(arrays[spec.key]),
-                casting="no",
+        try:
+            views = _views(specs, shm.buf, writeable=True)
+            for spec in specs:
+                np.copyto(
+                    views[spec.key],
+                    np.ascontiguousarray(arrays[spec.key]),
+                    casting="no",
+                )
+            digest = (
+                sanitize.segment_digest(shm.buf)
+                if sanitize.sanitize_enabled() else None
             )
-        digest = (
-            sanitize.segment_digest(shm.buf)
-            if sanitize.sanitize_enabled() else None
-        )
-        manifest = StoreManifest(
-            segment=shm.name, meta=meta, specs=specs,
-            block_sizes=block_sizes, digest=digest,
-        )
+            manifest = StoreManifest(
+                segment=shm.name, meta=meta, specs=specs,
+                block_sizes=block_sizes, digest=digest,
+            )
+        except BaseException:
+            # A dtype-cast failure (or KeyboardInterrupt) before the
+            # handle reaches its owner would otherwise leak a named
+            # segment until reboot.
+            views = None  # drop buffer views so close() can release the map
+            shm.close()
+            shm.unlink()
+            raise
         return cls(shm, manifest)
 
     # -- lifecycle -----------------------------------------------------

@@ -1,0 +1,11 @@
+# repro-lint-fixture: path=parallel/helpers.py
+# Middle hop: the violation is only visible across three files.
+from repro.experiments.runner import get_instance, warm_instance
+
+
+def prepare(manifest):
+    return get_instance(manifest["mesh"], manifest["k"])
+
+
+def warm_all(manifest):
+    warm_instance(manifest["mesh"])

@@ -1,0 +1,10 @@
+# repro-lint-fixture: path=experiments/runner.py
+# Parent-side construction: banned from every worker call path.
+
+
+def get_instance(mesh, k):
+    return {"mesh": mesh, "k": k}
+
+
+def warm_instance(mesh):
+    return {"mesh": mesh, "warmed": True}

@@ -1,0 +1,13 @@
+# repro-lint-fixture: path=parallel/worker.py
+# Known-bad fixture for RPL101 (spawn safety): both worker entrypoints
+# reach parent-side construction through a helper in another file.
+from repro.parallel.helpers import prepare, warm_all
+
+
+def init_worker(manifest):
+    prepare(manifest)
+
+
+def run_chunk(manifest, cells):
+    warm_all(manifest)
+    return list(cells)

@@ -1,0 +1,11 @@
+# repro-lint-fixture: path=parallel/helpers.py
+# Worker-side helpers: attach + per-cell work only.
+from repro.experiments.runner import get_instance, run_cell_on
+
+
+def attach_store(manifest):
+    return {"segment": manifest["segment"]}
+
+
+def run_one(manifest, cell):
+    return run_cell_on(manifest, cell)

@@ -1,0 +1,16 @@
+# repro-lint-fixture: path=experiments/runner.py
+# get_instance exists here too, but only the parent-side driver calls
+# it — reachability, not mere presence, is what RPL101 checks.
+
+
+def get_instance(mesh, k):
+    return {"mesh": mesh, "k": k}
+
+
+def run_cell_on(manifest, cell):
+    return {"cell": cell, "segment": manifest["segment"]}
+
+
+def parent_driver(mesh, k):
+    inst = get_instance(mesh, k)
+    return run_cell_on({"segment": "s"}, 0), inst

@@ -1,0 +1,12 @@
+# repro-lint-fixture: path=parallel/worker.py
+# Known-good fixture for RPL101: workers attach to the published store
+# and run cells; they never touch the construction pipeline.
+from repro.parallel.helpers import attach_store, run_one
+
+
+def init_worker(manifest):
+    attach_store(manifest)
+
+
+def run_chunk(manifest, cells):
+    return [run_one(manifest, c) for c in cells]

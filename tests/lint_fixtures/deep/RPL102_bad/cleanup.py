@@ -1,0 +1,7 @@
+# repro-lint-fixture: path=parallel/cleanup.py
+# The half-hearted helper: closes the mapping, never unlinks the
+# segment — visible to RPL102 only through the call graph.
+
+
+def half_release(shm):
+    shm.close()

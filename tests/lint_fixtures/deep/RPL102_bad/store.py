@@ -1,0 +1,30 @@
+# repro-lint-fixture: path=parallel/store.py
+# Known-bad fixture for RPL102 (shm pairing): two findings below —
+# an owning creation whose scope never reaches unlink(), and an
+# unprotected window between a creation and its escape.
+from multiprocessing import shared_memory
+
+from repro.parallel.cleanup import half_release
+
+
+class HalfStore:
+    """Cleanup delegates to a helper that closes but never unlinks."""
+
+    def __init__(self, shm):
+        self._shm = shm
+
+    @classmethod
+    def publish(cls, total):
+        return cls(shared_memory.SharedMemory(create=True, size=total))
+
+    def close(self):
+        half_release(self._shm)
+
+
+def windowed_publish(payload, total):
+    shm = shared_memory.SharedMemory(create=True, size=total)
+    shm.buf[: len(payload)] = payload  # raises on size mismatch: leak
+    out = HalfStore(shm)
+    shm.close()
+    shm.unlink()
+    return out

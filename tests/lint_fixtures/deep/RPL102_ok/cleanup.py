@@ -1,0 +1,7 @@
+# repro-lint-fixture: path=parallel/cleanup.py
+# Complete cleanup helper: close + unlink, in one place.
+
+
+def full_release(shm):
+    shm.close()
+    shm.unlink()

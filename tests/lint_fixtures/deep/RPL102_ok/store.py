@@ -1,0 +1,33 @@
+# repro-lint-fixture: path=parallel/store.py
+# Known-good fixture for RPL102: cleanup delegated across files counts,
+# a guarded window counts, and `with` blocks are always fine.
+from multiprocessing import shared_memory
+
+from repro.parallel.cleanup import full_release
+
+
+class PairedStore:
+    """Owner whose close() reaches both close and unlink via a helper."""
+
+    def __init__(self, shm):
+        self._shm = shm
+
+    @classmethod
+    def publish(cls, payload, total):
+        shm = shared_memory.SharedMemory(create=True, size=total)
+        try:
+            shm.buf[: len(payload)] = payload
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+        return cls(shm)
+
+    def close(self):
+        full_release(self._shm)
+
+
+def scratch_roundtrip(payload, total):
+    with shared_memory.SharedMemory(create=True, size=total) as shm:
+        shm.buf[: len(payload)] = payload
+        return bytes(shm.buf[: len(payload)])

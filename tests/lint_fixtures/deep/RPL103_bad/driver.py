@@ -1,0 +1,13 @@
+# repro-lint-fixture: path=experiments/driver.py
+# Known-bad fixture for RPL103 (engine propagation): two findings —
+# one call drops the selector, one pins it to a literal.  The callee
+# lives in another file, which is exactly what file-local RPL002 misses.
+from repro.core.sched import schedule
+
+
+def run(inst, m, engine=None):
+    return schedule(inst, m)
+
+
+def run_pinned(inst, m, engine=None):
+    return schedule(inst, m, engine="heap")

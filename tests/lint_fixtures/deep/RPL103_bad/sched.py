@@ -1,0 +1,6 @@
+# repro-lint-fixture: path=core/sched.py
+# Low-level scheduler: honours the engine= selector.
+
+
+def schedule(inst, m, engine=None):
+    return {"inst": inst, "m": m, "engine": engine}

@@ -1,0 +1,17 @@
+# repro-lint-fixture: path=experiments/driver.py
+# Known-good fixture for RPL103: keyword forward, positional forward,
+# and **kwargs pass-through all preserve the caller's engine choice.
+from repro.core.sched import resolve_engine, schedule
+
+
+def run(inst, m, engine=None):
+    return schedule(inst, m, engine=engine)
+
+
+def run_positional(inst, m, engine=None):
+    resolve_engine(engine)
+    return schedule(inst, m, engine=engine)
+
+
+def run_kwargs(inst, m, engine=None, **kwargs):
+    return schedule(inst, m, engine=engine, **kwargs)

@@ -1,0 +1,10 @@
+# repro-lint-fixture: path=core/sched.py
+# Low-level scheduler: honours the engine= selector.
+
+
+def schedule(inst, m, engine=None):
+    return {"inst": inst, "m": m, "engine": engine}
+
+
+def resolve_engine(engine, default="auto"):
+    return default if engine is None else engine

@@ -1,0 +1,15 @@
+# repro-lint-fixture: path=parallel/tasks.py
+# One finding: a span handle held positionally on a worker path — an
+# exception in compute() leaves it dangling and loses the trace.
+from repro import obs
+
+
+def process(cell):
+    handle = obs.span("cell")
+    result = compute(cell)
+    handle.close()
+    return result
+
+
+def compute(cell):
+    return cell * 2

@@ -1,0 +1,10 @@
+# repro-lint-fixture: path=parallel/worker.py
+# Known-bad fixture for RPL104 (span safety): the entrypoint is clean,
+# but a helper one hop away opens a span without `with`.
+from repro import obs
+from repro.parallel.tasks import process
+
+
+def run_chunk(manifest, cells):
+    with obs.span("chunk"):
+        return [process(c) for c in cells]

@@ -1,0 +1,20 @@
+# repro-lint-fixture: path=parallel/tasks.py
+# Worker-path spans use `with`; the parent-side profiler below may hold
+# a handle across statements — it never runs inside a worker.
+from repro import obs
+
+
+def process(cell):
+    with obs.span("cell"):
+        return compute(cell)
+
+
+def compute(cell):
+    return cell * 2
+
+
+def parent_profile(cells):
+    handle = obs.span("profile")
+    total = sum(cells)
+    handle.close()
+    return total

@@ -1,0 +1,10 @@
+# repro-lint-fixture: path=parallel/worker.py
+# Known-good fixture for RPL104: every worker-path span is a `with`
+# context expression.
+from repro import obs
+from repro.parallel.tasks import process
+
+
+def run_chunk(manifest, cells):
+    with obs.span("chunk"):
+        return [process(c) for c in cells]

@@ -1,0 +1,13 @@
+# repro-lint-fixture: path=analysis/driver.py
+# Known-bad fixture for RPL105 (seed escape): two findings — a config
+# seed attribute and a seed= keyword both flow into a helper that
+# builds its RNG outside the repro.util.rng chokepoint.
+from repro.analysis.noise import jitter
+
+
+def run(cfg, values):
+    return jitter(values, cfg.seed)
+
+
+def run_keyword(values, seed):
+    return jitter(values, seed=seed)

@@ -1,0 +1,10 @@
+# repro-lint-fixture: path=analysis/noise.py
+# Transitively unsafe: constructs an RNG outside the chokepoint.  The
+# construction itself is RPL001's (file-local) finding; RPL105 flags the
+# *flows* that smuggle seeds into it from other files.
+import numpy as np
+
+
+def jitter(values, seed=None):
+    rng = np.random.default_rng(seed)
+    return [v + rng.standard_normal() for v in values]

@@ -1,0 +1,10 @@
+# repro-lint-fixture: path=analysis/driver.py
+# Known-good fixture for RPL105: the seed goes into the chokepoint; the
+# helper receives a typed Generator, never the raw seed.
+from repro.analysis.noise import jitter_with
+from repro.util.rng import spawn_rng
+
+
+def run(values, seed):
+    rng = spawn_rng(seed, 0)
+    return jitter_with(values, rng)

@@ -1,0 +1,6 @@
+# repro-lint-fixture: path=analysis/noise.py
+# Takes a ready Generator — no RNG construction, nothing to escape to.
+
+
+def jitter_with(values, rng):
+    return [v + rng.standard_normal() for v in values]

@@ -1,0 +1,9 @@
+# repro-lint-fixture: path=util/rng.py
+# The chokepoint: direct RNG construction is sanctioned here, and only
+# here — callers hand it a seed and get independent typed streams back.
+import numpy as np
+
+
+def spawn_rng(seed, index):
+    seq = np.random.SeedSequence(seed)
+    return np.random.default_rng(seq.spawn(index + 1)[index])

@@ -1,0 +1,10 @@
+# repro-lint-fixture: path=heuristics/algos.py
+# Leaf algorithms for the call-graph golden.
+
+
+def alpha(inst, m, seed=None):
+    return {"algo": "alpha", "inst": inst, "m": m}
+
+
+def beta(inst, m, seed=None, flag=False):
+    return {"algo": "beta", "inst": inst, "m": m, "flag": flag}

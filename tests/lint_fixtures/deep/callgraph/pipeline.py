@@ -1,0 +1,29 @@
+# repro-lint-fixture: path=experiments/pipeline.py
+# Exercises every edge kind: direct (alpha), init (Stage), method
+# (self.prepare), registry (get_algorithm fan-out), and fallback
+# (execute_stage on an opaque receiver).
+from repro.heuristics.algos import alpha
+from repro.heuristics.registry import get_algorithm
+
+
+class Pipeline:
+    def __init__(self, stages):
+        self.stages = stages
+
+    def prepare(self, inst):
+        return alpha(inst, 1)
+
+    def run(self, inst, name):
+        self.prepare(inst)
+        algo = get_algorithm(name)
+        out = algo(inst, 2)
+        for stage in self.stages:
+            out = stage.execute_stage(out)
+        return out
+
+
+def main(inst, name):
+    from repro.experiments.stage import Stage
+
+    pipe = Pipeline([Stage("s0")])
+    return pipe.run(inst, name)

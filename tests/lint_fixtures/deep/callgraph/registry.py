@@ -1,0 +1,14 @@
+# repro-lint-fixture: path=heuristics/registry.py
+# Registry for the call-graph golden: one direct value, one partial.
+from functools import partial
+
+from repro.heuristics.algos import alpha, beta
+
+ALGORITHMS = {
+    "alpha": alpha,
+    "beta_flagged": partial(beta, flag=True),
+}
+
+
+def get_algorithm(name):
+    return ALGORITHMS[name]

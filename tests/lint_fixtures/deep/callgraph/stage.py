@@ -1,0 +1,10 @@
+# repro-lint-fixture: path=experiments/stage.py
+# Fallback-dispatch target: execute_stage is resolved by method name.
+
+
+class Stage:
+    def __init__(self, label):
+        self.label = label
+
+    def execute_stage(self, inst):
+        return {"stage": self.label, "inst": inst}
