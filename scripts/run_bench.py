@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Regenerate the benchmark baseline (``BENCH_6.json``).
+"""Regenerate the benchmark baseline (``BENCH_7.json``).
 
 Thin wrapper over ``repro bench`` so CI and docs have a stable script
 path.  Run from the repo root:

@@ -118,6 +118,7 @@ def run_campaign(
     workers: int | None = None,
     stats: CampaignStats | None = None,
     limit: int | None = None,
+    serve: str | None = None,
 ) -> CampaignStats:
     """Execute (or resume) a campaign; returns what was planned/run.
 
@@ -132,7 +133,12 @@ def run_campaign(
     exactly like a resume.  Instance construction goes through the
     memoised runner chokepoint, so the content-addressed build cache
     (:mod:`repro.cache`, enabled via ``REPRO_CACHE_DIR``) is consulted
-    before any mesh/DAG build.
+    before any mesh/DAG build.  ``serve`` routes execution to a running
+    ``repro serve`` daemon at that address instead of building locally:
+    each group's cells are pipelined over one connection (so the daemon
+    batches them), checkpointed per result exactly like the other modes,
+    and — because every cell's randomness is seed-derived — the store
+    and report stay byte-identical.
     """
     from repro import obs
 
@@ -167,13 +173,23 @@ def run_campaign(
         stats.group_cells = [len(g) for g in groups]
         obs.inc("campaign.cells_skipped", stats.cells_skipped)
 
-        with store:
-            for group in groups:
-                _run_group(group, spec, store, workers, stats)
+        client = None
+        if serve is not None:
+            from repro.serve.client import ServeClient
+
+            client = ServeClient(serve)
+        try:
+            with store:
+                for group in groups:
+                    _run_group(group, spec, store, workers, stats,
+                               client=client)
+        finally:
+            if client is not None:
+                client.close()
     return stats
 
 
-def _run_group(group, spec, store, workers, stats) -> None:
+def _run_group(group, spec, store, workers, stats, client=None) -> None:
     from repro import obs
     from repro.experiments.runner import run_cell
     from repro.util.timing import Timer
@@ -191,7 +207,29 @@ def _run_group(group, spec, store, workers, stats) -> None:
         obs.inc("campaign.cells_done")
         _after_checkpoint()
 
-    if workers > 1 and len(group) > 1:
+    if client is not None:
+        requests = [
+            {
+                "instance": {
+                    "mesh": cell.mesh,
+                    "target_cells": cell.target_cells,
+                    "mesh_seed": cell.mesh_seed,
+                    "k": cell.k,
+                },
+                "algorithm": cell.algorithm,
+                "m": cell.m,
+                "block_size": cell.block_size,
+                "seed": cell.seed,
+                "engine": spec.engine,
+                "with_comm": spec.with_comm,
+            }
+            for _, cell in group
+        ]
+        serve_tag = f"serve:{client.address}"
+        summaries = client.schedule_many(requests)
+        for (digest, cell), summary in zip(group, summaries):
+            checkpoint(digest, cell, summary, 0.0, worker=serve_tag)
+    elif workers > 1 and len(group) > 1:
         from repro.parallel.dispatcher import GridCell, run_dispatch
 
         grid_cells = [

@@ -13,6 +13,9 @@ Commands
 ``campaign``   resumable declarative sweeps over a sqlite result store
 ``cache``      inspect/clear the content-addressed instance build cache
 ``lint``       AST invariant linter (RPL rules) over python sources
+``serve``      resident scheduling daemon (batching, admission control)
+``request``    send schedule/status/metrics requests to a running daemon
+``doctor``     health probe: orphan shm segments + corrupt cache entries
 
 All commands take ``--seed`` and print deterministic output.  The CLI is
 a thin veneer over the library — every command body is a few calls into
@@ -254,6 +257,97 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="PATH",
                    help="record a runtime trace of the run and write Chrome "
                         "trace-event JSON (default PATH: TRACE.json)")
+    p.add_argument("--serve", default=None, metavar="ADDR",
+                   help="execute cells through a running repro-serve daemon "
+                        "at this address (socket path or tcp:HOST:PORT) "
+                        "instead of building instances locally; results and "
+                        "the report stay byte-identical")
+
+    p = sub.add_parser(
+        "serve",
+        help="resident scheduling daemon over a unix socket",
+        description=(
+            "Start the scheduling-as-a-service daemon: instances are "
+            "published once into shared memory (hydrating from the build "
+            "cache when possible) and kept in a byte-budgeted LRU, "
+            "compatible schedule requests are coalesced into grid chunks "
+            "and dispatched to a resident spawn-context worker pool, and "
+            "an admission controller bounds the pending queue, enforces "
+            "per-request deadlines, and sheds publishes when the resident "
+            "budget is pinned.  SIGTERM drains gracefully: in-flight "
+            "requests finish, new ones are refused, and every shared "
+            "segment is unlinked (repro doctor must then report zero "
+            "orphans).  See docs/serving.md."
+        ),
+    )
+    p.add_argument("--socket", default="repro-serve.sock",
+                   help="unix socket path to listen on "
+                        "(default ./repro-serve.sock)")
+    p.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                   help="listen on TCP instead of a unix socket")
+    p.add_argument("--workers", type=int, default=2,
+                   help="resident pool size (default 2)")
+    p.add_argument("--max-pending", type=int, default=None,
+                   help="admission bound on in-flight requests (default 128)")
+    p.add_argument("--max-delay-ms", type=float, default=None,
+                   help="batching coalescing window in ms (default 5)")
+    p.add_argument("--max-batch", type=int, default=None,
+                   help="max cells per coalesced chunk (default 64)")
+    p.add_argument("--max-resident-mb", type=float, default=None,
+                   help="resident instance byte budget in MiB (default 512)")
+    p.add_argument("--trace", nargs="?", const="TRACE.json", default=None,
+                   metavar="PATH",
+                   help="enable tracing and write a merged Chrome trace "
+                        "on drain (default PATH: TRACE.json)")
+
+    p = sub.add_parser(
+        "request",
+        help="send one or more requests to a running repro-serve daemon",
+        description=(
+            "Client for the daemon: 'schedule' runs grid cells (with "
+            "--count N, N seed-consecutive requests are pipelined on one "
+            "connection so the daemon can coalesce them), 'publish' "
+            "pre-publishes an instance into daemon shared memory, "
+            "'status'/'metrics' print the daemon's JSON snapshots."
+        ),
+    )
+    p.add_argument("kind", nargs="?", default="schedule",
+                   choices=["schedule", "publish", "status", "metrics"])
+    p.add_argument("--addr", default="repro-serve.sock",
+                   help="daemon address: socket path or tcp:HOST:PORT")
+    p.add_argument("--mesh", default="tetonly", choices=sorted(MESH_GENERATORS))
+    p.add_argument("--cells", type=int, default=2000, help="target cell count")
+    p.add_argument("--mesh-seed", type=int, default=0)
+    p.add_argument("-k", "--directions", type=int, default=8)
+    p.add_argument("--algorithm", default="random_delay_priority",
+                   choices=algorithm_names())
+    p.add_argument("-m", "--processors", type=int, default=16)
+    p.add_argument("--block-size", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--engine", default="auto")
+    p.add_argument("--count", type=int, default=1,
+                   help="pipeline this many schedule requests "
+                        "(seeds seed..seed+count-1)")
+    p.add_argument("--deadline", type=float, default=None, metavar="S",
+                   help="per-request deadline in seconds")
+    p.add_argument("--block-sizes", type=int, nargs="*", default=None,
+                   metavar="B", help="labellings to publish alongside "
+                                     "(publish kind only)")
+
+    p = sub.add_parser(
+        "doctor",
+        help="health probe: orphan shm segments + corrupt cache entries",
+        description=(
+            "Scan for resources a crashed or misbehaving run may have "
+            "leaked: shared-memory segments still present in /dev/shm "
+            "(repro.parallel.list_orphan_segments) and corrupt or "
+            "stray-tmp build-cache entries "
+            "(repro.cache.list_corrupt_entries).  Exits 1 if anything is "
+            "found, 0 when clean — CI runs this after the serve drain."
+        ),
+    )
+    p.add_argument("--dir", default=None,
+                   help="cache directory (default $REPRO_CACHE_DIR)")
 
     p = sub.add_parser(
         "cache",
@@ -583,6 +677,24 @@ def _cmd_bench(args) -> int:
             f"cold {c['cold_s'] * 1e3:8.1f}ms warm {c['warm_s'] * 1e3:8.1f}ms "
             f"x{c['speedup']:.1f} hits={c['cache_hits']} arrays {ident}"
         )
+    if report.get("serve") is not None:
+        s = report["serve"]
+        print(
+            f"serve cold one-shot {s['cold']['wall_time_s'] * 1e3:8.1f}ms "
+            f"warm-vs-cold x{s['warm_vs_cold_speedup']:.1f}"
+        )
+        for run in s["runs"]:
+            same = "ok" if run["identical_to_serial"] else "DIFFERS"
+            drain = "clean" if run["clean_exit"] else "DIRTY"
+            print(
+                f"serve workers={run['workers']:2d} "
+                f"p50 {run['warm_p50_ms']:7.1f}ms "
+                f"p95 {run['warm_p95_ms']:7.1f}ms "
+                f"unbatched {run['unbatched_requests_per_sec']:7.1f} req/s "
+                f"batched {run['batched_requests_per_sec']:7.1f} req/s "
+                f"chunks={run['chunks_dispatched']:3d} "
+                f"rows {same} drain {drain}"
+            )
     out = args.out or f"BENCH_{BENCH_SCHEMA_VERSION}.json"
     if out == "-":
         print(json.dumps(report, indent=2, sort_keys=True))
@@ -667,7 +779,8 @@ def _cmd_campaign(args) -> int:
             obs.enable_tracing()
             obs.reset()
         stats = run_campaign(
-            spec, store_path, workers=args.workers, limit=args.limit
+            spec, store_path, workers=args.workers, limit=args.limit,
+            serve=args.serve,
         )
         deferred = (
             f"{stats.cells_deferred} deferred by --limit, "
@@ -696,6 +809,111 @@ def _cmd_campaign(args) -> int:
                 fh.write(text)
             print(f"wrote {args.out}")
         return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve.client import parse_address
+    from repro.serve.server import ServeConfig, run_server
+
+    config = ServeConfig(workers=args.workers, trace_path=args.trace)
+    if args.tcp:
+        config.socket_path = None
+        _, config.tcp = parse_address(f"tcp:{args.tcp}")
+    else:
+        config.socket_path = args.socket
+    if args.max_pending is not None:
+        config.max_pending = args.max_pending
+    if args.max_delay_ms is not None:
+        config.max_delay_s = args.max_delay_ms / 1e3
+    if args.max_batch is not None:
+        config.max_batch = args.max_batch
+    if args.max_resident_mb is not None:
+        config.max_resident_bytes = int(args.max_resident_mb * 1024 * 1024)
+    return run_server(config)
+
+
+def _cmd_request(args) -> int:
+    import json
+
+    from repro.serve.client import ServeClient
+
+    instance = {
+        "mesh": args.mesh,
+        "target_cells": args.cells,
+        "mesh_seed": args.mesh_seed,
+        "k": args.directions,
+    }
+    with ServeClient(args.addr) as client:
+        if args.kind in ("status", "metrics"):
+            result = client.request(args.kind)
+            print(json.dumps(result, indent=1, sort_keys=True))
+            return 0
+        if args.kind == "publish":
+            result = client.publish(
+                instance,
+                block_sizes=args.block_sizes or (),
+                algorithms=(args.algorithm,),
+                engine=args.engine,
+            )
+            print(f"published {result['instance'][:16]} "
+                  f"({result['bytes']} bytes, blocks {result['block_sizes']}); "
+                  f"daemon resident: {result['resident_bytes']} bytes")
+            return 0
+        requests = [
+            {
+                "instance": instance,
+                "algorithm": args.algorithm,
+                "m": args.processors,
+                "block_size": args.block_size,
+                "seed": seed,
+                "engine": args.engine,
+                "with_comm": True,
+                **({"deadline_s": args.deadline} if args.deadline else {}),
+            }
+            for seed in range(args.seed, args.seed + max(args.count, 1))
+        ]
+        for request, summary in zip(requests, client.schedule_many(requests)):
+            print(f"{summary.algorithm} seed={request['seed']} m={summary.m} "
+                  f"makespan={summary.makespan} ratio={summary.ratio:.3f} "
+                  f"idle={summary.idle_fraction:.1%}")
+    return 0
+
+
+def _cmd_doctor(args) -> int:
+    import contextlib
+
+    from repro import cache as build_cache
+    from repro.parallel.shm_store import list_orphan_segments
+
+    sick = 0
+    orphans = list_orphan_segments()
+    if orphans:
+        sick = 1
+        for name in orphans:
+            print(f"ORPHAN shm segment: /dev/shm/{name}")
+    else:
+        print("shm segments: clean (no orphans)")
+    ctx = (
+        build_cache.override_dir(args.dir)
+        if args.dir is not None
+        else contextlib.nullcontext()
+    )
+    with ctx:
+        if build_cache.cache_dir() is None:
+            print("build cache: disabled (nothing to check)")
+        else:
+            corrupt = build_cache.list_corrupt_entries()
+            if corrupt:
+                sick = 1
+                for name in corrupt:
+                    print(f"CORRUPT cache entry: {name}")
+            else:
+                print(f"build cache: clean ({build_cache.cache_dir()})")
+    if sick:
+        print("doctor: FOUND PROBLEMS (see above)")
+    else:
+        print("doctor: all clear")
+    return sick
 
 
 def _cmd_cache(args) -> int:
@@ -821,6 +1039,9 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "trace": _cmd_trace,
     "campaign": _cmd_campaign,
+    "serve": _cmd_serve,
+    "request": _cmd_request,
+    "doctor": _cmd_doctor,
     "cache": _cmd_cache,
     "lint": _cmd_lint,
 }

@@ -2,7 +2,7 @@
 
 Times the heap, bucket, and vector list-scheduling engines on a fixed
 set of case families, benchmarks the parallel grid dispatcher, and
-writes a schema-versioned JSON report (``BENCH_6.json`` at the repo
+writes a schema-versioned JSON report (``BENCH_7.json`` at the repo
 root).  The committed report is the perf-regression baseline: the bucket
 engine must stay at least :data:`TARGET_SPEEDUP` times the heap engine's
 tasks/second on the large mesh family, ``engine="auto"`` must resolve to
@@ -36,6 +36,21 @@ cache-hit load of the same instance and must show byte-identical arrays
 at :data:`TARGET_WARM_CONSTRUCTION_SPEEDUP` or better; ``repro bench
 --families chain,mesh_large`` writes a partial report (case subset, no
 grid section) for hot-path iteration.
+
+Schema v7 adds the ``serve`` section: the resident ``repro serve``
+daemon (:mod:`repro.serve`) against cold one-shot process startup.  One
+``cold`` row times a fresh interpreter running a single grid cell end
+to end (imports + mesh + DAG build + schedule); then, at each worker
+count in :data:`SERVE_WORKERS` (``(1, 2)`` in smoke mode), a real
+daemon subprocess serves the same cell family both *unbatched* (one
+request per round trip, recording p50/p95 latency) and *batched* (all
+requests pipelined on one connection so the daemon's coalescing window
+folds them into grid chunks).  Every served summary is cross-checked
+bit-identical to the serial :func:`repro.experiments.runner.run_cell`
+result, every daemon must drain cleanly on SIGTERM (exit 0, zero
+orphan segments), and a full report must show warm p50 latency at
+least :data:`TARGET_WARM_SERVE_SPEEDUP` times better than the cold
+one-shot — the daemon's reason to exist, gated.
 
 Engine families
 ---------------
@@ -90,11 +105,13 @@ __all__ = [
     "BENCH_FAMILIES",
     "DEFAULT_BENCH_CELLS",
     "GRID_WORKERS",
+    "SERVE_WORKERS",
     "TARGET_SPEEDUP",
     "TARGET_GRID_SPEEDUP",
     "TARGET_GRID_ROWS_FACTOR",
     "TARGET_SETUP_SPEEDUP",
     "TARGET_WARM_CONSTRUCTION_SPEEDUP",
+    "TARGET_WARM_SERVE_SPEEDUP",
     "V5_SETUP_S",
     "V5_CASE_CHECKSUMS",
     "WORKER_RSS_CEILING_MB",
@@ -103,6 +120,7 @@ __all__ = [
     "grid_bench",
     "grid_bench_config",
     "run_bench",
+    "serve_bench",
     "validate_bench",
     "write_bench",
 ]
@@ -111,8 +129,10 @@ __all__ = [
 #: (``BENCH_<version>.json``) so stale baselines cannot be misread.
 #: v6: mesh/build/cache construction phases per case, the cold-vs-warm
 #: ``construction`` section, frozen-v5 setup and checksum gates, and
-#: partial (``--families``) reports.
-BENCH_SCHEMA_VERSION = 6
+#: partial (``--families``) reports.  v7: the ``serve`` section — cold
+#: one-shot process startup vs warm daemon p50/p95 latency, batched vs
+#: unbatched throughput at each :data:`SERVE_WORKERS` count.
+BENCH_SCHEMA_VERSION = 7
 
 #: Engines every bench case times and cross-checks.
 BENCH_ENGINES = ("heap", "bucket", "vector")
@@ -178,6 +198,15 @@ V5_CASE_CHECKSUMS = {
 #: cache hit must be >= 5x faster than mesh + batched build + store.
 TARGET_WARM_CONSTRUCTION_SPEEDUP = 5.0
 
+#: Worker counts the ``serve`` section spins a daemon up at in a full
+#: (non-smoke) run; smoke runs ``(1, 2)``.
+SERVE_WORKERS = (1, 2, 4)
+
+#: Required cold-one-shot / warm-daemon-p50 latency ratio on full
+#: reports (the serve subsystem's acceptance gate): a resident daemon
+#: that cannot beat fresh-process startup by 5x is not paying rent.
+TARGET_WARM_SERVE_SPEEDUP = 5.0
+
 _REQUIRED_CASE_KEYS = {
     "family",
     "n_tasks",
@@ -218,6 +247,28 @@ _REQUIRED_CONSTRUCTION_KEYS = {
 #: (mirrors :meth:`repro.parallel.DispatchStats.phases`); the serial
 #: baseline records ``{"run_s"}`` instead.
 _REQUIRED_PARALLEL_PHASES = {"warm_s", "plan_s", "publish_s", "dispatch_s", "wait_s"}
+#: Keys required in the report's v7 ``serve`` section.
+_REQUIRED_SERVE_KEYS = {
+    "config",
+    "cold",
+    "runs",
+    "warm_vs_cold_speedup",
+    "leaked_segments",
+}
+#: Keys required in every per-worker-count serve run.
+_REQUIRED_SERVE_RUN_KEYS = {
+    "workers",
+    "n_requests",
+    "warm_p50_ms",
+    "warm_p95_ms",
+    "unbatched_wall_s",
+    "unbatched_requests_per_sec",
+    "batched_wall_s",
+    "batched_requests_per_sec",
+    "chunks_dispatched",
+    "identical_to_serial",
+    "clean_exit",
+}
 
 
 def _mesh_instance_timed(cells: int, k: int) -> tuple[object, dict]:
@@ -421,6 +472,208 @@ def construction_bench(smoke: bool = False, cells: int | None = None) -> dict:
     }
 
 
+def _serve_case(smoke: bool, cells: int | None) -> tuple[dict, int, int]:
+    """The one grid cell the serve section times: ``(instance, m, n)``."""
+    if cells is None:
+        cells = int(os.environ.get("REPRO_BENCH_CELLS", DEFAULT_BENCH_CELLS))
+    if smoke:
+        cells = min(cells, 120)
+    instance = {
+        "mesh": "tetonly",
+        "target_cells": int(cells),
+        "mesh_seed": 0,
+        "k": 4 if smoke else 8,
+    }
+    return instance, (8 if smoke else 32), (6 if smoke else 24)
+
+
+def _percentile_ms(samples: list, q: float) -> float:
+    """Nearest-rank percentile of a list of seconds, in milliseconds."""
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[idx] * 1e3
+
+
+def serve_bench(
+    smoke: bool = False,
+    cells: int | None = None,
+    workers_list: tuple | None = None,
+) -> dict:
+    """Cold one-shot process vs the resident daemon; the ``serve`` section.
+
+    ``cold`` times a fresh interpreter running one grid cell end to end
+    (the price every daemon-less invocation pays).  Each run then
+    drives a real ``python -m repro serve`` subprocess over its unix
+    socket at one worker count: the instance is pre-published, the same
+    cell family is served once sequentially (per-request p50/p95
+    latency, unbatched throughput) and once fully pipelined on a single
+    connection (batched throughput through the coalescing window), and
+    every summary is compared against the serial
+    :func:`repro.experiments.runner.run_cell` result — the daemon must
+    be bit-identical, not merely fast.  Each daemon is drained with
+    SIGTERM (``clean_exit``) and the section records any orphaned shm
+    segments left behind.
+    """
+    import signal
+    import subprocess
+    import sys
+    import tempfile
+
+    import repro
+    from repro.experiments.configs import ExperimentConfig
+    from repro.experiments.runner import run_cell
+    from repro.parallel import list_orphan_segments
+    from repro.serve.client import ServeClient
+
+    instance, m, n_requests = _serve_case(smoke, cells)
+    if workers_list is None:
+        workers_list = (1, 2) if smoke else SERVE_WORKERS
+    algorithm = "random_delay_priority"
+    seeds = list(range(n_requests))
+
+    config = ExperimentConfig(
+        mesh=instance["mesh"],
+        target_cells=instance["target_cells"],
+        k=instance["k"],
+        m_values=(m,),
+        block_sizes=(1,),
+        algorithms=(algorithm,),
+        seeds=tuple(seeds),
+        mesh_seed=instance["mesh_seed"],
+        name="serve_bench",
+    )
+    serial = [
+        run_cell(config, algorithm, m, 1, seed).as_dict() for seed in seeds
+    ]
+
+    src_root = os.path.dirname(
+        os.path.dirname(os.path.abspath(repro.__file__))
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+
+    # Cold = what a daemon-less caller pays per cell: interpreter start,
+    # imports, mesh generation, DAG build, one schedule.  The printed
+    # makespan is checked against the serial baseline so a crashed or
+    # short-circuited one-shot cannot pose as a fast cold path.
+    cold_script = (
+        "from repro.experiments.configs import ExperimentConfig\n"
+        "from repro.experiments.runner import run_cell\n"
+        f"config = ExperimentConfig(mesh={instance['mesh']!r}, "
+        f"target_cells={instance['target_cells']}, k={instance['k']}, "
+        f"m_values=({m},), block_sizes=(1,), "
+        f"algorithms=({algorithm!r},), seeds=(0,), "
+        f"mesh_seed={instance['mesh_seed']}, name='serve_cold')\n"
+        f"print(run_cell(config, {algorithm!r}, {m}, 1, 0).makespan)\n"
+    )
+    with Timer() as t_cold:
+        cold_proc = subprocess.run(
+            [sys.executable, "-c", cold_script],
+            env=env, capture_output=True, text=True,
+        )
+    cold_ok = (
+        cold_proc.returncode == 0
+        and cold_proc.stdout.strip() == str(serial[0]["makespan"])
+    )
+
+    runs = []
+    best_warm_p50_s = float("inf")
+    with tempfile.TemporaryDirectory(prefix="repro_serve_bench_") as tmp:
+        for workers in workers_list:
+            sock = os.path.join(tmp, f"serve_{workers}.sock")
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro", "serve",
+                 "--socket", sock, "--workers", str(workers)],
+                env=env, stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE, text=True,
+            )
+            try:
+                if "ready" not in (proc.stdout.readline() or ""):
+                    raise RuntimeError(
+                        "serve daemon failed to start: " + proc.stderr.read()
+                    )
+                with ServeClient(sock) as client:
+                    client.publish(instance)
+                    latencies = []
+                    sequential = []
+                    for seed in seeds:
+                        with Timer() as t_req:
+                            summary = client.schedule(
+                                instance, algorithm, m, 1, seed
+                            )
+                        latencies.append(t_req.elapsed)
+                        sequential.append(summary.as_dict())
+                    requests = [
+                        {
+                            "instance": instance,
+                            "algorithm": algorithm,
+                            "m": m,
+                            "block_size": 1,
+                            "seed": seed,
+                        }
+                        for seed in seeds
+                    ]
+                    with Timer() as t_batch:
+                        batched = [
+                            s.as_dict()
+                            for s in client.schedule_many(requests)
+                        ]
+                    chunks = client.status()["batcher"]["chunks_dispatched"]
+            finally:
+                try:
+                    proc.send_signal(signal.SIGTERM)
+                    proc.communicate(timeout=120)
+                except Exception:
+                    proc.kill()
+                    proc.communicate()
+            unbatched_wall = sum(latencies)
+            p50_ms = _percentile_ms(latencies, 0.50)
+            best_warm_p50_s = min(best_warm_p50_s, p50_ms / 1e3)
+            runs.append(
+                {
+                    "workers": int(workers),
+                    "n_requests": int(n_requests),
+                    "warm_p50_ms": p50_ms,
+                    "warm_p95_ms": _percentile_ms(latencies, 0.95),
+                    "unbatched_wall_s": unbatched_wall,
+                    "unbatched_requests_per_sec": (
+                        n_requests / unbatched_wall
+                        if unbatched_wall > 0
+                        else 0.0
+                    ),
+                    "batched_wall_s": t_batch.elapsed,
+                    "batched_requests_per_sec": (
+                        n_requests / t_batch.elapsed
+                        if t_batch.elapsed > 0
+                        else 0.0
+                    ),
+                    "chunks_dispatched": int(chunks),
+                    "identical_to_serial": bool(
+                        sequential == serial and batched == serial
+                    ),
+                    "clean_exit": proc.returncode == 0,
+                }
+            )
+    return {
+        "config": {
+            "mesh": instance["mesh"],
+            "cells": int(instance["target_cells"]),
+            "k": int(instance["k"]),
+            "algorithm": algorithm,
+            "m": int(m),
+            "block_size": 1,
+        },
+        "cold": {"wall_time_s": t_cold.elapsed, "ok": bool(cold_ok)},
+        "runs": runs,
+        "warm_vs_cold_speedup": (
+            t_cold.elapsed / max(best_warm_p50_s, 1e-12)
+        ),
+        "leaked_segments": list_orphan_segments(),
+    }
+
+
 def run_bench(
     smoke: bool = False,
     cells: int | None = None,
@@ -440,8 +693,10 @@ def run_bench(
     phase covers only the structural caches every engine shares.  The
     ``grid`` section then times the parallel grid dispatcher at each
     count in ``grid_workers`` (default :data:`GRID_WORKERS`, or
-    ``(1, 2)`` in smoke mode), and the ``construction`` section times
-    one cold-vs-warm build through the content-addressed cache.
+    ``(1, 2)`` in smoke mode), the ``construction`` section times one
+    cold-vs-warm build through the content-addressed cache, and the v7
+    ``serve`` section races the resident daemon against cold one-shot
+    process startup at each :data:`SERVE_WORKERS` count.
 
     ``families`` (a subset of :data:`BENCH_FAMILIES`) produces a
     *partial* report for hot-path iteration: only the selected case
@@ -535,6 +790,7 @@ def run_bench(
         "construction": (
             None if partial else construction_bench(smoke=smoke, cells=cells)
         ),
+        "serve": (None if partial else serve_bench(smoke=smoke, cells=cells)),
     }
 
 
@@ -753,6 +1009,91 @@ def validate_bench(report: dict) -> list[str]:
             report.get("construction"), smoke=bool(report.get("smoke"))
         )
     )
+    problems.extend(
+        _validate_serve(report.get("serve"), smoke=bool(report.get("smoke")))
+    )
+    return problems
+
+
+def _validate_serve(section, smoke: bool = True) -> list[str]:
+    """Schema + gate check for the report's v7 ``serve`` section.
+
+    Every run must be bit-identical to the serial baseline, have served
+    at least one dispatched chunk, and have drained to exit 0; full
+    (non-smoke) reports must additionally cover every
+    :data:`SERVE_WORKERS` count and beat cold process startup by
+    :data:`TARGET_WARM_SERVE_SPEEDUP` on warm p50 latency.
+    """
+    if not isinstance(section, dict):
+        return ["serve section is missing or not a dict"]
+    missing = _REQUIRED_SERVE_KEYS - set(section)
+    if missing:
+        return [f"serve missing keys: {sorted(missing)}"]
+    problems = []
+    cold = section["cold"]
+    if not isinstance(cold, dict) or not isinstance(
+        cold.get("wall_time_s"), (int, float)
+    ) or cold["wall_time_s"] <= 0:
+        problems.append("serve cold run is missing or has non-positive timing")
+    elif not cold.get("ok"):
+        problems.append(
+            "serve cold one-shot run failed or returned the wrong makespan"
+        )
+    runs = section["runs"]
+    if not isinstance(runs, list) or not runs:
+        return problems + ["serve.runs is missing or empty"]
+    worker_counts = set()
+    for i, run in enumerate(runs):
+        missing = _REQUIRED_SERVE_RUN_KEYS - set(run)
+        if missing:
+            problems.append(f"serve run {i} missing keys: {sorted(missing)}")
+            continue
+        worker_counts.add(run["workers"])
+        for key in (
+            "warm_p50_ms",
+            "warm_p95_ms",
+            "unbatched_wall_s",
+            "unbatched_requests_per_sec",
+            "batched_wall_s",
+            "batched_requests_per_sec",
+        ):
+            value = run[key]
+            if not isinstance(value, (int, float)) or value <= 0:
+                problems.append(
+                    f"serve run {i} {key} is not a positive number"
+                )
+        if run["n_requests"] < 1:
+            problems.append(f"serve run {i} made no requests")
+        if run["chunks_dispatched"] < 1:
+            problems.append(f"serve run {i} dispatched no chunks")
+        if not run["identical_to_serial"]:
+            problems.append(
+                f"serve run {i} (workers={run['workers']}) summaries "
+                "differ from the serial run_cell baseline"
+            )
+        if not run["clean_exit"]:
+            problems.append(
+                f"serve run {i} (workers={run['workers']}) daemon did "
+                "not drain to exit 0 on SIGTERM"
+            )
+    if not smoke:
+        missing_workers = set(SERVE_WORKERS) - worker_counts
+        if missing_workers:
+            problems.append(
+                f"serve section lacks worker counts {sorted(missing_workers)}"
+            )
+        speedup = section["warm_vs_cold_speedup"]
+        if not isinstance(speedup, (int, float)):
+            problems.append("serve warm_vs_cold_speedup is not a number")
+        elif speedup < TARGET_WARM_SERVE_SPEEDUP:
+            problems.append(
+                f"warm serve speedup {speedup:.1f}x is below the "
+                f"{TARGET_WARM_SERVE_SPEEDUP:g}x gate vs cold process startup"
+            )
+    if section.get("leaked_segments"):
+        problems.append(
+            f"serve run leaked shm segments: {section['leaked_segments']}"
+        )
     return problems
 
 

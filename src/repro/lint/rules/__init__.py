@@ -17,6 +17,7 @@ from repro.lint.rules.base import (
 
 # Importing the rule modules registers them (order fixes nothing — the
 # registry sorts by code).
+from repro.lint.rules import async_discipline as _async  # noqa: F401
 from repro.lint.rules import determinism as _determinism  # noqa: F401
 from repro.lint.rules import dtype_discipline as _dtype  # noqa: F401
 from repro.lint.rules import engine_parity as _engine  # noqa: F401

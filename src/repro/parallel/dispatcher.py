@@ -279,7 +279,7 @@ def run_dispatch(
             # the attach cost instead of a copy-on-write snapshot of the
             # parent's whole heap (fork inherited ~860 MB of parent pages
             # into every worker's VmHWM on the bench grid; spawn stays
-            # under the BENCH_6 worker-RSS ceiling).
+            # under the committed bench worker-RSS ceiling).
             with Timer() as t_disp, ProcessPoolExecutor(
                 max_workers=workers,
                 mp_context=get_context("spawn"),

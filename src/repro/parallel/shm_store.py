@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.core.instance import SweepInstance
 from repro.parallel import sanitize
+from repro.util.errors import StoreError
 
 __all__ = [
     "SHM_PREFIX",
@@ -290,9 +291,17 @@ def attach(
     # Attach-only handle: ownership (and unlinking) stays with the
     # publishing parent; detach_all() closes this mapping on eviction
     # and at worker exit.
-    shm = shared_memory.SharedMemory(  # repro-lint: disable=RPL003 -- worker attach never owns the segment; the publishing SharedInstanceStore holds the close+unlink paths and detach_all() closes this handle
-        name=manifest.segment
-    )
+    try:
+        shm = shared_memory.SharedMemory(  # repro-lint: disable=RPL003 -- worker attach never owns the segment; the publishing SharedInstanceStore holds the close+unlink paths and detach_all() closes this handle
+            name=manifest.segment
+        )
+    except FileNotFoundError as exc:
+        raise StoreError(
+            f"shared-memory segment {manifest.segment!r} no longer exists; "
+            "the publishing process likely unlinked it (daemon restarted, "
+            "instance evicted, or the owning store was closed) — "
+            "re-publish the instance and retry with a fresh manifest"
+        ) from exc
     _untrack(shm)
     views = _views(manifest.specs, shm.buf, writeable=False)
     if manifest.digest is not None:

@@ -1,0 +1,52 @@
+"""Scheduling-as-a-service: the resident ``repro serve`` daemon.
+
+Everything the one-shot CLI rebuilds per invocation — meshes, sweep
+DAGs, published shared-memory segments, spawned worker interpreters —
+stays resident here, so a stream of schedule requests pays the build
+cost once and the dispatch cost per request.  The package splits into
+five planes:
+
+``protocol``
+    Versioned length-prefixed JSON frames over a unix socket (or TCP),
+    typed error payloads, request validation.
+``instances``
+    Pin-refcounted LRU registry of instances published once into shared
+    memory (cache hits hydrate from ``repro.cache`` without rebuilding
+    DAGs), byte-accounted eviction that never touches a pinned entry.
+``batcher``
+    Coalesces compatible requests into one grid chunk within a small
+    delay window and dispatches to a resident spawn-context pool.
+``admission``
+    Bounded pending queue, per-request deadlines, resident-byte budget
+    shedding, and the SIGTERM drain gate.
+``server`` / ``client``
+    The asyncio daemon tying the planes together, and the blocking
+    client used by tests, ``repro request``, and campaign ``--serve``.
+
+Results are bit-identical to a serial ``run_grid`` over the same cells:
+workers run the same chunk entry point, and every cell's randomness is
+derived from its seed alone.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.batcher import Batcher, BatchRequest
+from repro.serve.client import ServeClient, parse_address
+from repro.serve.instances import InstanceRegistry, InstanceSpec, Lease
+from repro.serve.protocol import PROTOCOL_VERSION, ERROR_CODES
+from repro.serve.server import ServeConfig, ServeServer, run_server
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ERROR_CODES",
+    "AdmissionController",
+    "Batcher",
+    "BatchRequest",
+    "InstanceRegistry",
+    "InstanceSpec",
+    "Lease",
+    "ServeClient",
+    "ServeConfig",
+    "ServeServer",
+    "parse_address",
+    "run_server",
+]

@@ -1,0 +1,144 @@
+"""Admission control, backpressure, and graceful drain for the daemon.
+
+Every request passes through one :class:`AdmissionController` gate
+before touching the registry or batcher:
+
+* **Bounded pending queue** — at most ``max_pending`` schedule/publish
+  requests may be in flight; excess arrivals are refused immediately
+  with :data:`~repro.serve.protocol.E_OVERLOADED` and a ``retry_after``
+  hint, so a saturated daemon degrades to fast refusals instead of
+  unbounded queueing.
+* **Deadlines** — a request carrying ``deadline_s`` gets an absolute
+  monotonic deadline stamped at admission; expiry anywhere downstream
+  (queued, batched, or raced by the result) yields
+  :data:`~repro.serve.protocol.E_DEADLINE_EXCEEDED`, never a stale
+  result.
+* **Resident-byte budget** — ``publish`` work is shed with
+  :data:`~repro.serve.protocol.E_RESIDENT_BUDGET` (+``retry_after``)
+  when every resident byte is pinned by in-flight requests and the
+  budget is spent; eviction cannot help until those drain.
+* **Drain** — ``begin_drain`` flips the gate shut
+  (:data:`~repro.serve.protocol.E_SHUTTING_DOWN` for new arrivals) and
+  :meth:`wait_idle` lets the server finish in-flight requests before it
+  unlinks segments and exits — the zero-orphan contract under
+  ``SIGTERM``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro import obs
+from repro.serve import protocol
+from repro.serve.instances import InstanceRegistry
+from repro.util.errors import ServeError
+from repro.util.timing import now
+
+__all__ = ["AdmissionController"]
+
+#: Default bound on concurrently admitted schedule/publish requests.
+DEFAULT_MAX_PENDING = 128
+
+#: ``retry_after`` hint (seconds) sent with overload/budget refusals.
+DEFAULT_RETRY_AFTER_S = 0.1
+
+
+class AdmissionController:
+    """The daemon's front gate: queue bound, deadlines, budget, drain."""
+
+    def __init__(
+        self,
+        registry: InstanceRegistry,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        retry_after_s: float = DEFAULT_RETRY_AFTER_S,
+    ) -> None:
+        self.registry = registry
+        self.max_pending = max(int(max_pending), 1)
+        self.retry_after_s = retry_after_s
+        self.pending = 0
+        self.served = 0
+        self.refused = 0
+        self.draining = False
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    # -- gate ----------------------------------------------------------
+
+    def admit(self, kind: str) -> None:
+        """Admit one ``schedule``/``publish`` request or refuse loudly.
+
+        Raises :class:`ServeError` with the matching typed code; the
+        caller must pair a successful admit with exactly one
+        :meth:`release`.  ``status``/``metrics`` bypass the gate (they
+        must work *especially* when the daemon is saturated/draining).
+        """
+        if self.draining:
+            self.refused += 1
+            obs.inc("serve.refused.shutting_down")
+            raise ServeError(
+                protocol.E_SHUTTING_DOWN,
+                "daemon is draining (SIGTERM received); no new requests",
+            )
+        if self.pending >= self.max_pending:
+            self.refused += 1
+            obs.inc("serve.refused.overloaded")
+            raise ServeError(
+                protocol.E_OVERLOADED,
+                f"pending queue full ({self.pending}/{self.max_pending})",
+                retry_after=self.retry_after_s,
+            )
+        if kind == "publish" and self.registry.would_exceed_budget():
+            self.refused += 1
+            obs.inc("serve.refused.resident_budget")
+            raise ServeError(
+                protocol.E_RESIDENT_BUDGET,
+                "resident-byte budget exhausted and every resident "
+                "instance is pinned by in-flight requests; retry after "
+                "they drain",
+                retry_after=self.retry_after_s,
+            )
+        self.pending += 1
+        self._idle.clear()
+
+    def release(self) -> None:
+        """Mark one admitted request as finished (success or failure)."""
+        self.pending -= 1
+        self.served += 1
+        if self.pending <= 0:
+            self._idle.set()
+
+    # -- deadlines -----------------------------------------------------
+
+    def stamp_deadline(self, deadline_s) -> float | None:
+        """Absolute monotonic deadline from a request's ``deadline_s``."""
+        if deadline_s is None:
+            return None
+        return now() + float(deadline_s)
+
+    def check_deadline(self, deadline: float | None) -> None:
+        """Refuse immediately if the deadline has already passed."""
+        if deadline is not None and now() >= deadline:
+            obs.inc("serve.deadline_exceeded")
+            raise ServeError(
+                protocol.E_DEADLINE_EXCEEDED,
+                "deadline expired before the request could be scheduled",
+            )
+
+    # -- drain ---------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Refuse new work from now on; in-flight requests finish."""
+        self.draining = True
+
+    async def wait_idle(self) -> None:
+        """Block until every admitted request has been released."""
+        await self._idle.wait()
+
+    def snapshot(self) -> dict:
+        return {
+            "pending": self.pending,
+            "max_pending": self.max_pending,
+            "served": self.served,
+            "refused": self.refused,
+            "draining": self.draining,
+        }

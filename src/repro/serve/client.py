@@ -1,0 +1,219 @@
+"""Synchronous client for the scheduling daemon.
+
+:class:`ServeClient` speaks the length-prefixed frame protocol over a
+unix socket (or TCP) from ordinary blocking code — tests, the
+``repro request`` command, and the ``--serve`` mode of
+``repro campaign run``.  A single connection may pipeline many
+requests: :meth:`schedule_many` writes every frame up front and then
+matches responses by ``id`` as the daemon answers them (possibly out of
+order, because the batcher holds compatible requests open across its
+coalescing window).
+
+Addresses are strings: a filesystem path selects a unix socket, the
+form ``tcp:HOST:PORT`` selects TCP.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.analysis.metrics import ScheduleSummary
+from repro.serve import protocol
+from repro.util.errors import ServeError
+from repro.util.timing import now
+
+__all__ = ["ServeClient", "parse_address"]
+
+#: Default poll interval while waiting for a daemon socket to appear.
+_CONNECT_POLL_S = 0.05
+
+
+def parse_address(address: str) -> tuple:
+    """Split an address string into ``("unix", path)`` or ``("tcp", (host, port))``."""
+    if address.startswith("tcp:"):
+        rest = address[len("tcp:"):]
+        host, sep, port = rest.rpartition(":")
+        if not sep or not port.isdigit():
+            raise ServeError(
+                protocol.E_BAD_REQUEST,
+                f"TCP address must look like tcp:HOST:PORT, got {address!r}",
+            )
+        return ("tcp", (host or "127.0.0.1", int(port)))
+    return ("unix", address)
+
+
+def _connect(address: str, timeout: float | None) -> socket.socket:
+    family, target = parse_address(address)
+    if family == "tcp":
+        sock = socket.create_connection(target, timeout=timeout)
+    else:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(target)
+    return sock
+
+
+class ServeClient:
+    """One blocking connection to a ``repro serve`` daemon."""
+
+    def __init__(self, address: str, timeout: float | None = 60.0) -> None:
+        self.address = address
+        self._sock = _connect(address, timeout)
+        self._next_id = 0
+
+    @classmethod
+    def wait_ready(
+        cls, address: str, timeout: float = 30.0
+    ) -> "ServeClient":
+        """Connect, retrying until the daemon's socket accepts.
+
+        Used right after spawning a daemon subprocess: the socket file
+        appears only once the listener is up.
+        """
+        import time
+
+        deadline = now() + timeout
+        while True:
+            try:
+                return cls(address, timeout=timeout)
+            except (FileNotFoundError, ConnectionError, OSError):
+                if now() >= deadline:
+                    raise
+                time.sleep(_CONNECT_POLL_S)
+
+    # -- request plumbing ----------------------------------------------
+
+    def _make_request(self, kind: str, fields: dict) -> dict:
+        self._next_id += 1
+        payload = {
+            "v": protocol.PROTOCOL_VERSION,
+            "id": self._next_id,
+            "kind": kind,
+        }
+        payload.update(fields)
+        return payload
+
+    def _read_response(self) -> dict:
+        response = protocol.read_frame(self._sock)
+        if response is None:
+            raise ServeError(
+                protocol.E_INTERNAL,
+                "daemon closed the connection without answering "
+                "(crashed or drained mid-request)",
+            )
+        return response
+
+    @staticmethod
+    def _unwrap(response: dict) -> dict:
+        if not response.get("ok"):
+            raise protocol.error_from_payload(response)
+        return response["result"]
+
+    def request(self, kind: str, **fields) -> dict:
+        """One round trip: send a request, block for its result.
+
+        Raises the daemon's typed refusal as :class:`ServeError`.
+        """
+        payload = self._make_request(kind, fields)
+        protocol.write_frame(self._sock, payload)
+        return self._unwrap(self._read_response())
+
+    # -- request kinds -------------------------------------------------
+
+    def schedule(
+        self,
+        instance: dict,
+        algorithm: str,
+        m: int,
+        block_size: int,
+        seed,
+        engine: str = "auto",
+        with_comm: bool = True,
+        deadline_s: float | None = None,
+    ) -> ScheduleSummary:
+        """Run one grid cell on the daemon; returns its summary."""
+        fields = {
+            "instance": instance,
+            "algorithm": algorithm,
+            "m": m,
+            "block_size": block_size,
+            "seed": seed,
+            "engine": engine,
+            "with_comm": with_comm,
+        }
+        if deadline_s is not None:
+            fields["deadline_s"] = deadline_s
+        return ScheduleSummary(**self.request("schedule", **fields))
+
+    def schedule_many(
+        self, requests: list, on_error: str = "raise"
+    ) -> list:
+        """Pipeline many schedule requests over this one connection.
+
+        ``requests`` is a list of field dicts (the ``schedule(...)``
+        keyword arguments).  All frames are written before any response
+        is read, so compatible requests land in one daemon batch.
+        Results come back in submission order; a refused request either
+        aborts the call (``on_error="raise"``) or takes its slot as the
+        :class:`ServeError` itself (``on_error="return"``).
+        """
+        payloads = [self._make_request("schedule", r) for r in requests]
+        for payload in payloads:
+            protocol.write_frame(self._sock, payload)
+        by_id: dict = {}
+        want = {p["id"] for p in payloads}
+        while want:
+            response = self._read_response()
+            rid = response.get("id")
+            if rid in want:
+                want.discard(rid)
+                by_id[rid] = response
+        results = []
+        for payload in payloads:
+            response = by_id[payload["id"]]
+            if response.get("ok"):
+                results.append(ScheduleSummary(**response["result"]))
+            elif on_error == "return":
+                results.append(protocol.error_from_payload(response))
+            else:
+                raise protocol.error_from_payload(response)
+        return results
+
+    def publish(
+        self,
+        instance: dict,
+        block_sizes: list | tuple = (),
+        algorithms: list | tuple = (),
+        engine: str = "auto",
+    ) -> dict:
+        """Pre-publish an instance (and labellings) into the daemon."""
+        return self.request(
+            "publish",
+            instance=instance,
+            block_sizes=list(block_sizes),
+            algorithms=list(algorithms),
+            engine=engine,
+        )
+
+    def status(self) -> dict:
+        """Daemon liveness/occupancy snapshot."""
+        return self.request("status")
+
+    def metrics(self) -> dict:
+        """Registry counters plus the daemon's obs metrics snapshot."""
+        return self.request("metrics")
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -50,6 +50,35 @@ class CacheError(ReproError):
     """
 
 
+class StoreError(ReproError):
+    """A shared-memory instance store operation failed.
+
+    The canonical case: attaching to a segment that no longer exists —
+    the publishing daemon restarted, evicted the instance, or crashed
+    and its cleanup unlinked the segment.  Raised instead of the bare
+    ``FileNotFoundError`` from ``multiprocessing.shared_memory`` so the
+    message names the segment and the likely cause.
+    """
+
+
+class ServeError(ReproError):
+    """A scheduling-service request failed with a typed error payload.
+
+    Raised by :class:`repro.serve.ServeClient` when the daemon answers
+    with an error frame, and inside the daemon to signal admission
+    decisions (overload, deadline expiry, resident-byte budget, drain).
+    ``code`` is one of the :mod:`repro.serve.protocol` error codes;
+    ``retry_after`` (seconds, optional) tells backpressured clients when
+    to retry.
+    """
+
+    def __init__(self, code: str, message: str,
+                 retry_after: float | None = None):
+        super().__init__(message)
+        self.code = code
+        self.retry_after = retry_after
+
+
 class SanitizerError(ReproError):
     """The ``REPRO_SANITIZE=1`` runtime sanitizer detected a violation.
 

@@ -1,0 +1,26 @@
+# repro-lint-fixture: path=serve/bad_async.py
+# Known-bad fixture for RPL007 (async-discipline): blocking calls made
+# directly inside coroutine bodies of a (virtual) serve-plane module —
+# each one would stall the daemon's event loop.
+import socket
+import time
+
+from repro.mesh import make_mesh
+from repro.serve import protocol
+from repro.sweeps import build_instance
+
+
+async def sleepy_retry(attempts):
+    for _ in range(attempts):
+        time.sleep(0.05)  # blocking sleep on the event loop
+
+
+async def sync_roundtrip(payload):
+    sock = socket.create_connection(("127.0.0.1", 9999))  # blocking connect
+    protocol.write_frame(sock, payload)  # blocking frame write
+    return protocol.read_frame(sock)  # blocking frame read
+
+
+async def inline_build(spec):
+    mesh = make_mesh(spec.mesh, target_cells=spec.cells, seed=0)  # seconds
+    return build_instance(mesh, spec.directions)  # more seconds

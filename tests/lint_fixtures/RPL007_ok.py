@@ -1,0 +1,39 @@
+# repro-lint-fixture: path=serve/ok_async.py
+# Near-miss fixture for RPL007 (async-discipline): the sanctioned
+# patterns — awaited sleeps, executor-guarded builds, and blocking I/O
+# confined to synchronous helpers — must produce zero findings.
+import asyncio
+import socket
+import time
+
+from repro.mesh import make_mesh
+from repro.serve import protocol
+from repro.sweeps import build_instance
+
+
+async def async_retry(attempts):
+    for _ in range(attempts):
+        await asyncio.sleep(0.05)  # yields the loop; fine
+
+
+async def guarded_build(spec):
+    # Blocking construction pushed onto an executor thread: the lambda
+    # body is a nested scope, so the calls inside it are not "in" the
+    # coroutine.
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(
+        None,
+        lambda: build_instance(
+            make_mesh(spec.mesh, target_cells=spec.cells, seed=0),
+            spec.directions,
+        ),
+    )
+
+
+def client_roundtrip(payload):
+    # Synchronous helpers may block freely — only coroutine bodies run
+    # on the event loop.
+    time.sleep(0.01)
+    sock = socket.create_connection(("127.0.0.1", 9999))
+    protocol.write_frame(sock, payload)
+    return protocol.read_frame(sock)

@@ -1,16 +1,18 @@
 """Smoke test for the benchmark harness (``repro bench --smoke``).
 
 Runs the real harness end to end on a tiny mesh and validates the
-schema-v6 report (three engine timings per family, per-phase timing
+schema-v7 report (three engine timings per family, per-phase timing
 breakdowns with the v6 mesh/build/cache construction split, the
-parallel grid section, and the cold-vs-warm ``construction`` row), so
-CI catches a broken benchmark (or a drifted schema) without paying for
-the full ``BENCH_6.json`` regeneration.  The committed-baseline tests
-at the bottom are the perf-regression gates: bucket's mesh_large
-speedup, the structural-only warm on wide_layer, the worker RSS
-ceiling, the (cpu-gated) absolute grid throughput target, and the v6
-frozen-v5 setup/checksum/warm-construction gates.  Marked
-``bench_smoke`` so CI can also run it as a dedicated step:
+parallel grid section, the cold-vs-warm ``construction`` row, and the
+v7 ``serve`` section racing the resident daemon against cold process
+startup), so CI catches a broken benchmark (or a drifted schema)
+without paying for the full ``BENCH_7.json`` regeneration.  The
+committed-baseline tests at the bottom are the perf-regression gates:
+bucket's mesh_large speedup, the structural-only warm on wide_layer,
+the worker RSS ceiling, the (cpu-gated) absolute grid throughput
+target, the v6 frozen-v5 setup/checksum/warm-construction gates, and
+the v7 warm-serve latency gate.  Marked ``bench_smoke`` so CI can also
+run it as a dedicated step:
 
     python -m pytest -q -m bench_smoke
 """
@@ -27,9 +29,11 @@ from repro.experiments.bench import (
     BENCH_SCHEMA_VERSION,
     TARGET_GRID_ROWS_FACTOR,
     TARGET_GRID_SPEEDUP,
+    SERVE_WORKERS,
     TARGET_SETUP_SPEEDUP,
     TARGET_SPEEDUP,
     TARGET_WARM_CONSTRUCTION_SPEEDUP,
+    TARGET_WARM_SERVE_SPEEDUP,
     V5_CASE_CHECKSUMS,
     V5_SETUP_S,
     WORKER_RSS_CEILING_MB,
@@ -40,7 +44,7 @@ from repro.experiments.bench import (
 
 pytestmark = pytest.mark.bench_smoke
 
-_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_6.json"
+_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_7.json"
 
 
 @pytest.fixture(scope="module")
@@ -111,6 +115,49 @@ def test_smoke_report_construction_section(smoke_report):
     assert c["byte_identical"] is True
 
 
+def test_smoke_report_serve_section(smoke_report):
+    """The v7 serve section: bit-identical daemon runs at workers 1 and
+    2, clean SIGTERM drains, no leaked segments, and a measured cold
+    one-shot baseline."""
+    serve = smoke_report["serve"]
+    assert serve["cold"]["ok"] is True
+    assert serve["cold"]["wall_time_s"] > 0
+    assert sorted(run["workers"] for run in serve["runs"]) == [1, 2]
+    for run in serve["runs"]:
+        assert run["identical_to_serial"] is True
+        assert run["clean_exit"] is True
+        assert run["chunks_dispatched"] >= 1
+        assert 0 < run["warm_p50_ms"] <= run["warm_p95_ms"]
+        assert run["batched_requests_per_sec"] > 0
+        assert run["unbatched_requests_per_sec"] > 0
+    assert serve["leaked_segments"] == []
+    assert serve["warm_vs_cold_speedup"] > 0
+
+
+def test_full_report_rejects_missing_serve(smoke_report):
+    broken = dict(smoke_report, serve=None)
+    assert any("serve" in p for p in validate_bench(broken))
+
+
+def test_validator_gates_warm_serve_speedup(smoke_report):
+    """At full fidelity the warm-serve latency gate is enforced."""
+    import copy
+
+    report = copy.deepcopy(smoke_report)
+    report["smoke"] = False
+    report["cells"] = 2000
+    report["seed"] = 1  # dodge the frozen-v5 gates; serve gate is not sized
+    report["serve"]["warm_vs_cold_speedup"] = (
+        TARGET_WARM_SERVE_SPEEDUP / 2.0
+    )
+    problems = validate_bench(report)
+    assert any("warm serve speedup" in p for p in problems)
+    assert any(
+        f"lacks worker counts {sorted(set(SERVE_WORKERS) - {1, 2})}" in p
+        for p in problems
+    )
+
+
 def test_partial_families_report():
     """``--families`` runs the subset only and omits grid/construction."""
     report = run_bench(smoke=True, families=["chain"])
@@ -120,6 +167,7 @@ def test_partial_families_report():
     assert [c["family"] for c in report["cases"]] == ["chain"]
     assert report["grid"] is None
     assert report["construction"] is None
+    assert report["serve"] is None
 
 
 def test_unknown_family_rejected():
@@ -178,7 +226,7 @@ def test_smoke_report_grid_phases(smoke_report):
 
 
 def test_write_bench_round_trips(smoke_report, tmp_path):
-    out = tmp_path / "BENCH_6.json"
+    out = tmp_path / "BENCH_7.json"
     write_bench(smoke_report, str(out))
     on_disk = json.loads(out.read_text())
     assert validate_bench(on_disk) == []
@@ -192,7 +240,7 @@ def test_write_bench_rejects_invalid_report(tmp_path):
 
 
 def test_cli_smoke_writes_report(tmp_path):
-    out = tmp_path / "BENCH_6.json"
+    out = tmp_path / "BENCH_7.json"
     rc = main(["bench", "--smoke", "--out", str(out)])
     assert rc in (0, None)
     report = json.loads(out.read_text())
@@ -200,9 +248,40 @@ def test_cli_smoke_writes_report(tmp_path):
 
 
 def test_committed_baseline_is_schema_valid(baseline):
-    """The checked-in BENCH_6.json must always parse and validate."""
+    """The checked-in BENCH_7.json must always parse and validate."""
     assert validate_bench(baseline) == []
     assert baseline["smoke"] is False
+
+
+def test_committed_baseline_warm_serve_latency(baseline):
+    """The serve tentpole's acceptance gate: warm daemon p50 latency
+    beats cold one-shot process startup by 5x or better, bit-identical
+    to the serial runner, with every daemon drained clean."""
+    serve = baseline["serve"]
+    assert serve["warm_vs_cold_speedup"] >= TARGET_WARM_SERVE_SPEEDUP
+    assert serve["cold"]["ok"] is True
+    assert sorted(run["workers"] for run in serve["runs"]) == sorted(
+        SERVE_WORKERS
+    )
+    for run in serve["runs"]:
+        assert run["identical_to_serial"] is True
+        assert run["clean_exit"] is True
+    assert serve["leaked_segments"] == []
+
+
+def test_committed_baseline_serve_batching_pays(baseline):
+    """Pipelining the same requests through the coalescing window must
+    beat one-request-per-round-trip throughput on every run — if it
+    does not, the batcher is pure overhead."""
+    for run in baseline["serve"]["runs"]:
+        assert (
+            run["batched_requests_per_sec"]
+            > run["unbatched_requests_per_sec"]
+        ), (
+            f"workers={run['workers']}: batched "
+            f"{run['batched_requests_per_sec']:.1f} req/s vs unbatched "
+            f"{run['unbatched_requests_per_sec']:.1f} req/s"
+        )
 
 
 def test_committed_baseline_setup_speedup(baseline):

@@ -28,6 +28,7 @@ PACKAGES = [
     "repro.campaign",
     "repro.cache",
     "repro.obs",
+    "repro.serve",
     "repro.util",
 ]
 
@@ -63,7 +64,8 @@ class TestDocReferences:
     @pytest.mark.parametrize(
         "doc", ["README.md", "docs/usage.md", "docs/deviations.md",
                 "docs/architecture.md", "docs/linting.md",
-                "docs/observability.md", "docs/campaigns.md"]
+                "docs/observability.md", "docs/campaigns.md",
+                "docs/serving.md"]
     )
     def test_repro_paths_in_docs_resolve(self, doc):
         text = (ROOT / doc).read_text()

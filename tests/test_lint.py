@@ -48,6 +48,7 @@ EXPECTED_BAD = {
     "RPL004": 4,
     "RPL005": 3,
     "RPL006": 4,
+    "RPL007": 6,
 }
 
 

@@ -64,7 +64,7 @@ class TestWorkerRssAndZeroRebuild:
         # ...and every worker stayed under the committed ceiling.
         assert stats.peak_worker_rss_mb < WORKER_RSS_CEILING_MB, (
             f"peak worker RSS {stats.peak_worker_rss_mb:.1f} MiB breaches "
-            f"the {WORKER_RSS_CEILING_MB:.0f} MiB BENCH_6 ceiling — workers "
+            f"the {WORKER_RSS_CEILING_MB:.0f} MiB committed bench ceiling — workers "
             "are rebuilding or copying parent state again"
         )
 
